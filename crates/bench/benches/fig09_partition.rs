@@ -1,0 +1,50 @@
+//! Figure 9: partition comparison among SLPL (ID-bit), CLPL (sub-tree),
+//! and CLUE (even-range).
+//!
+//! Paper result: SLPL cannot split evenly; CLPL splits evenly at the
+//! cost of redundancy that grows with the partition count; CLUE splits
+//! exactly evenly with zero redundancy.
+
+use clue_bench::{banner, standard_compressed, standard_rib};
+use clue_partition::{EvenRangePartition, IdBitPartition, PartitionStats, SubTreePartition};
+
+fn main() {
+    banner(
+        "Figure 9 — partition shapes for SLPL / CLPL / CLUE",
+        "SLPL uneven + redundant; CLPL even-ish + redundant; CLUE even, zero redundancy",
+    );
+    let rib = standard_rib();
+    let compressed = standard_compressed();
+    println!(
+        "input: {} routes (SLPL/CLPL partition the raw table; CLUE partitions the {}-entry ONRTC table)\n",
+        rib.len(),
+        compressed.len()
+    );
+
+    println!(
+        "{:>5} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11}",
+        "n", "slpl-max", "slpl-min", "slpl-redund", "clpl-max", "clpl-min", "clpl-redund",
+        "clue-max", "clue-min", "clue-redund"
+    );
+    for k in [2u32, 3, 4, 5, 6, 7, 8] {
+        let n = 1usize << k;
+
+        let slpl = IdBitPartition::split(&rib, k, 16);
+        let s1 = PartitionStats::measure(slpl.buckets(), rib.len());
+
+        let clpl = SubTreePartition::split(&rib, rib.len().div_ceil(n));
+        let s2 = PartitionStats::measure(clpl.buckets(), rib.len());
+
+        let clue = EvenRangePartition::split(&compressed, n);
+        let s3 = PartitionStats::measure(clue.buckets(), compressed.len());
+
+        println!(
+            "{:>5} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11}",
+            n, s1.max, s1.min, s1.redundancy, s2.max, s2.min, s2.redundancy, s3.max, s3.min,
+            s3.redundancy
+        );
+        assert_eq!(s3.redundancy, 0, "CLUE must have zero redundancy");
+        assert!(s3.max - s3.min <= 1, "CLUE split not even");
+    }
+    println!("\n(CLUE max==min up to the division remainder; baselines carry replicas.)");
+}

@@ -1,0 +1,47 @@
+//! Figure 10: TTF1 (trie update time) — CLUE (ONRTC incremental) vs
+//! CLPL (plain trie, the ground truth).
+//!
+//! Paper result: TTF1-CLUE is a little longer than ground truth
+//! (0.19–0.36 µs, mean 0.221 µs); it runs in the control plane and does
+//! not interrupt lookups.
+
+use clue_bench::{banner, ttf_series};
+
+fn main() {
+    banner(
+        "Figure 10 — TTF1 (trie) per update window",
+        "CLUE mean ~0.221 us, slightly above the uncompressed ground truth",
+    );
+    let series = ttf_series(12, 2_000);
+    println!("{:>7} {:>14} {:>14} {:>8}", "window", "CLUE ttf1(us)", "CLPL ttf1(us)", "ratio");
+    let (mut a_sum, mut b_sum) = (0.0, 0.0);
+    let mut rows = Vec::new();
+    for p in &series.points {
+        a_sum += p.clue.ttf1_ns;
+        b_sum += p.clpl.ttf1_ns;
+        println!(
+            "{:>7} {:>14.4} {:>14.4} {:>8.2}",
+            p.window,
+            p.clue.ttf1_ns / 1e3,
+            p.clpl.ttf1_ns / 1e3,
+            p.clue.ttf1_ns / p.clpl.ttf1_ns.max(1.0)
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4}",
+            p.window,
+            p.clue.ttf1_ns / 1e3,
+            p.clpl.ttf1_ns / 1e3
+        ));
+    }
+    let n = series.points.len() as f64;
+    println!(
+        "\nmeans: CLUE {:.4} us vs CLPL (ground truth) {:.4} us — CLUE pays {:.2}x in the control plane",
+        a_sum / n / 1e3,
+        b_sum / n / 1e3,
+        a_sum / b_sum.max(1.0)
+    );
+    let (min, p50, p99, max, _) =
+        clue_bench::TtfSeries::digest_us(&series.clue_samples, |s| s.ttf1_ns);
+    println!("CLUE ttf1 percentiles (us): min {min:.3} p50 {p50:.3} p99 {p99:.3} max {max:.3}");
+    clue_bench::csv_write("fig10_ttf1", "window,clue_ttf1_us,clpl_ttf1_us", &rows);
+}

@@ -1,0 +1,47 @@
+//! Figure 11: TTF2 (TCAM update time) — CLUE's unordered O(1) layout vs
+//! the classical prefix-length-ordered layout charged to CLPL.
+//!
+//! Paper result: CLPL ~0.36 µs/update (≈15 shifts × 24 ns); CLUE 0.024 µs
+//! (a single shift). Our CLPL model is slightly more charitable (pure
+//! next-hop changes rewrite in place), so its mean sits below the
+//! paper's; the ordering and the gap survive.
+
+use clue_bench::{banner, ttf_series};
+
+fn main() {
+    banner(
+        "Figure 11 — TTF2 (TCAM) per update window",
+        "CLPL ~0.36 us/update, CLUE 0.024 us (one 24 ns write)",
+    );
+    let series = ttf_series(12, 2_000);
+    println!("{:>7} {:>14} {:>14} {:>12}", "window", "CLUE ttf2(us)", "CLPL ttf2(us)", "CLPL/CLUE");
+    let (mut a_sum, mut b_sum) = (0.0, 0.0);
+    let mut rows = Vec::new();
+    for p in &series.points {
+        a_sum += p.clue.ttf2_ns;
+        b_sum += p.clpl.ttf2_ns;
+        println!(
+            "{:>7} {:>14.4} {:>14.4} {:>12.2}",
+            p.window,
+            p.clue.ttf2_ns / 1e3,
+            p.clpl.ttf2_ns / 1e3,
+            p.clpl.ttf2_ns / p.clue.ttf2_ns.max(1.0)
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4}",
+            p.window,
+            p.clue.ttf2_ns / 1e3,
+            p.clpl.ttf2_ns / 1e3
+        ));
+    }
+    println!(
+        "\nmeans: CLUE {:.4} us vs CLPL {:.4} us ({:.1}x)",
+        a_sum / series.points.len() as f64 / 1e3,
+        b_sum / series.points.len() as f64 / 1e3,
+        b_sum / a_sum.max(1.0)
+    );
+    let (_, p50, p99, _, _) =
+        clue_bench::TtfSeries::digest_us(&series.clpl_samples, |s| s.ttf2_ns);
+    println!("CLPL ttf2 percentiles (us): p50 {p50:.4} p99 {p99:.4}");
+    clue_bench::csv_write("fig11_ttf2", "window,clue_us,clpl_us", &rows);
+}

@@ -1,0 +1,45 @@
+//! Figure 12: TTF3 (DRed update time) — CLUE's data-plane
+//! delete-if-present vs CLPL's control-plane RRC-ME cache repair.
+//!
+//! Paper result: CLPL 0.18–0.29 µs (mean 0.199 µs), 8.3× CLUE's flat
+//! 0.024 µs.
+
+use clue_bench::{banner, ttf_series};
+
+fn main() {
+    banner(
+        "Figure 12 — TTF3 (DRed) per update window",
+        "CLPL mean ~0.199 us = 8.3x CLUE's 0.024 us",
+    );
+    let series = ttf_series(12, 2_000);
+    println!("{:>7} {:>14} {:>14} {:>12}", "window", "CLUE ttf3(us)", "CLPL ttf3(us)", "CLPL/CLUE");
+    let (mut a_sum, mut b_sum) = (0.0, 0.0);
+    let mut rows = Vec::new();
+    for p in &series.points {
+        a_sum += p.clue.ttf3_ns;
+        b_sum += p.clpl.ttf3_ns;
+        println!(
+            "{:>7} {:>14.4} {:>14.4} {:>12.2}",
+            p.window,
+            p.clue.ttf3_ns / 1e3,
+            p.clpl.ttf3_ns / 1e3,
+            p.clpl.ttf3_ns / p.clue.ttf3_ns.max(1.0)
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4}",
+            p.window,
+            p.clue.ttf3_ns / 1e3,
+            p.clpl.ttf3_ns / 1e3
+        ));
+    }
+    println!(
+        "\nmeans: CLUE {:.4} us vs CLPL {:.4} us ({:.1}x; paper 8.3x)",
+        a_sum / series.points.len() as f64 / 1e3,
+        b_sum / series.points.len() as f64 / 1e3,
+        b_sum / a_sum.max(1.0)
+    );
+    let (_, p50, p99, _, _) =
+        clue_bench::TtfSeries::digest_us(&series.clpl_samples, |s| s.ttf3_ns);
+    println!("CLPL ttf3 percentiles (us): p50 {p50:.4} p99 {p99:.4}");
+    clue_bench::csv_write("fig12_ttf3", "window,clue_us,clpl_us", &rows);
+}

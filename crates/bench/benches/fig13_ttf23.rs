@@ -1,0 +1,40 @@
+//! Figure 13: TTF2+TTF3 — the part of the update cost that interrupts
+//! routing lookups.
+//!
+//! Paper result: CLUE's TTF2+TTF3 is 4.29 % of CLPL's on average
+//! (3.65 % in the worst case).
+
+use clue_bench::{banner, ttf_series};
+
+fn main() {
+    banner(
+        "Figure 13 — TTF2+TTF3 (lookup-interrupting) per window",
+        "CLUE = 4.29% of CLPL on average",
+    );
+    let series = ttf_series(12, 2_000);
+    println!("{:>7} {:>14} {:>14} {:>12}", "window", "CLUE (us)", "CLPL (us)", "CLUE/CLPL");
+    let (mut a_sum, mut b_sum) = (0.0, 0.0);
+    let mut worst: f64 = 1.0;
+    let mut rows = Vec::new();
+    for p in &series.points {
+        let a = p.clue.ttf2_ns + p.clue.ttf3_ns;
+        let b = p.clpl.ttf2_ns + p.clpl.ttf3_ns;
+        a_sum += a;
+        b_sum += b;
+        worst = worst.min(a / b.max(1.0));
+        println!(
+            "{:>7} {:>14.4} {:>14.4} {:>11.2}%",
+            p.window,
+            a / 1e3,
+            b / 1e3,
+            a / b.max(1.0) * 100.0
+        );
+        rows.push(format!("{},{:.4},{:.4}", p.window, a / 1e3, b / 1e3));
+    }
+    println!(
+        "\nmean: CLUE is {:.2}% of CLPL (paper 4.29%); best window {:.2}%",
+        a_sum / b_sum.max(1.0) * 100.0,
+        worst * 100.0
+    );
+    clue_bench::csv_write("fig13_ttf23", "window,clue_us,clpl_us", &rows);
+}

@@ -1,0 +1,39 @@
+//! Figure 14: total TTF = TTF1 + TTF2 + TTF3 — a router's sensitivity
+//! to network changes.
+//!
+//! Paper result: CLPL 0.63–0.83 µs (mean 0.666 µs) vs CLUE 0.269 µs —
+//! CLPL's total TTF is 234 % of CLUE's.
+
+use clue_bench::{banner, ttf_series};
+
+fn main() {
+    banner(
+        "Figure 14 — total TTF per update window",
+        "CLPL mean 0.666 us = 234% of CLUE's 0.269 us",
+    );
+    let series = ttf_series(12, 2_000);
+    println!("{:>7} {:>14} {:>14} {:>12}", "window", "CLUE (us)", "CLPL (us)", "CLPL/CLUE");
+    let (mut a_sum, mut b_sum) = (0.0, 0.0);
+    let mut rows = Vec::new();
+    for p in &series.points {
+        let a = p.clue.total_ns();
+        let b = p.clpl.total_ns();
+        a_sum += a;
+        b_sum += b;
+        println!(
+            "{:>7} {:>14.4} {:>14.4} {:>11.0}%",
+            p.window,
+            a / 1e3,
+            b / 1e3,
+            b / a.max(1.0) * 100.0
+        );
+        rows.push(format!("{},{:.4},{:.4}", p.window, a / 1e3, b / 1e3));
+    }
+    println!(
+        "\nmeans: CLUE {:.4} us, CLPL {:.4} us — CLPL is {:.0}% of CLUE (paper 234%)",
+        a_sum / series.points.len() as f64 / 1e3,
+        b_sum / series.points.len() as f64 / 1e3,
+        b_sum / a_sum.max(1.0) * 100.0
+    );
+    clue_bench::csv_write("fig14_ttf_total", "window,clue_us,clpl_us", &rows);
+}

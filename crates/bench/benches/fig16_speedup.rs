@@ -1,0 +1,61 @@
+//! Figure 16: speedup factor vs DRed hit rate — CLUE, CLPL, and the
+//! theoretical worst case t = (N−1)h + 1.
+//!
+//! Paper result: CLUE and CLPL overlap (same hit rate ⇒ same speedup)
+//! and both sit above the worst-case line; speedup rises with hit rate.
+//!
+//! The sweep varies the DRed capacity to move the hit rate, running the
+//! adversarial mapping so the DRed path dominates.
+
+use clue_bench::{adversarial, banner};
+use clue_core::theory::worst_case_speedup;
+use clue_core::{DredConfig, EngineConfig};
+
+fn main() {
+    banner(
+        "Figure 16 — speedup factor vs hit rate (worst-case mapping)",
+        "CLUE ~= CLPL at equal hit rate; both >= (N-1)h+1",
+    );
+    let setup = adversarial(32, 4, 1_000_000);
+    let cfg = EngineConfig::default();
+    let sram_trie = clue_bench::standard_rib().to_trie();
+
+    println!(
+        "{:>9} | {:>10} {:>9} | {:>10} {:>9} | {:>10}",
+        "DRed size", "CLUE hit", "CLUE t", "CLPL hit", "CLPL t", "worst t(h)"
+    );
+    for capacity in [32usize, 64, 128, 256, 512, 1024, 2048, 4096, 8192] {
+        let mut clue = setup.engine(
+            DredConfig::Clue {
+                capacity,
+                exclude_home: true,
+            },
+            cfg,
+        );
+        let (ra, _) = clue.run(&setup.trace);
+        let mut clpl = setup.engine(
+            DredConfig::Clpl {
+                capacity,
+                sram_trie: sram_trie.clone(),
+            },
+            cfg,
+        );
+        let (rb, _) = clpl.run(&setup.trace);
+        let (ha, ta) = (ra.scheme.hit_rate(), ra.speedup(cfg.service_clocks));
+        let (hb, tb) = (rb.scheme.hit_rate(), rb.speedup(cfg.service_clocks));
+        println!(
+            "{:>9} | {:>9.2}% {:>8.2}x | {:>9.2}% {:>8.2}x | {:>9.2}x",
+            capacity,
+            ha * 100.0,
+            ta,
+            hb * 100.0,
+            tb,
+            worst_case_speedup(cfg.chips, ha)
+        );
+        assert!(
+            ta >= 0.95 * worst_case_speedup(cfg.chips, ha),
+            "CLUE fell below the theory floor"
+        );
+    }
+    println!("\n(same hit rate => same speedup; both schemes sit on/above the worst-case line)");
+}

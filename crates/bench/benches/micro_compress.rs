@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks: the three compression algorithms and
+//! the incremental engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use clue_compress::{leaf_push, onrtc, ortc, CompressedFib};
+use clue_fib::gen::FibGen;
+use clue_traffic::UpdateGen;
+
+fn bench_compression(c: &mut Criterion) {
+    let fib = FibGen::new(3).routes(50_000).generate();
+
+    let mut group = c.benchmark_group("compress_50k");
+    group.sample_size(20);
+    group.bench_function("onrtc", |b| b.iter(|| black_box(onrtc(black_box(&fib)))));
+    group.bench_function("ortc", |b| b.iter(|| black_box(ortc(black_box(&fib)))));
+    group.bench_function("leaf_push", |b| {
+        b.iter(|| black_box(leaf_push(black_box(&fib))));
+    });
+    group.finish();
+
+    // Incremental vs from-scratch: the reason TTF1 stays sub-microsecond.
+    let updates = UpdateGen::new(4).generate(&fib, 1_000);
+    let mut group = c.benchmark_group("update_one_route");
+    group.bench_function("incremental_apply", |b| {
+        b.iter_batched_ref(
+            || (CompressedFib::new(&fib), 0usize),
+            |(cf, i)| {
+                *i = (*i + 1) % updates.len();
+                black_box(cf.apply(updates[*i]));
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks: TCAM update cost under the three layout
+//! policies, plus the measured shift counts (the ablation behind
+//! Figures 7 and 11).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use clue_fib::gen::FibGen;
+use clue_fib::Route;
+use clue_tcam::{
+    load, CaoTcam, FullyOrderedTcam, PrefixLengthOrderedTcam, TcamTable, UnorderedTcam,
+};
+
+fn churn<T: TcamTable>(table: &mut T, routes: &[Route]) {
+    for r in routes {
+        table.insert(*r).unwrap();
+    }
+    for r in routes {
+        table.delete(r.prefix);
+    }
+}
+
+fn bench_tcam_updates(c: &mut Criterion) {
+    let base = FibGen::new(5).routes(20_000).generate();
+    let fresh: Vec<Route> = FibGen::new(6)
+        .routes(20_200)
+        .generate()
+        .iter()
+        .filter(|r| !base.contains(r.prefix))
+        .take(200)
+        .collect();
+    let cap = base.len() + fresh.len() + 64;
+
+    let mut group = c.benchmark_group("tcam_churn_200");
+    group.sample_size(10);
+    group.bench_function("unordered_clue", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut t = UnorderedTcam::new(cap);
+                load(&mut t, base.iter());
+                t
+            },
+            |t| churn(black_box(t), &fresh),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("chain_ancestor_ordered_cao", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut t = CaoTcam::new(cap);
+                load(&mut t, base.iter());
+                t
+            },
+            |t| churn(black_box(t), &fresh),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("prefix_length_ordered_clpl", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut t = PrefixLengthOrderedTcam::new(cap);
+                load(&mut t, base.iter());
+                t
+            },
+            |t| churn(black_box(t), &fresh),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("fully_ordered_naive", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut t = FullyOrderedTcam::new(cap);
+                load(&mut t, base.iter());
+                t
+            },
+            |t| churn(black_box(t), &fresh),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+
+    // Report the hardware-relevant number: entry moves per update.
+    for (name, stats, ops) in [
+        {
+            let mut t = UnorderedTcam::new(cap);
+            load(&mut t, base.iter());
+            t.reset_stats();
+            churn(&mut t, &fresh);
+            ("unordered (CLUE)", t.stats(), fresh.len() * 2)
+        },
+        {
+            let mut t = CaoTcam::new(cap);
+            load(&mut t, base.iter());
+            t.reset_stats();
+            churn(&mut t, &fresh);
+            ("chain-ordered (CAO)", t.stats(), fresh.len() * 2)
+        },
+        {
+            let mut t = PrefixLengthOrderedTcam::new(cap);
+            load(&mut t, base.iter());
+            t.reset_stats();
+            churn(&mut t, &fresh);
+            ("length-ordered (CLPL)", t.stats(), fresh.len() * 2)
+        },
+        {
+            let mut t = FullyOrderedTcam::new(cap);
+            load(&mut t, base.iter());
+            t.reset_stats();
+            churn(&mut t, &fresh);
+            ("fully ordered (naive)", t.stats(), fresh.len() * 2)
+        },
+    ] {
+        println!(
+            "{name}: {:.3} moves/update ({:.3} us at 24 ns/move)",
+            stats.moves as f64 / ops as f64,
+            stats.moves as f64 / ops as f64 * 24.0 / 1e3
+        );
+    }
+}
+
+criterion_group!(benches, bench_tcam_updates);
+criterion_main!(benches);

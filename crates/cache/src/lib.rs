@@ -1,0 +1,46 @@
+//! Prefix-caching substrate for CLUE's Dynamic Redundancy.
+//!
+//! * [`LruPrefixCache`] — LRU prefix cache with LPM lookup: the software
+//!   view of one DRed partition / logical cache.
+//! * [`rrc_me`] — minimal-expansion computation over an overlapping
+//!   trie: the control-plane work CLPL performs on every cache fill,
+//!   with its SRAM accesses counted. CLUE never calls this — ONRTC makes
+//!   every TCAM match directly cacheable.
+//! * [`IpCache`] — destination-address cache baseline (prefix caching
+//!   beats it; kept to re-verify the cited claim).
+//!
+//! # Examples
+//!
+//! ```
+//! use clue_cache::{rrc_me, LruPrefixCache};
+//! use clue_fib::{NextHop, Trie};
+//!
+//! let mut trie = Trie::new();
+//! trie.insert("128.0.0.0/1".parse()?, NextHop(1));
+//! trie.insert("160.0.0.0/3".parse()?, NextHop(2));
+//!
+//! // CLPL's fill path: compute the cacheable region in the control plane…
+//! let me = rrc_me(&trie, 0x8000_0001).unwrap();
+//! assert!(me.sram_accesses > 0);
+//!
+//! // …then install it in the cache.
+//! let mut dred = LruPrefixCache::new(1024);
+//! dred.insert(me.route);
+//! assert_eq!(dred.lookup(0x8000_0001), Some(NextHop(1)));
+//! # Ok::<(), clue_fib::ParsePrefixError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod ip_cache;
+mod lru;
+mod policies;
+mod prefix_cache;
+mod rrc_me;
+
+pub use ip_cache::IpCache;
+pub use lru::{Lru, LruIter};
+pub use policies::{Eviction, PolicyPrefixCache};
+pub use prefix_cache::{CacheStats, LruPrefixCache};
+pub use rrc_me::{rrc_me, MinimalExpansion};

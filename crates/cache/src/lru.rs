@@ -1,0 +1,278 @@
+//! A generic O(1) LRU list used by both cache flavours.
+//!
+//! Implemented as a slab of doubly-linked nodes plus a key → slot map;
+//! no unsafe code, no external crates. Freed slots keep their key but
+//! hold `None` until reused.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map.
+#[derive(Debug, Clone)]
+pub struct Lru<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates an empty LRU holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "lru capacity must be positive");
+        Lru {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the LRU is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Reads a value and marks it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slab[idx].value.as_ref()
+    }
+
+    /// Reads a value without touching recency.
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map
+            .get(key)
+            .and_then(|&idx| self.slab[idx].value.as_ref())
+    }
+
+    /// Whether `key` is stored (does not touch recency).
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts (or refreshes) an entry; returns the evicted LRU entry if
+    /// the cache was full.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = Some(value);
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+            let node = &mut self.slab[lru];
+            let v = node.value.take().expect("live node holds a value");
+            Some((node.key.clone(), v))
+        } else {
+            None
+        };
+        let node = Node {
+            key: key.clone(),
+            value: Some(value),
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slab[idx] = node;
+            idx
+        } else {
+            self.slab.push(node);
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slab[idx].value.take()
+    }
+
+    /// The least-recently-used key, if any.
+    #[must_use]
+    pub fn lru_key(&self) -> Option<&K> {
+        (self.tail != NIL).then(|| &self.slab[self.tail].key)
+    }
+
+    /// Iterates `(key, value)` from most to least recently used.
+    pub fn iter(&self) -> LruIter<'_, K, V> {
+        LruIter {
+            lru: self,
+            cursor: self.head,
+        }
+    }
+}
+
+/// Iterator over an [`Lru`] from MRU to LRU; created by [`Lru::iter`].
+pub struct LruIter<'a, K, V> {
+    lru: &'a Lru<K, V>,
+    cursor: usize,
+}
+
+impl<'a, K, V> Iterator for LruIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.lru.slab[self.cursor];
+        self.cursor = node.next;
+        Some((&node.key, node.value.as_ref().expect("linked node is live")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_basbasics() {
+        let mut lru: Lru<u32, &str> = Lru::new(2);
+        assert!(lru.is_empty());
+        assert_eq!(lru.insert(1, "a"), None);
+        assert_eq!(lru.insert(2, "b"), None);
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.get(&1); // 2 is now LRU
+        assert_eq!(lru.insert(3, 30), Some((2, 20)));
+        assert!(lru.contains(&1));
+        assert!(!lru.contains(&2));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.insert(1, 11), None);
+        assert_eq!(lru.peek(&1), Some(&11));
+        // 2 is LRU now despite being inserted later.
+        assert_eq!(lru.lru_key(), Some(&2));
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut lru: Lru<u32, u32> = Lru::new(1);
+        lru.insert(1, 10);
+        assert_eq!(lru.remove(&1), Some(10));
+        assert_eq!(lru.remove(&1), None);
+        assert_eq!(lru.insert(2, 20), None); // no eviction needed
+    }
+
+    #[test]
+    fn iter_runs_mru_to_lru() {
+        let mut lru: Lru<u32, ()> = Lru::new(3);
+        lru.insert(1, ());
+        lru.insert(2, ());
+        lru.insert(3, ());
+        lru.get(&1);
+        let order: Vec<u32> = lru.iter().map(|(&k, ())| k).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut lru: Lru<u32, ()> = Lru::new(2);
+        lru.insert(1, ());
+        lru.insert(2, ());
+        let _ = lru.peek(&1);
+        assert_eq!(lru.lru_key(), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: Lru<u32, u32> = Lru::new(0);
+    }
+
+    #[test]
+    fn single_slot_cache_cycles() {
+        let mut lru: Lru<u32, u32> = Lru::new(1);
+        for i in 0..10 {
+            let evicted = lru.insert(i, i);
+            if i > 0 {
+                assert_eq!(evicted, Some((i - 1, i - 1)));
+            }
+            assert_eq!(lru.len(), 1);
+        }
+    }
+}

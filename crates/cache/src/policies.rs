@@ -1,0 +1,297 @@
+//! Replacement-policy laboratory for prefix caches.
+//!
+//! The paper leans on prior work ([18–20]) that analyzed routing-cache
+//! replacement algorithms; CLPL and CLUE both settle on LRU. This
+//! module provides a policy-parameterized prefix cache so that choice
+//! can be re-measured (see the `ablation_replacement` bench): LRU,
+//! FIFO, LFU, and seeded-random eviction over the same LPM lookup
+//! machinery.
+//!
+//! Eviction is O(capacity) here — this is measurement apparatus, not
+//! the hot-path cache ([`LruPrefixCache`](crate::LruPrefixCache) is the
+//! O(1) production implementation).
+
+use std::collections::HashMap;
+
+use clue_fib::{mask, NextHop, Prefix, Route};
+
+use crate::prefix_cache::CacheStats;
+
+/// Which entry to evict when the cache is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// Least recently used (touched longest ago).
+    Lru,
+    /// First in, first out (oldest insertion).
+    Fifo,
+    /// Least frequently used (fewest hits; ties broken by age).
+    Lfu,
+    /// Uniformly random victim (seeded, deterministic).
+    Random {
+        /// RNG seed for the victim choice.
+        seed: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    next_hop: NextHop,
+    inserted: u64,
+    touched: u64,
+    hits: u64,
+}
+
+/// A prefix cache with a configurable replacement policy.
+///
+/// # Examples
+///
+/// ```
+/// use clue_cache::{Eviction, PolicyPrefixCache};
+/// use clue_fib::{NextHop, Route};
+///
+/// let mut c = PolicyPrefixCache::new(2, Eviction::Fifo);
+/// c.insert(Route::new("10.0.0.0/8".parse()?, NextHop(1)));
+/// c.insert(Route::new("11.0.0.0/8".parse()?, NextHop(2)));
+/// c.insert(Route::new("12.0.0.0/8".parse()?, NextHop(3))); // evicts 10/8
+/// assert_eq!(c.lookup(0x0A00_0001), None);
+/// assert_eq!(c.lookup(0x0B00_0001), Some(NextHop(2)));
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicyPrefixCache {
+    policy: Eviction,
+    entries: HashMap<Prefix, Meta>,
+    len_histogram: [u32; 33],
+    capacity: usize,
+    clock: u64,
+    rng_state: u64,
+    stats: CacheStats,
+}
+
+impl PolicyPrefixCache {
+    /// Creates a cache with the given capacity and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, policy: Eviction) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let rng_state = match policy {
+            Eviction::Random { seed } => seed | 1,
+            _ => 1,
+        };
+        PolicyPrefixCache {
+            policy,
+            entries: HashMap::with_capacity(capacity),
+            len_histogram: [0; 33],
+            capacity,
+            clock: 0,
+            rng_state,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached prefixes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64* — deterministic, no external dependency.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// LPM lookup; hits update recency/frequency per the policy.
+    pub fn lookup(&mut self, addr: u32) -> Option<NextHop> {
+        self.clock += 1;
+        for len in (0..=32u8).rev() {
+            if self.len_histogram[len as usize] == 0 {
+                continue;
+            }
+            let p = Prefix::new(addr & mask(len), len);
+            if let Some(meta) = self.entries.get_mut(&p) {
+                meta.touched = self.clock;
+                meta.hits += 1;
+                self.stats.hits += 1;
+                return Some(meta.next_hop);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    fn pick_victim(&mut self) -> Prefix {
+        debug_assert!(!self.entries.is_empty());
+        match self.policy {
+            Eviction::Lru => *self
+                .entries
+                .iter()
+                .min_by_key(|(_, m)| m.touched)
+                .expect("non-empty")
+                .0,
+            Eviction::Fifo => *self
+                .entries
+                .iter()
+                .min_by_key(|(_, m)| m.inserted)
+                .expect("non-empty")
+                .0,
+            Eviction::Lfu => *self
+                .entries
+                .iter()
+                .min_by_key(|(_, m)| (m.hits, m.inserted))
+                .expect("non-empty")
+                .0,
+            Eviction::Random { .. } => {
+                // Sort the candidates so the seeded choice is stable
+                // regardless of HashMap iteration order.
+                let mut keys: Vec<Prefix> = self.entries.keys().copied().collect();
+                keys.sort();
+                let idx = (self.next_random() % keys.len() as u64) as usize;
+                keys[idx]
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a prefix; returns the evicted prefix when
+    /// the cache was full.
+    pub fn insert(&mut self, route: Route) -> Option<Prefix> {
+        self.clock += 1;
+        self.stats.insertions += 1;
+        if let Some(meta) = self.entries.get_mut(&route.prefix) {
+            meta.next_hop = route.next_hop;
+            meta.touched = self.clock;
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            let victim = self.pick_victim();
+            self.entries.remove(&victim);
+            self.len_histogram[victim.len() as usize] -= 1;
+            self.stats.evictions += 1;
+            Some(victim)
+        } else {
+            None
+        };
+        self.entries.insert(
+            route.prefix,
+            Meta {
+                next_hop: route.next_hop,
+                inserted: self.clock,
+                touched: self.clock,
+                hits: 0,
+            },
+        );
+        self.len_histogram[route.prefix.len() as usize] += 1;
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(s: &str, nh: u16) -> Route {
+        Route::new(s.parse().unwrap(), NextHop(nh))
+    }
+
+    fn fill_three(policy: Eviction) -> PolicyPrefixCache {
+        let mut c = PolicyPrefixCache::new(3, policy);
+        c.insert(route("10.0.0.0/8", 1));
+        c.insert(route("11.0.0.0/8", 2));
+        c.insert(route("12.0.0.0/8", 3));
+        c
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut c = fill_three(Eviction::Lru);
+        c.lookup(0x0A00_0001); // touch 10/8
+        c.lookup(0x0B00_0001); // touch 11/8
+        let evicted = c.insert(route("13.0.0.0/8", 4)).unwrap();
+        assert_eq!(evicted.to_string(), "12.0.0.0/8");
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut c = fill_three(Eviction::Fifo);
+        c.lookup(0x0A00_0001); // touching 10/8 must not save it
+        let evicted = c.insert(route("13.0.0.0/8", 4)).unwrap();
+        assert_eq!(evicted.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn lfu_keeps_the_popular() {
+        let mut c = fill_three(Eviction::Lfu);
+        for _ in 0..5 {
+            c.lookup(0x0A00_0001); // 10/8 very hot
+        }
+        c.lookup(0x0B00_0001); // 11/8 lukewarm; 12/8 cold
+        let evicted = c.insert(route("13.0.0.0/8", 4)).unwrap();
+        assert_eq!(evicted.to_string(), "12.0.0.0/8");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = fill_three(Eviction::Random { seed });
+            c.insert(route("13.0.0.0/8", 4)).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn lpm_and_stats_work_under_any_policy() {
+        for policy in [
+            Eviction::Lru,
+            Eviction::Fifo,
+            Eviction::Lfu,
+            Eviction::Random { seed: 1 },
+        ] {
+            let mut c = PolicyPrefixCache::new(4, policy);
+            c.insert(route("10.0.0.0/8", 1));
+            c.insert(route("10.1.0.0/16", 2));
+            assert_eq!(c.lookup(0x0A01_0001), Some(NextHop(2)), "{policy:?}");
+            assert_eq!(c.lookup(0x0A02_0001), Some(NextHop(1)), "{policy:?}");
+            assert_eq!(c.lookup(0x0B00_0001), None, "{policy:?}");
+            let s = c.stats();
+            assert_eq!((s.hits, s.misses), (2, 1), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn refresh_does_not_evict() {
+        let mut c = fill_three(Eviction::Lru);
+        assert!(c.insert(route("10.0.0.0/8", 9)).is_none());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.lookup(0x0A00_0001), Some(NextHop(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = PolicyPrefixCache::new(0, Eviction::Lru);
+    }
+}

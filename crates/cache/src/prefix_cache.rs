@@ -1,0 +1,252 @@
+//! The prefix cache backing DRed / logical caches.
+//!
+//! Stores (non-overlapping) prefixes with LRU replacement and answers
+//! address lookups by longest-prefix match over the cached set — i.e.
+//! exactly what a TCAM partition used as dynamic redundancy does, with
+//! the cache-management view the control software keeps.
+
+use clue_fib::{mask, NextHop, Prefix, Route};
+
+use crate::lru::Lru;
+
+/// Hit/miss counters for a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that matched a cached prefix.
+    pub hits: u64,
+    /// Lookups that matched nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by LRU replacement.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU prefix cache with LPM lookup.
+///
+/// # Examples
+///
+/// ```
+/// use clue_cache::LruPrefixCache;
+/// use clue_fib::{NextHop, Route};
+///
+/// let mut cache = LruPrefixCache::new(2);
+/// cache.insert(Route::new("10.0.0.0/8".parse()?, NextHop(1)));
+/// assert_eq!(cache.lookup(0x0A01_0203), Some(NextHop(1)));
+/// assert_eq!(cache.lookup(0x0B00_0000), None);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruPrefixCache {
+    lru: Lru<Prefix, NextHop>,
+    /// Cached-prefix count per length, for the LPM walk.
+    len_histogram: [u32; 33],
+    stats: CacheStats,
+}
+
+impl LruPrefixCache {
+    /// Creates a cache holding at most `capacity` prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        LruPrefixCache {
+            lru: Lru::new(capacity),
+            len_histogram: [0; 33],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached prefixes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// LPM lookup; a hit refreshes the entry's recency.
+    pub fn lookup(&mut self, addr: u32) -> Option<NextHop> {
+        for len in (0..=32u8).rev() {
+            if self.len_histogram[len as usize] == 0 {
+                continue;
+            }
+            let p = Prefix::new(addr & mask(len), len);
+            if let Some(&nh) = self.lru.get(&p) {
+                self.stats.hits += 1;
+                return Some(nh);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Whether `prefix` is cached (no recency or stats effect).
+    #[must_use]
+    pub fn contains(&self, prefix: Prefix) -> bool {
+        self.lru.contains(&prefix)
+    }
+
+    /// Inserts (or refreshes) a prefix; returns the evicted route, if
+    /// the cache was full.
+    pub fn insert(&mut self, route: Route) -> Option<Route> {
+        self.stats.insertions += 1;
+        if !self.lru.contains(&route.prefix) {
+            self.len_histogram[route.prefix.len() as usize] += 1;
+        }
+        let evicted = self.lru.insert(route.prefix, route.next_hop);
+        if let Some((p, nh)) = evicted {
+            self.stats.evictions += 1;
+            self.len_histogram[p.len() as usize] -= 1;
+            return Some(Route::new(p, nh));
+        }
+        None
+    }
+
+    /// Removes a prefix; returns its next hop.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<NextHop> {
+        let nh = self.lru.remove(&prefix)?;
+        self.len_histogram[prefix.len() as usize] -= 1;
+        Some(nh)
+    }
+
+    /// Removes every cached prefix that overlaps `prefix` (used for
+    /// conservative invalidation when the routing table changes).
+    ///
+    /// Returns the number of removed entries.
+    pub fn invalidate_overlapping(&mut self, prefix: Prefix) -> usize {
+        let victims: Vec<Prefix> = self
+            .lru
+            .iter()
+            .map(|(&p, _)| p)
+            .filter(|p| p.overlaps(prefix))
+            .collect();
+        for &v in &victims {
+            self.remove(v);
+        }
+        victims.len()
+    }
+
+    /// Cached routes from most to least recently used.
+    pub fn iter(&self) -> impl Iterator<Item = Route> + '_ {
+        self.lru.iter().map(|(&p, &nh)| Route::new(p, nh))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(s: &str, nh: u16) -> Route {
+        Route::new(s.parse().unwrap(), NextHop(nh))
+    }
+
+    #[test]
+    fn lpm_over_cached_prefixes() {
+        let mut c = LruPrefixCache::new(4);
+        c.insert(route("10.0.0.0/8", 1));
+        c.insert(route("10.1.0.0/16", 2));
+        assert_eq!(c.lookup(0x0A01_0001), Some(NextHop(2)));
+        assert_eq!(c.lookup(0x0A02_0001), Some(NextHop(1)));
+        assert_eq!(c.lookup(0x0B00_0001), None);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_follows_lookup_recency() {
+        let mut c = LruPrefixCache::new(2);
+        c.insert(route("10.0.0.0/8", 1));
+        c.insert(route("11.0.0.0/8", 2));
+        c.lookup(0x0A00_0001); // touch 10/8 → 11/8 is LRU
+        let evicted = c.insert(route("12.0.0.0/8", 3)).unwrap();
+        assert_eq!(evicted, route("11.0.0.0/8", 2));
+        assert!(c.contains("10.0.0.0/8".parse().unwrap()));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn remove_updates_len_histogram() {
+        let mut c = LruPrefixCache::new(2);
+        c.insert(route("10.0.0.0/8", 1));
+        assert_eq!(c.remove("10.0.0.0/8".parse().unwrap()), Some(NextHop(1)));
+        // After removal the /8 probe must not scan a stale histogram.
+        assert_eq!(c.lookup(0x0A00_0001), None);
+        assert_eq!(c.remove("10.0.0.0/8".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn invalidate_overlapping_removes_both_directions() {
+        let mut c = LruPrefixCache::new(8);
+        c.insert(route("10.0.0.0/8", 1));
+        c.insert(route("10.1.0.0/16", 2));
+        c.insert(route("11.0.0.0/8", 3));
+        // Invalidate around 10.0.0.0/12: hits the covering /8 and the
+        // covered /16, leaves 11/8 alone.
+        let n = c.invalidate_overlapping("10.0.0.0/12".parse().unwrap());
+        assert_eq!(n, 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains("11.0.0.0/8".parse().unwrap()));
+    }
+
+    #[test]
+    fn refresh_does_not_double_count_histogram() {
+        let mut c = LruPrefixCache::new(2);
+        c.insert(route("10.0.0.0/8", 1));
+        c.insert(route("10.0.0.0/8", 2)); // refresh with new hop
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(0x0A00_0001), Some(NextHop(2)));
+        c.remove("10.0.0.0/8".parse().unwrap());
+        assert_eq!(c.lookup(0x0A00_0001), None);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 0,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! RRC-ME: minimal-expansion prefix computation (Akhbarizadeh &
+//! Nourani, Hot Interconnects 2004).
+//!
+//! With an *overlapping* table, the LPM result for an address cannot be
+//! cached directly: a more-specific route with a different next hop may
+//! live inside it (the paper's Figure 2 — `p = 1*` cannot be cached
+//! because of child `q`). RRC-ME extends the matched prefix along the
+//! address's bits to the shortest **route-free** region and caches that
+//! instead. Computing it walks the trie in SRAM — the control-plane
+//! cost CLPL pays on every DRed fill and that CLUE eliminates entirely
+//! (after ONRTC the matched prefix itself is always cacheable).
+
+use clue_fib::{NextHop, Prefix, Route, Trie};
+
+/// Result of a minimal-expansion computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimalExpansion {
+    /// The cacheable route: shortest extension of the LPM along the
+    /// looked-up address whose region resolves uniformly.
+    pub route: Route,
+    /// Trie nodes visited — the SRAM accesses this computation costs.
+    pub sram_accesses: u32,
+}
+
+/// Computes the minimal-expansion cacheable prefix for `addr`.
+///
+/// Returns `None` when the table has no match for `addr` (nothing to
+/// cache).
+///
+/// # Examples
+///
+/// ```
+/// use clue_cache::rrc_me;
+/// use clue_fib::{NextHop, Trie};
+///
+/// let mut t = Trie::new();
+/// t.insert("128.0.0.0/1".parse()?, NextHop(1)); // p = 1*
+/// t.insert("160.0.0.0/3".parse()?, NextHop(2)); // q = 101*
+///
+/// // 100… matches p, but p cannot be cached because q sits inside it;
+/// // the minimal expansion is 100* (one bit past the divergence).
+/// let me = rrc_me(&t, 0x8000_0001).unwrap();
+/// assert_eq!(me.route.prefix.to_string(), "128.0.0.0/3");
+/// assert_eq!(me.route.next_hop, NextHop(1));
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[must_use]
+pub fn rrc_me(trie: &Trie<NextHop>, addr: u32) -> Option<MinimalExpansion> {
+    // Phase 1: LPM walk from the root, counting node visits.
+    let mut accesses = 0u32;
+    let mut cur = trie.root();
+    let mut lpm: Option<(Prefix, NextHop, _)> = None;
+    let mut depth = 0u8;
+    loop {
+        accesses += 1;
+        if let Some(&nh) = cur.value() {
+            lpm = Some((cur.prefix(), nh, cur));
+        }
+        if depth == 32 {
+            break;
+        }
+        match cur.child(Prefix::addr_bit(addr, depth)) {
+            Some(next) => {
+                cur = next;
+                depth += 1;
+            }
+            None => break,
+        }
+    }
+    let (lpm_prefix, nh, lpm_node) = lpm?;
+
+    // Phase 2: extend from the LPM node along the address bits to the
+    // shallowest route-free region. A trie node exists only if its
+    // subtree holds ≥ 1 route, so the walk stops at the first missing
+    // child; if the LPM node has no descendants at all, the LPM prefix
+    // itself is cacheable.
+    if lpm_node.descendant_routes() == 0 {
+        return Some(MinimalExpansion {
+            route: Route::new(lpm_prefix, nh),
+            sram_accesses: accesses,
+        });
+    }
+    let mut node = lpm_node;
+    let mut d = lpm_prefix.len();
+    loop {
+        debug_assert!(d < 32, "a /32 LPM has no descendants");
+        let bit = Prefix::addr_bit(addr, d);
+        match node.child(bit) {
+            None => {
+                // The child region holds no routes → uniform under `nh`.
+                let region = node
+                    .prefix()
+                    .child(bit)
+                    .expect("d < 32 so a child prefix exists");
+                return Some(MinimalExpansion {
+                    route: Route::new(region, nh),
+                    sram_accesses: accesses,
+                });
+            }
+            Some(next) => {
+                accesses += 1;
+                node = next;
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trie(routes: &[(&str, u16)]) -> Trie<NextHop> {
+        routes
+            .iter()
+            .map(|&(p, nh)| (p.parse::<Prefix>().unwrap(), NextHop(nh)))
+            .collect()
+    }
+
+    #[test]
+    fn no_match_means_nothing_to_cache() {
+        let t = trie(&[("10.0.0.0/8", 1)]);
+        assert!(rrc_me(&t, 0x0B00_0000).is_none());
+    }
+
+    #[test]
+    fn leaf_match_is_directly_cacheable() {
+        let t = trie(&[("10.0.0.0/8", 1)]);
+        let me = rrc_me(&t, 0x0A12_3456).unwrap();
+        assert_eq!(me.route, Route::new("10.0.0.0/8".parse().unwrap(), NextHop(1)));
+    }
+
+    #[test]
+    fn figure_2_shape_expands_past_divergence() {
+        // p = 1* (nh p), q = 100000/6-ish child with a different hop.
+        let t = trie(&[("128.0.0.0/1", 1), ("132.0.0.0/6", 2)]);
+        // Address 10000001… matches p; q = 100001xx… no wait: q covers
+        // 132.0.0.0/6 = 100001xx. Look up 128.0.0.1 (1000 0000 …).
+        let me = rrc_me(&t, 0x8000_0001).unwrap();
+        assert_eq!(me.route.next_hop, NextHop(1));
+        // The expansion must cover the address, sit inside p, and avoid q.
+        assert!(me.route.prefix.contains_addr(0x8000_0001));
+        assert!("128.0.0.0/1".parse::<Prefix>().unwrap().contains(me.route.prefix));
+        assert!(!me.route.prefix.overlaps("132.0.0.0/6".parse().unwrap()));
+    }
+
+    #[test]
+    fn expansion_is_minimal() {
+        let t = trie(&[("128.0.0.0/1", 1), ("160.0.0.0/3", 2)]);
+        let me = rrc_me(&t, 0x8000_0001).unwrap();
+        // One level above the expansion, the region would contain q.
+        let parent = me.route.prefix.parent().unwrap();
+        assert!(parent.overlaps("160.0.0.0/3".parse().unwrap()) || parent == "128.0.0.0/1".parse().unwrap());
+        assert_eq!(me.route.prefix.to_string(), "128.0.0.0/3");
+    }
+
+    #[test]
+    fn expanded_region_resolves_uniformly() {
+        let t = trie(&[
+            ("0.0.0.0/0", 9),
+            ("128.0.0.0/2", 1),
+            ("144.0.0.0/4", 2),
+            ("144.0.0.0/7", 3),
+        ]);
+        for addr in [0x8000_0001u32, 0x9000_0001, 0x9100_0001, 0xC000_0001, 0x4000_0001] {
+            let me = rrc_me(&t, addr).unwrap();
+            assert!(me.route.prefix.contains_addr(addr));
+            // Every address inside the ME region must LPM to the same hop.
+            let lo = me.route.prefix.low();
+            let hi = me.route.prefix.high();
+            for probe in [lo, hi, lo + (hi - lo) / 2] {
+                assert_eq!(
+                    t.lookup(probe).map(|(_, &nh)| nh),
+                    Some(me.route.next_hop),
+                    "probe {probe:#x} in region {}",
+                    me.route.prefix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sram_accesses_grow_with_conflict_depth() {
+        let shallow = trie(&[("128.0.0.0/1", 1)]);
+        let deep = trie(&[("128.0.0.0/1", 1), ("128.0.1.0/24", 2)]);
+        let a = rrc_me(&shallow, 0x8000_0001).unwrap().sram_accesses;
+        let b = rrc_me(&deep, 0x8000_0001).unwrap().sram_accesses;
+        assert!(b > a, "conflicting deep route must cost more SRAM walks");
+    }
+
+    #[test]
+    fn host_route_lpm() {
+        let t = trie(&[("1.2.3.4/32", 5)]);
+        let me = rrc_me(&t, 0x0102_0304).unwrap();
+        assert_eq!(me.route.prefix.to_string(), "1.2.3.4/32");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: LRU laws and RRC-ME correctness/minimality.
+
+use clue_cache::{rrc_me, LruPrefixCache};
+use clue_fib::{NextHop, Prefix, Route, Trie};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The prefix cache never exceeds capacity and a hit always returns
+    /// the LPM over its current contents.
+    #[test]
+    fn prefix_cache_respects_capacity_and_lpm(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((any::<u32>(), 0u8..=8, 0u16..4), 1..60),
+        probes in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        let mut cache = LruPrefixCache::new(capacity);
+        for &(bits, len, nh) in &ops {
+            cache.insert(Route::new(Prefix::new(bits, len), NextHop(nh)));
+            prop_assert!(cache.len() <= capacity);
+        }
+        for &addr in &probes {
+            let contents: Vec<Route> = cache.iter().collect();
+            let want = contents
+                .iter()
+                .filter(|r| r.prefix.contains_addr(addr))
+                .max_by_key(|r| r.prefix.len())
+                .map(|r| r.next_hop);
+            prop_assert_eq!(cache.lookup(addr), want);
+        }
+    }
+
+    /// Hits + misses always equals the number of lookups; insertions −
+    /// evictions − removals equals the population.
+    #[test]
+    fn cache_stats_balance(
+        ops in prop::collection::vec((any::<u32>(), 0u8..=8, any::<bool>()), 1..80),
+    ) {
+        let mut cache = LruPrefixCache::new(4);
+        let mut lookups = 0u64;
+        for &(bits, len, is_lookup) in &ops {
+            if is_lookup {
+                cache.lookup(bits);
+                lookups += 1;
+            } else {
+                cache.insert(Route::new(Prefix::new(bits, len), NextHop(0)));
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+        // Population can never exceed insertions minus evictions
+        // (refreshing insertions add no population).
+        prop_assert!(cache.len() as u64 <= s.insertions - s.evictions);
+        prop_assert!(cache.len() <= 4);
+        prop_assert_eq!(cache.iter().count(), cache.len());
+    }
+
+    /// RRC-ME output covers the address, stays inside the match, resolves
+    /// uniformly across its region, and is minimal.
+    #[test]
+    fn rrc_me_invariants(
+        routes in prop::collection::vec((any::<u32>(), 0u8..=10, 0u16..3), 1..30),
+        addr in any::<u32>(),
+    ) {
+        let trie: Trie<NextHop> = routes
+            .iter()
+            .map(|&(bits, len, nh)| (Prefix::new(bits, len), NextHop(nh)))
+            .collect();
+        let lpm = trie.lookup(addr).map(|(p, &nh)| (p, nh));
+        let me = rrc_me(&trie, addr);
+        prop_assert_eq!(me.is_some(), lpm.is_some());
+        let (Some(me), Some((lpm_prefix, lpm_nh))) = (me, lpm) else { return Ok(()); };
+
+        // Covers the address, carries the LPM's next hop, sits within it.
+        prop_assert!(me.route.prefix.contains_addr(addr));
+        prop_assert_eq!(me.route.next_hop, lpm_nh);
+        prop_assert!(lpm_prefix.contains(me.route.prefix));
+
+        // Uniform: no stored route sits strictly inside the region.
+        for &(bits, len, _) in &routes {
+            let p = Prefix::new(bits, len);
+            if trie.contains_prefix(p) && me.route.prefix.contains(p) {
+                prop_assert_eq!(p, lpm_prefix, "route {} inside ME region", p);
+            }
+        }
+
+        // Minimal: one level up, the region either escapes the LPM or
+        // contains a conflicting route.
+        if me.route.prefix != lpm_prefix {
+            let parent = me.route.prefix.parent().unwrap();
+            let parent_clean = routes.iter().all(|&(bits, len, _)| {
+                let p = Prefix::new(bits, len);
+                !(trie.contains_prefix(p) && parent.contains(p) && p != parent)
+            });
+            prop_assert!(
+                !parent_clean || !lpm_prefix.contains(parent) || parent == lpm_prefix,
+                "parent region {} was also cacheable",
+                parent
+            );
+        }
+    }
+}

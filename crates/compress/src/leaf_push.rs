@@ -1,0 +1,125 @@
+//! Controlled leaf-pushing (prefix expansion).
+//!
+//! Leaf-pushing (Srinivasan & Varghese, TOCS 1999) is the prior technique
+//! the paper cites as the only one that fully eliminates prefix overlap —
+//! at the cost of *expanding* the table: every covering route is pushed
+//! down to the disjoint leaf regions it actually owns, with no merging on
+//! the way back up. ONRTC dominates it (same non-overlap property,
+//! provably minimal size); this module exists as that baseline.
+
+use clue_fib::{Bit, NextHop, NodeRef, Prefix, Route, RouteTable};
+
+/// Fully expands `table` into disjoint leaf prefixes.
+///
+/// The output has identical LPM semantics and is non-overlapping, but is
+/// at least as large as [`crate::onrtc`]'s output and usually much larger
+/// than the input.
+///
+/// # Examples
+///
+/// ```
+/// use clue_compress::{leaf_push, onrtc};
+/// use clue_fib::{NextHop, RouteTable};
+///
+/// let mut fib = RouteTable::new();
+/// fib.insert("0.0.0.0/1".parse()?, NextHop(1));
+/// fib.insert("0.0.0.0/3".parse()?, NextHop(2));
+/// let pushed = leaf_push(&fib);
+/// assert!(pushed.is_non_overlapping());
+/// assert!(pushed.len() >= onrtc(&fib).len());
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[must_use]
+pub fn leaf_push(table: &RouteTable) -> RouteTable {
+    let trie = table.to_trie();
+    let mut out = Vec::new();
+    push(Some(trie.root()), Prefix::root(), None, &mut out);
+    out.into_iter().collect()
+}
+
+fn push(
+    node: Option<NodeRef<'_, NextHop>>,
+    prefix: Prefix,
+    inherited: Option<NextHop>,
+    out: &mut Vec<Route>,
+) {
+    let Some(n) = node else {
+        if let Some(nh) = inherited {
+            out.push(Route::new(prefix, nh));
+        }
+        return;
+    };
+    let effective = n.value().copied().or(inherited);
+    if n.is_leaf() {
+        if let Some(nh) = effective {
+            out.push(Route::new(prefix, nh));
+        }
+        return;
+    }
+    let lp = prefix.child(Bit::Zero).expect("non-leaf node is not a /32");
+    let rp = prefix.child(Bit::One).expect("non-leaf node is not a /32");
+    push(n.child(Bit::Zero), lp, effective, out);
+    push(n.child(Bit::One), rp, effective, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onrtc;
+
+    fn table(routes: &[(&str, u16)]) -> RouteTable {
+        routes
+            .iter()
+            .map(|&(p, nh)| (p.parse().unwrap(), NextHop(nh)))
+            .collect()
+    }
+
+    fn lookup(t: &RouteTable, addr: u32) -> Option<NextHop> {
+        t.to_trie().lookup(addr).map(|(_, &nh)| nh)
+    }
+
+    #[test]
+    fn disjoint_table_passes_through() {
+        let t = table(&[("10.0.0.0/8", 1), ("11.0.0.0/8", 2)]);
+        assert_eq!(leaf_push(&t), t);
+    }
+
+    #[test]
+    fn covering_route_is_pushed_around_specifics() {
+        let t = table(&[("128.0.0.0/1", 1), ("128.0.0.0/3", 2)]);
+        let p = leaf_push(&t);
+        assert!(p.is_non_overlapping());
+        assert_eq!(lookup(&p, 0x8100_0000), Some(NextHop(2)));
+        assert_eq!(lookup(&p, 0xA100_0000), Some(NextHop(1)));
+        assert_eq!(lookup(&p, 0x0100_0000), None);
+    }
+
+    #[test]
+    fn expansion_exceeds_onrtc() {
+        // Sibling /9s with the same hop: leaf-push keeps both (no
+        // merging), ONRTC collapses them.
+        let t = table(&[("10.0.0.0/9", 5), ("10.128.0.0/9", 5)]);
+        assert_eq!(leaf_push(&t).len(), 2);
+        assert_eq!(onrtc(&t).len(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        assert!(leaf_push(&RouteTable::new()).is_empty());
+    }
+
+    #[test]
+    fn semantics_preserved_on_nested_chain() {
+        let t = table(&[
+            ("0.0.0.0/0", 1),
+            ("128.0.0.0/1", 2),
+            ("192.0.0.0/2", 3),
+            ("224.0.0.0/3", 4),
+        ]);
+        let p = leaf_push(&t);
+        assert!(p.is_non_overlapping());
+        for addr in [0x0000_0001u32, 0x8000_0000, 0xC000_0000, 0xE000_0000, 0xFFFF_FFFF] {
+            assert_eq!(lookup(&p, addr), lookup(&t, addr), "addr {addr:#x}");
+        }
+    }
+}

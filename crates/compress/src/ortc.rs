@@ -1,0 +1,271 @@
+//! ORTC: Optimal Routing Table Construction (Draves et al., INFOCOM 1999).
+//!
+//! ORTC produces the smallest *general* (overlapping allowed) table with
+//! the same forwarding behaviour. It compresses harder than ONRTC but its
+//! output needs everything CLUE wants to avoid: length-ordered TCAM
+//! layout, a priority encoder, and domino-effect updates. It is kept here
+//! as the ablation baseline for that trade-off.
+//!
+//! Actions are `Option<NextHop>` where `None` is an explicit "miss"
+//! entry. For inputs whose original table covers the whole address space
+//! (e.g. a default route exists) no miss entries appear and this is the
+//! textbook algorithm; otherwise miss entries are real null routes a
+//! priority-encoder TCAM would need in order to preserve holes under a
+//! covering route, and they are counted in [`OrtcTable::len`].
+
+use clue_fib::{Bit, NextHop, NodeRef, Prefix, RouteTable, Trie};
+
+/// A forwarding action in an ORTC table: forward, or explicit miss.
+pub type Action = Option<NextHop>;
+
+/// The output of [`ortc`]: a possibly overlapping table of
+/// `(prefix, action)` entries resolved by longest-prefix match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrtcTable {
+    entries: Vec<(Prefix, Action)>,
+}
+
+impl OrtcTable {
+    /// All entries, including explicit-miss entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(Prefix, Action)] {
+        &self.entries
+    }
+
+    /// Total entry count (forwarding + miss entries).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of explicit-miss (null-route) entries.
+    #[must_use]
+    pub fn miss_entries(&self) -> usize {
+        self.entries.iter().filter(|(_, a)| a.is_none()).count()
+    }
+
+    /// Longest-prefix-match lookup honouring explicit-miss entries.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<NextHop> {
+        // Reference implementation (linear in table size) — benchmarks use
+        // the TCAM model instead.
+        let mut best: Option<(Prefix, Action)> = None;
+        for &(p, a) in &self.entries {
+            if p.contains_addr(addr) && best.is_none_or(|(bp, _)| p.len() > bp.len()) {
+                best = Some((p, a));
+            }
+        }
+        best.and_then(|(_, a)| a)
+    }
+
+    /// Converts to a trie of actions (used by tests and the TCAM loader).
+    #[must_use]
+    pub fn to_trie(&self) -> Trie<Action> {
+        self.entries.iter().copied().collect()
+    }
+}
+
+/// Meld operator from the paper: intersection if non-empty, else union.
+/// Operands and result are sorted, deduplicated action sets.
+fn meld(a: &[Action], b: &[Action]) -> Vec<Action> {
+    let mut inter: Vec<Action> = a.iter().filter(|x| b.contains(x)).copied().collect();
+    if !inter.is_empty() {
+        return inter;
+    }
+    inter = a.to_vec();
+    inter.extend_from_slice(b);
+    inter.sort_unstable();
+    inter.dedup();
+    inter
+}
+
+/// The normalized meld tree built by passes 1–2.
+struct MeldTree {
+    set: Vec<Action>,
+    kids: Option<Box<[MeldTree; 2]>>,
+}
+
+/// Passes 1–2: normalize (push inherited actions to leaves) and compute
+/// candidate action sets bottom-up.
+fn build(node: Option<NodeRef<'_, NextHop>>, inherited: Action) -> MeldTree {
+    let Some(n) = node else {
+        return MeldTree {
+            set: vec![inherited],
+            kids: None,
+        };
+    };
+    let effective = n.value().copied().or(inherited);
+    if n.is_leaf() {
+        return MeldTree {
+            set: vec![effective],
+            kids: None,
+        };
+    }
+    let l = build(n.child(Bit::Zero), effective);
+    let r = build(n.child(Bit::One), effective);
+    MeldTree {
+        set: meld(&l.set, &r.set),
+        kids: Some(Box::new([l, r])),
+    }
+}
+
+/// Pass 3: walk top-down choosing actions; emit an entry wherever the
+/// inherited choice is not in the node's candidate set.
+fn assign(
+    t: &MeldTree,
+    prefix: Prefix,
+    choice: Option<Action>,
+    out: &mut Vec<(Prefix, Action)>,
+) {
+    let effective = match choice {
+        Some(c) if t.set.contains(&c) => c,
+        _ => {
+            let pick = t.set[0];
+            out.push((prefix, pick));
+            pick
+        }
+    };
+    if let Some(kids) = &t.kids {
+        let lp = prefix.child(Bit::Zero).expect("meld tree respects depth");
+        let rp = prefix.child(Bit::One).expect("meld tree respects depth");
+        assign(&kids[0], lp, Some(effective), out);
+        assign(&kids[1], rp, Some(effective), out);
+    }
+}
+
+/// Compresses `table` into the optimal general (overlapping) table.
+///
+/// # Examples
+///
+/// ```
+/// use clue_compress::ortc;
+/// use clue_fib::{NextHop, RouteTable};
+///
+/// let mut fib = RouteTable::new();
+/// fib.insert("0.0.0.0/0".parse()?, NextHop(1));
+/// fib.insert("0.0.0.0/1".parse()?, NextHop(1));
+/// fib.insert("128.0.0.0/1".parse()?, NextHop(2));
+/// let t = ortc(&fib);
+/// assert_eq!(t.len(), 2); // {0/0→1, 128/1→2}
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[must_use]
+pub fn ortc(table: &RouteTable) -> OrtcTable {
+    let trie = table.to_trie();
+    if trie.is_empty() {
+        return OrtcTable {
+            entries: Vec::new(),
+        };
+    }
+    let meld_tree = build(Some(trie.root()), None);
+    let mut entries = Vec::new();
+    assign(&meld_tree, Prefix::root(), None, &mut entries);
+    // A root-level explicit miss is meaningless (absence of entries
+    // already means miss) — drop it.
+    entries.retain(|&(p, a)| !(p.is_root() && a.is_none()));
+    OrtcTable { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onrtc;
+
+    fn table(routes: &[(&str, u16)]) -> RouteTable {
+        routes
+            .iter()
+            .map(|&(p, nh)| (p.parse().unwrap(), NextHop(nh)))
+            .collect()
+    }
+
+    fn ref_lookup(t: &RouteTable, addr: u32) -> Option<NextHop> {
+        t.to_trie().lookup(addr).map(|(_, &nh)| nh)
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(ortc(&RouteTable::new()).is_empty());
+    }
+
+    #[test]
+    fn paper_style_merge() {
+        // Classic ORTC win: two siblings, one matching the default — the
+        // sibling that agrees with the parent choice vanishes.
+        let t = table(&[("0.0.0.0/0", 1), ("0.0.0.0/1", 1), ("128.0.0.0/1", 2)]);
+        let o = ortc(&t);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.lookup(0x0000_0001), Some(NextHop(1)));
+        assert_eq!(o.lookup(0x8000_0001), Some(NextHop(2)));
+    }
+
+    #[test]
+    fn ortc_never_larger_than_input_or_onrtc() {
+        let t = table(&[
+            ("10.0.0.0/8", 1),
+            ("10.0.0.0/9", 2),
+            ("10.128.0.0/9", 2),
+            ("11.0.0.0/8", 2),
+            ("12.0.0.0/8", 1),
+        ]);
+        let o = ortc(&t);
+        assert!(o.len() <= t.len());
+        assert!(o.len() <= onrtc(&t).len());
+    }
+
+    #[test]
+    fn miss_entries_preserve_holes() {
+        // 10/8→1 with an *uncovered* hole cannot be expressed by dropping
+        // entries: ORTC must either avoid covering the hole or emit an
+        // explicit miss. Either way lookups agree with the original.
+        let t = table(&[("10.0.0.0/8", 1), ("10.0.0.0/16", 1)]);
+        let o = ortc(&t);
+        assert_eq!(o.lookup(0x0A00_0001), Some(NextHop(1)));
+        assert_eq!(o.lookup(0x0B00_0001), None);
+    }
+
+    #[test]
+    fn meld_prefers_intersection() {
+        let a = vec![Some(NextHop(1)), Some(NextHop(2))];
+        let b = vec![Some(NextHop(2)), Some(NextHop(3))];
+        assert_eq!(meld(&a, &b), vec![Some(NextHop(2))]);
+        let c = vec![Some(NextHop(4))];
+        let mut u = meld(&b, &c);
+        u.sort_unstable();
+        assert_eq!(
+            u,
+            vec![Some(NextHop(2)), Some(NextHop(3)), Some(NextHop(4))]
+        );
+    }
+
+    #[test]
+    fn equivalence_on_dense_small_universe() {
+        // Exhaustively check the top 8 bits of the address space against
+        // the reference trie for a table of short prefixes.
+        let t = table(&[
+            ("0.0.0.0/0", 7),
+            ("0.0.0.0/2", 1),
+            ("64.0.0.0/3", 2),
+            ("64.0.0.0/5", 1),
+            ("128.0.0.0/1", 3),
+            ("192.0.0.0/4", 7),
+        ]);
+        let o = ortc(&t);
+        for hi in 0u32..=255 {
+            let addr = hi << 24;
+            assert_eq!(o.lookup(addr), ref_lookup(&t, addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn full_coverage_input_has_no_miss_entries() {
+        let t = table(&[("0.0.0.0/0", 1), ("10.0.0.0/8", 2), ("10.64.0.0/10", 3)]);
+        let o = ortc(&t);
+        assert_eq!(o.miss_entries(), 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Dynamic-redundancy maintenance schemes.
+//!
+//! All three load-balancing redundancy designs from the paper live
+//! behind [`RedundancyScheme`]:
+//!
+//! * [`DredConfig::Clue`] — the paper's contribution. A home-TCAM match
+//!   is, after ONRTC, itself a cacheable region, so the *data plane*
+//!   inserts it straight into the other `N − 1` DReds; DRed *i* never
+//!   stores chip *i*'s prefixes (they can never be queried there), which
+//!   is where the "3/4 of the redundancy for the same hit rate" saving
+//!   comes from. Zero control-plane interactions, zero SRAM walks.
+//! * [`DredConfig::Clpl`] — Lin et al.'s logical caches. The matched
+//!   prefix may be un-cacheable (overlap), so the address goes to the
+//!   **control plane**, RRC-ME walks the SRAM trie, and the resulting
+//!   minimal-expansion prefix is installed in *all* `N` caches.
+//! * [`DredConfig::SlplStatic`] — Zheng et al.'s statically provisioned
+//!   redundancy: the top prefixes of a long-term profile, never updated
+//!   at run time (the design burstiness defeats).
+
+use clue_cache::{rrc_me, LruPrefixCache};
+use clue_fib::{NextHop, Route, Trie};
+
+/// Which redundancy scheme an engine runs.
+#[derive(Debug, Clone)]
+pub enum DredConfig {
+    /// CLUE's DRed: data-plane fill into the other `N − 1` DReds.
+    Clue {
+        /// Per-DRed capacity in prefixes.
+        capacity: usize,
+        /// Skip DRed *i* when filling from chip *i* (the paper's rule;
+        /// set to `false` only for the ablation in Figure 17).
+        exclude_home: bool,
+    },
+    /// CLPL's logical caches: control-plane RRC-ME fill into all `N`.
+    Clpl {
+        /// Per-cache capacity in prefixes.
+        capacity: usize,
+        /// SRAM copy of the (overlapping) table RRC-ME walks.
+        sram_trie: Trie<NextHop>,
+    },
+    /// SLPL's static redundancy: a fixed prefix set in every chip.
+    SlplStatic {
+        /// The statically provisioned routes (same set per chip).
+        routes: Vec<Route>,
+    },
+}
+
+impl DredConfig {
+    /// Builds SLPL's static redundancy the way Zheng et al. provision
+    /// it: profile a long-term trace against the table and replicate the
+    /// `budget` most popular prefixes into every chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    #[must_use]
+    pub fn slpl_from_profile(table: &Trie<NextHop>, trace: &[u32], budget: usize) -> Self {
+        assert!(budget > 0, "static redundancy needs a budget");
+        let mut counts: std::collections::HashMap<clue_fib::Prefix, (u64, NextHop)> =
+            std::collections::HashMap::new();
+        for &addr in trace {
+            if let Some((p, &nh)) = table.lookup(addr) {
+                counts.entry(p).or_insert((0, nh)).0 += 1;
+            }
+        }
+        let mut ranked: Vec<_> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(_, (n, _))| std::cmp::Reverse(n));
+        DredConfig::SlplStatic {
+            routes: ranked
+                .into_iter()
+                .take(budget)
+                .map(|(p, (_, nh))| Route::new(p, nh))
+                .collect(),
+        }
+    }
+}
+
+/// Counters separating the data-plane/control-plane story.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// DRed lookups that hit.
+    pub hits: u64,
+    /// DRed lookups that missed.
+    pub misses: u64,
+    /// Prefixes installed into DReds/caches.
+    pub fills: u64,
+    /// Round trips to the control plane (CLUE: always 0).
+    pub control_plane_interactions: u64,
+    /// SRAM trie nodes visited by RRC-ME (CLUE: always 0).
+    pub sram_accesses: u64,
+}
+
+impl SchemeStats {
+    /// DRed hit rate over all lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A running redundancy scheme with per-chip storage.
+#[derive(Debug)]
+pub struct RedundancyScheme {
+    kind: Kind,
+    stats: SchemeStats,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Clue {
+        dreds: Vec<LruPrefixCache>,
+        exclude_home: bool,
+    },
+    Clpl {
+        caches: Vec<LruPrefixCache>,
+        sram_trie: Trie<NextHop>,
+    },
+    SlplStatic {
+        tries: Vec<Trie<NextHop>>,
+    },
+}
+
+impl RedundancyScheme {
+    /// Instantiates the scheme for `chips` chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips == 0` or a dynamic scheme has zero capacity.
+    #[must_use]
+    pub fn new(config: DredConfig, chips: usize) -> Self {
+        assert!(chips > 0, "need at least one chip");
+        let kind = match config {
+            DredConfig::Clue {
+                capacity,
+                exclude_home,
+            } => Kind::Clue {
+                dreds: (0..chips).map(|_| LruPrefixCache::new(capacity)).collect(),
+                exclude_home,
+            },
+            DredConfig::Clpl {
+                capacity,
+                sram_trie,
+            } => Kind::Clpl {
+                caches: (0..chips).map(|_| LruPrefixCache::new(capacity)).collect(),
+                sram_trie,
+            },
+            DredConfig::SlplStatic { routes } => {
+                let trie: Trie<NextHop> = routes
+                    .iter()
+                    .map(|r| (r.prefix, r.next_hop))
+                    .collect();
+                Kind::SlplStatic {
+                    tries: vec![trie; chips],
+                }
+            }
+        };
+        RedundancyScheme {
+            kind,
+            stats: SchemeStats::default(),
+        }
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = SchemeStats::default();
+    }
+
+    /// Looks `addr` up in chip `chip`'s redundancy storage.
+    pub fn lookup(&mut self, chip: usize, addr: u32) -> Option<NextHop> {
+        let result = match &mut self.kind {
+            Kind::Clue { dreds, .. } => dreds[chip].lookup(addr),
+            Kind::Clpl { caches, .. } => caches[chip].lookup(addr),
+            Kind::SlplStatic { tries } => tries[chip].lookup(addr).map(|(_, &nh)| nh),
+        };
+        if result.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        result
+    }
+
+    /// Notifies the scheme that a DRed-missed packet was resolved by its
+    /// home chip `home`, matching `route` for `addr` — the fill trigger.
+    pub fn on_miss_resolved(&mut self, home: usize, addr: u32, route: Route) {
+        match &mut self.kind {
+            Kind::Clue {
+                dreds,
+                exclude_home,
+            } => {
+                // Data plane: the matched (non-overlapping) prefix is
+                // cacheable as-is. DRed `home` is skipped under the
+                // paper's rule.
+                for (i, dred) in dreds.iter_mut().enumerate() {
+                    if *exclude_home && i == home {
+                        continue;
+                    }
+                    dred.insert(route);
+                    self.stats.fills += 1;
+                }
+            }
+            Kind::Clpl { caches, sram_trie } => {
+                // Control plane: RRC-ME over the SRAM trie, then install
+                // in every logical cache (including the home's — wasted
+                // space, but CLPL cannot know better).
+                self.stats.control_plane_interactions += 1;
+                let Some(me) = rrc_me(sram_trie, addr) else {
+                    return;
+                };
+                self.stats.sram_accesses += u64::from(me.sram_accesses);
+                for cache in caches.iter_mut() {
+                    cache.insert(me.route);
+                    self.stats.fills += 1;
+                }
+            }
+            Kind::SlplStatic { .. } => {
+                // Static redundancy never adapts.
+            }
+        }
+    }
+
+    /// Total prefixes currently stored across all chips (the redundancy
+    /// footprint compared in Figure 17 / the 3/4 claim).
+    #[must_use]
+    pub fn stored_entries(&self) -> usize {
+        match &self.kind {
+            Kind::Clue { dreds, .. } => dreds.iter().map(LruPrefixCache::len).sum(),
+            Kind::Clpl { caches, .. } => caches.iter().map(LruPrefixCache::len).sum(),
+            Kind::SlplStatic { tries } => tries.iter().map(Trie::len).sum(),
+        }
+    }
+
+    /// Prefixes currently stored in chip `chip`'s redundancy partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    #[must_use]
+    pub fn stored_on(&self, chip: usize) -> usize {
+        match &self.kind {
+            Kind::Clue { dreds, .. } => dreds[chip].len(),
+            Kind::Clpl { caches, .. } => caches[chip].len(),
+            Kind::SlplStatic { tries } => tries[chip].len(),
+        }
+    }
+
+    /// Whether chip `chip`'s storage contains `route.prefix` (test hook).
+    #[must_use]
+    pub fn contains(&self, chip: usize, route: Route) -> bool {
+        match &self.kind {
+            Kind::Clue { dreds, .. } => dreds[chip].contains(route.prefix),
+            Kind::Clpl { caches, .. } => caches[chip].contains(route.prefix),
+            Kind::SlplStatic { tries } => tries[chip].contains_prefix(route.prefix),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::Prefix;
+
+    fn route(s: &str, nh: u16) -> Route {
+        Route::new(s.parse().unwrap(), NextHop(nh))
+    }
+
+    #[test]
+    fn clue_fill_skips_home_dred() {
+        let mut s = RedundancyScheme::new(
+            DredConfig::Clue {
+                capacity: 8,
+                exclude_home: true,
+            },
+            4,
+        );
+        let r = route("10.0.0.0/8", 1);
+        s.on_miss_resolved(2, 0x0A00_0001, r);
+        for chip in 0..4 {
+            assert_eq!(s.contains(chip, r), chip != 2);
+        }
+        assert_eq!(s.stats().fills, 3);
+        assert_eq!(s.stats().control_plane_interactions, 0);
+        assert_eq!(s.stats().sram_accesses, 0);
+        // The 3/4 storage claim in miniature.
+        assert_eq!(s.stored_entries(), 3);
+    }
+
+    #[test]
+    fn clue_without_exclusion_fills_all() {
+        let mut s = RedundancyScheme::new(
+            DredConfig::Clue {
+                capacity: 8,
+                exclude_home: false,
+            },
+            4,
+        );
+        s.on_miss_resolved(2, 0x0A00_0001, route("10.0.0.0/8", 1));
+        assert_eq!(s.stored_entries(), 4);
+    }
+
+    #[test]
+    fn clpl_fill_goes_through_control_plane() {
+        let mut trie = Trie::new();
+        trie.insert("128.0.0.0/1".parse::<Prefix>().unwrap(), NextHop(1));
+        trie.insert("160.0.0.0/3".parse::<Prefix>().unwrap(), NextHop(2));
+        let mut s = RedundancyScheme::new(
+            DredConfig::Clpl {
+                capacity: 8,
+                sram_trie: trie,
+            },
+            4,
+        );
+        // TCAM matched 1* for 100…; RRC-ME must install 100* instead.
+        s.on_miss_resolved(0, 0x8000_0001, route("128.0.0.0/1", 1));
+        assert_eq!(s.stats().control_plane_interactions, 1);
+        assert!(s.stats().sram_accesses > 0);
+        assert_eq!(s.stats().fills, 4); // all caches, home included
+        for chip in 0..4 {
+            assert_eq!(s.lookup(chip, 0x8000_0001), Some(NextHop(1)));
+            // The expansion, not the raw match, was cached.
+            assert!(!s.contains(chip, route("128.0.0.0/1", 1)));
+        }
+    }
+
+    #[test]
+    fn slpl_static_never_adapts() {
+        let mut s = RedundancyScheme::new(
+            DredConfig::SlplStatic {
+                routes: vec![route("10.0.0.0/8", 1)],
+            },
+            2,
+        );
+        assert_eq!(s.lookup(0, 0x0A00_0001), Some(NextHop(1)));
+        assert_eq!(s.lookup(1, 0x0B00_0001), None);
+        s.on_miss_resolved(0, 0x0B00_0001, route("11.0.0.0/8", 2));
+        assert_eq!(s.lookup(1, 0x0B00_0001), None, "static set must not grow");
+        assert_eq!(s.stats().fills, 0);
+    }
+
+    #[test]
+    fn slpl_profile_keeps_the_hottest_prefixes() {
+        let mut trie = Trie::new();
+        trie.insert("10.0.0.0/8".parse::<Prefix>().unwrap(), NextHop(1));
+        trie.insert("11.0.0.0/8".parse::<Prefix>().unwrap(), NextHop(2));
+        trie.insert("12.0.0.0/8".parse::<Prefix>().unwrap(), NextHop(3));
+        // 10/8 is hot, 11/8 lukewarm, 12/8 cold.
+        let mut trace = vec![0x0A00_0001u32; 10];
+        trace.extend([0x0B00_0001; 3]);
+        trace.push(0x0C00_0001);
+        let cfg = DredConfig::slpl_from_profile(&trie, &trace, 2);
+        let DredConfig::SlplStatic { routes } = cfg else {
+            panic!("wrong config kind");
+        };
+        let prefixes: Vec<String> = routes.iter().map(|r| r.prefix.to_string()).collect();
+        assert_eq!(prefixes, vec!["10.0.0.0/8", "11.0.0.0/8"]);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut s = RedundancyScheme::new(
+            DredConfig::SlplStatic {
+                routes: vec![route("10.0.0.0/8", 1)],
+            },
+            1,
+        );
+        s.lookup(0, 0x0A00_0001); // hit
+        s.lookup(0, 0x0B00_0001); // miss
+        s.lookup(0, 0x0A00_0002); // hit
+        assert!((s.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,301 @@
+//! Measurement utilities: histograms and percentile summaries.
+//!
+//! The paper reports min/mean/max for its TTF series and per-chip bars
+//! for load; a reproduction should also expose tails (p99 queueing
+//! latency is what a linecard actually provisions for). [`Histogram`]
+//! is a log-bucketed counter good for nanosecond-to-millisecond ranges;
+//! [`Summary`] is an exact small-sample percentile helper used by the
+//! bench harnesses.
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` (bucket 0 covers `[0, 2)`), so
+/// relative error is bounded by 2× — plenty for latency reporting.
+///
+/// # Examples
+///
+/// ```
+/// use clue_core::metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.5) >= 2);
+/// assert!(h.quantile(1.0) >= 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()).saturating_sub(1) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (exact).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (exact).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the lower bound of the bucket
+    /// containing the q-th sample (within 2× of the true value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
+    }
+}
+
+/// Exact percentile summary over an owned sample set (bench-side).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are not NaN"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact percentile by nearest-rank (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]` or a sample is NaN.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1);
+        self.samples[rank - 1]
+    }
+
+    /// `(min, p50, p99, max, mean)` in one call.
+    pub fn digest(&mut self) -> (f64, f64, f64, f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        self.ensure_sorted();
+        (
+            self.samples[0],
+            self.quantile(0.5),
+            self.quantile(0.99),
+            *self.samples.last().expect("non-empty"),
+            self.mean(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 25.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_2x() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((250..=512).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((512..=1024).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_empty_is_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn histogram_rejects_bad_quantile() {
+        let _ = Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn summary_exact_percentiles() {
+        let mut s = Summary::new();
+        for v in (1..=100).rev() {
+            s.record(f64::from(v));
+        }
+        assert_eq!(s.quantile(0.5), 50.0);
+        assert_eq!(s.quantile(0.99), 99.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        let (min, p50, p99, max, mean) = s.digest();
+        assert_eq!((min, p50, p99, max), (1.0, 50.0, 99.0, 100.0));
+        assert!((mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_digest() {
+        assert_eq!(Summary::new().digest(), (0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Output reorder buffer (Step III of Figure 1).
+//!
+//! The load balancer may complete packets out of order — DRed hits
+//! overtake packets queued at a busy home chip, and bounced packets fall
+//! behind. Step III therefore tags each packet with a sequence number;
+//! this buffer restores arrival order at the output, which is what a
+//! real linecard must do to avoid TCP reordering penalties downstream.
+//!
+//! The buffer holds completions whose predecessors are still in flight.
+//! Its high-water mark measures how much reordering the balancing
+//! actually causes (reported alongside the Figure 15/16 runs).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A sequence-number reorder buffer.
+///
+/// Push completions in any order; pop them in strict tag order. Dropped
+/// packets are declared with [`skip`](ReorderBuffer::skip) so the stream
+/// does not stall waiting for them.
+///
+/// # Examples
+///
+/// ```
+/// use clue_core::reorder::ReorderBuffer;
+///
+/// let mut buf: ReorderBuffer<&str> = ReorderBuffer::new();
+/// assert_eq!(buf.push(1, "b"), Vec::<&str>::new()); // tag 0 missing
+/// assert_eq!(buf.push(0, "a"), vec!["a", "b"]);     // both release
+/// assert_eq!(buf.push(2, "c"), vec!["c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer<T> {
+    pending: BTreeMap<u64, T>,
+    skipped: BTreeSet<u64>,
+    next: u64,
+    high_water: usize,
+    released: u64,
+}
+
+impl<T> Default for ReorderBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReorderBuffer<T> {
+    /// Creates an empty buffer expecting tag 0 first.
+    #[must_use]
+    pub fn new() -> Self {
+        ReorderBuffer {
+            pending: BTreeMap::new(),
+            skipped: BTreeSet::new(),
+            next: 0,
+            high_water: 0,
+            released: 0,
+        }
+    }
+
+    fn drain_ready(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        loop {
+            if let Some(item) = self.pending.remove(&self.next) {
+                out.push(item);
+                self.released += 1;
+                self.next += 1;
+            } else if self.skipped.remove(&self.next) {
+                self.next += 1;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Accepts the completion for `tag` and returns every item that is
+    /// now in-order deliverable (possibly empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` was already delivered, skipped, or is currently
+    /// buffered — tags are unique by construction.
+    pub fn push(&mut self, tag: u64, item: T) -> Vec<T> {
+        assert!(tag >= self.next, "tag {tag} already released");
+        assert!(!self.skipped.contains(&tag), "tag {tag} was skipped");
+        let clash = self.pending.insert(tag, item);
+        assert!(clash.is_none(), "tag {tag} pushed twice");
+        self.high_water = self.high_water.max(self.pending.len());
+        self.drain_ready()
+    }
+
+    /// Declares `tag` lost (the packet was dropped) so later tags are
+    /// not held up waiting for it. Returns items released by the skip.
+    /// Idempotent for already-released tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a completion for `tag` is currently buffered.
+    pub fn skip(&mut self, tag: u64) -> Vec<T> {
+        if tag < self.next {
+            return Vec::new();
+        }
+        assert!(
+            !self.pending.contains_key(&tag),
+            "tag {tag} completed; cannot skip it"
+        );
+        self.skipped.insert(tag);
+        self.drain_ready()
+    }
+
+    /// Completions waiting for a predecessor.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Largest number of completions ever buffered at once.
+    #[must_use]
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+
+    /// Items delivered in order so far.
+    #[must_use]
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// The tag the output is waiting for.
+    #[must_use]
+    pub fn next_tag(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_passes_straight_through() {
+        let mut buf = ReorderBuffer::new();
+        for tag in 0..10u64 {
+            let out = buf.push(tag, tag);
+            assert_eq!(out, vec![tag]);
+        }
+        assert_eq!(buf.pending(), 0);
+        assert_eq!(buf.high_water_mark(), 1);
+        assert_eq!(buf.released(), 10);
+    }
+
+    #[test]
+    fn reversed_burst_releases_at_once() {
+        let mut buf = ReorderBuffer::new();
+        for tag in (1..5u64).rev() {
+            assert!(buf.push(tag, tag).is_empty());
+        }
+        assert_eq!(buf.pending(), 4);
+        let out = buf.push(0, 0);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(buf.high_water_mark(), 5);
+    }
+
+    #[test]
+    fn skip_at_head_unblocks_the_stream() {
+        let mut buf = ReorderBuffer::new();
+        assert!(buf.push(1, "b").is_empty());
+        // Tag 0 was dropped at admission.
+        assert_eq!(buf.skip(0), vec!["b"]);
+        assert_eq!(buf.next_tag(), 2);
+        // Skipping an already-released tag is a no-op.
+        assert!(buf.skip(0).is_empty());
+    }
+
+    #[test]
+    fn skip_of_future_tag_does_not_stall_later() {
+        let mut buf = ReorderBuffer::new();
+        // Packet 2 dropped while 0 and 1 are still in flight.
+        assert!(buf.skip(2).is_empty());
+        assert_eq!(buf.push(0, 0), vec![0]);
+        // Releasing 1 must hop over the skipped 2.
+        assert_eq!(buf.push(1, 1), vec![1]);
+        assert_eq!(buf.next_tag(), 3);
+        assert_eq!(buf.push(3, 3), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn duplicate_tag_panics() {
+        let mut buf = ReorderBuffer::new();
+        let _ = buf.push(5, ());
+        let _ = buf.push(5, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "already released")]
+    fn stale_tag_panics() {
+        let mut buf = ReorderBuffer::new();
+        let _ = buf.push(0, ());
+        let _ = buf.push(0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot skip")]
+    fn skipping_a_buffered_completion_panics() {
+        let mut buf = ReorderBuffer::new();
+        let _ = buf.push(3, ());
+        let _ = buf.skip(3);
+    }
+
+    #[test]
+    fn interleaved_pattern() {
+        let mut buf = ReorderBuffer::new();
+        assert_eq!(buf.push(0, 0), vec![0]);
+        assert!(buf.push(2, 2).is_empty());
+        assert!(buf.push(4, 4).is_empty());
+        assert_eq!(buf.push(1, 1), vec![1, 2]);
+        assert_eq!(buf.push(3, 3), vec![3, 4]);
+        assert_eq!(buf.released(), 5);
+    }
+}

@@ -1,0 +1,98 @@
+//! The lower-bound analysis of Section III-D.
+//!
+//! In the worst case all traffic targets one TCAM; the other `N − 1`
+//! chips contribute only through their DReds. With DRed hit rate `h`,
+//! the achievable speedup factor is
+//!
+//! ```text
+//! t = (N − 1)·h + 1
+//! ```
+//!
+//! and sustaining `t ≥ N − 1` requires `h ≥ (N − 2)/(N − 1)`. Real
+//! traffic always does at least this well (Figure 16), which is what the
+//! engine integration tests assert.
+
+/// Worst-case speedup factor for `n` chips at DRed hit rate `h`
+/// (equation (5) of the paper).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `h ∉ [0, 1]`.
+#[must_use]
+pub fn worst_case_speedup(n: usize, h: f64) -> f64 {
+    assert!(n >= 2, "the parallel system needs at least two chips");
+    assert!((0.0..=1.0).contains(&h), "hit rate must be in [0, 1]");
+    (n as f64 - 1.0) * h + 1.0
+}
+
+/// Minimum DRed hit rate for the system to keep a speedup of `n − 1`
+/// in the worst case (equation (4)).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn required_hit_rate(n: usize) -> f64 {
+    assert!(n >= 2, "the parallel system needs at least two chips");
+    (n as f64 - 2.0) / (n as f64 - 1.0)
+}
+
+/// Solves equation (3) for the hit rate implied by an observed speedup:
+/// `h = (t − 1)/(N − 1)` — the inverse of [`worst_case_speedup`].
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn implied_hit_rate(n: usize, t: f64) -> f64 {
+    assert!(n >= 2, "the parallel system needs at least two chips");
+    (t - 1.0) / (n as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_hit_rate_gives_full_parallelism() {
+        assert!((worst_case_speedup(4, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_hit_rate_degenerates_to_one_chip() {
+        assert!((worst_case_speedup(4, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_chips_need_two_thirds() {
+        assert!((required_hit_rate(4) - 2.0 / 3.0).abs() < 1e-12);
+        // And that hit rate indeed yields t = N − 1.
+        let t = worst_case_speedup(4, required_hit_rate(4));
+        assert!((t - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implied_inverts_speedup() {
+        for &h in &[0.0, 0.3, 0.8, 1.0] {
+            let t = worst_case_speedup(8, h);
+            assert!((implied_hit_rate(8, t) - h).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_chip_system_needs_no_cache() {
+        assert_eq!(required_hit_rate(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_chip() {
+        let _ = worst_case_speedup(1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate")]
+    fn rejects_bad_hit_rate() {
+        let _ = worst_case_speedup(4, 1.5);
+    }
+}

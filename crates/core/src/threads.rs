@@ -1,0 +1,355 @@
+//! A real-thread validation of the parallel lookup engine.
+//!
+//! The clock-driven [`Engine`](crate::engine::Engine) models Figure 1's
+//! hardware; this module re-implements the same pipeline with actual
+//! concurrency — one OS thread per TCAM chip, bounded crossbeam channels
+//! as the FIFOs, shared DReds behind `parking_lot` mutexes, and a
+//! tag-ordered collector — so the architecture's behaviour (correct
+//! results under diversion and bouncing, load spreading) can be
+//! cross-checked outside the simulator, and raw software throughput can
+//! be benchmarked.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use clue_cache::LruPrefixCache;
+use clue_fib::{NextHop, Route, RouteTable, Trie};
+use clue_partition::{EvenRangePartition, Indexer};
+
+/// Configuration for the threaded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadedConfig {
+    /// Worker (chip) count.
+    pub chips: usize,
+    /// Bounded channel capacity (the FIFO of Figure 1).
+    pub fifo_capacity: usize,
+    /// Per-chip DRed capacity.
+    pub dred_capacity: usize,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            chips: 4,
+            fifo_capacity: 256,
+            dred_capacity: 1024,
+        }
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedReport {
+    /// Packets completed (all of them — the threaded engine blocks
+    /// instead of dropping).
+    pub completions: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Lookups served per worker.
+    pub serviced_per_chip: Vec<u64>,
+    /// Packets diverted off a full home FIFO.
+    pub diversions: u64,
+    /// DRed hits across all workers.
+    pub dred_hits: u64,
+    /// DRed misses (bounced home).
+    pub dred_misses: u64,
+}
+
+impl ThreadedReport {
+    /// Throughput in packets per second.
+    #[must_use]
+    pub fn pps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.completions as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+enum Job {
+    Home { addr: u32, tag: u64, bounced: bool },
+    Dred { addr: u32, tag: u64 },
+    Quit,
+}
+
+struct Shared {
+    dreds: Vec<Mutex<LruPrefixCache>>,
+    serviced: Vec<AtomicU64>,
+    dred_hits: AtomicU64,
+    dred_misses: AtomicU64,
+}
+
+/// Runs `trace` through a threaded CLUE engine built over the
+/// (non-overlapping) `table` and returns the report plus per-packet
+/// results in arrival order.
+///
+/// # Panics
+///
+/// Panics if `table` overlaps, is empty, or `cfg` is degenerate.
+#[must_use]
+pub fn run_threaded(
+    table: &RouteTable,
+    trace: &[u32],
+    cfg: ThreadedConfig,
+) -> (ThreadedReport, Vec<Option<NextHop>>) {
+    assert!(cfg.chips > 0 && cfg.fifo_capacity > 0 && cfg.dred_capacity > 0);
+    let parts = EvenRangePartition::split(table, cfg.chips);
+    let (buckets, index) = parts.into_parts();
+
+    let shared = Arc::new(Shared {
+        dreds: (0..cfg.chips)
+            .map(|_| Mutex::new(LruPrefixCache::new(cfg.dred_capacity)))
+            .collect(),
+        serviced: (0..cfg.chips).map(|_| AtomicU64::new(0)).collect(),
+        dred_hits: AtomicU64::new(0),
+        dred_misses: AtomicU64::new(0),
+    });
+
+    // Per-worker channels: a bounded "FIFO" for fresh work and an
+    // unbounded lane for bounced jobs (so bouncing can never deadlock).
+    let mut fifo_tx = Vec::new();
+    let mut fifo_rx = Vec::new();
+    let mut bounce_tx = Vec::new();
+    let mut bounce_rx = Vec::new();
+    for _ in 0..cfg.chips {
+        let (tx, rx) = bounded::<Job>(cfg.fifo_capacity);
+        fifo_tx.push(tx);
+        fifo_rx.push(rx);
+        let (tx, rx) = unbounded::<Job>();
+        bounce_tx.push(tx);
+        bounce_rx.push(rx);
+    }
+    let (done_tx, done_rx) = unbounded::<(u64, Option<NextHop>, usize)>();
+
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for chip in 0..cfg.chips {
+        let trie: Trie<NextHop> = buckets[chip]
+            .iter()
+            .map(|r| (r.prefix, r.next_hop))
+            .collect();
+        let shared = Arc::clone(&shared);
+        let my_fifo = fifo_rx[chip].clone();
+        let my_bounce = bounce_rx[chip].clone();
+        let done = done_tx.clone();
+        let home_bounce_tx: Vec<Sender<Job>> = bounce_tx.clone();
+        let index = index.clone();
+        workers.push(std::thread::spawn(move || {
+            worker_loop(
+                chip,
+                &trie,
+                &shared,
+                &my_fifo,
+                &my_bounce,
+                &done,
+                &home_bounce_tx,
+                &index,
+            );
+        }));
+    }
+    drop(done_tx);
+
+    // Dispatcher (this thread): Indexing Logic + Adaptive Load Balancer.
+    let mut diversions = 0u64;
+    for (tag, &addr) in trace.iter().enumerate() {
+        let home = index.bucket_of(addr);
+        let job = Job::Home {
+            addr,
+            tag: tag as u64,
+            bounced: false,
+        };
+        if let Err(err) = fifo_tx[home].try_send(job) {
+            // Home FIFO full → idlest queue, DRed-only lookup.
+            diversions += 1;
+            let job = match err.into_inner() {
+                Job::Home { addr, tag, .. } => Job::Dred { addr, tag },
+                other => other,
+            };
+            let idlest = (0..cfg.chips)
+                .min_by_key(|&c| fifo_tx[c].len())
+                .expect("chips > 0");
+            // Blocking send: the threaded engine applies backpressure
+            // instead of dropping.
+            fifo_tx[idlest].send(job).expect("worker alive");
+        }
+    }
+
+    // Collect every completion, then shut the workers down.
+    let mut results: Vec<Option<NextHop>> = vec![None; trace.len()];
+    let mut completions = 0u64;
+    while completions < trace.len() as u64 {
+        let (tag, nh, _chip) = done_rx.recv().expect("workers alive until quit");
+        results[tag as usize] = nh;
+        completions += 1;
+    }
+    for tx in &fifo_tx {
+        tx.send(Job::Quit).expect("worker alive");
+    }
+    for w in workers {
+        w.join().expect("worker exits cleanly");
+    }
+    let elapsed = start.elapsed();
+
+    let report = ThreadedReport {
+        completions,
+        elapsed,
+        serviced_per_chip: shared
+            .serviced
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+        diversions,
+        dred_hits: shared.dred_hits.load(Ordering::Relaxed),
+        dred_misses: shared.dred_misses.load(Ordering::Relaxed),
+    };
+    (report, results)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    chip: usize,
+    trie: &Trie<NextHop>,
+    shared: &Shared,
+    fifo: &Receiver<Job>,
+    bounce: &Receiver<Job>,
+    done: &Sender<(u64, Option<NextHop>, usize)>,
+    bounce_tx: &[Sender<Job>],
+    index: &clue_partition::RangeIndex,
+) {
+    loop {
+        // Bounced jobs first (they have been waiting longest); when both
+        // lanes are empty, block on *either* — blocking on the FIFO alone
+        // would deadlock a worker whose last pending job arrives on the
+        // bounce lane after it went to sleep.
+        let job = match bounce.try_recv() {
+            Ok(job) => job,
+            Err(_) => {
+                crossbeam::channel::select! {
+                    recv(bounce) -> job => match job {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    },
+                    recv(fifo) -> job => match job {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    },
+                }
+            }
+        };
+        match job {
+            Job::Quit => return,
+            Job::Home { addr, tag, bounced } => {
+                shared.serviced[chip].fetch_add(1, Ordering::Relaxed);
+                let matched = trie.lookup(addr).map(|(p, &nh)| Route::new(p, nh));
+                if bounced {
+                    if let Some(route) = matched {
+                        // CLUE fill: all DReds except this chip's.
+                        for (i, dred) in shared.dreds.iter().enumerate() {
+                            if i != chip {
+                                dred.lock().insert(route);
+                            }
+                        }
+                    }
+                }
+                done.send((tag, matched.map(|r| r.next_hop), chip))
+                    .expect("collector alive");
+            }
+            Job::Dred { addr, tag } => {
+                shared.serviced[chip].fetch_add(1, Ordering::Relaxed);
+                let hit = shared.dreds[chip].lock().lookup(addr);
+                match hit {
+                    Some(nh) => {
+                        shared.dred_hits.fetch_add(1, Ordering::Relaxed);
+                        done.send((tag, Some(nh), chip)).expect("collector alive");
+                    }
+                    None => {
+                        shared.dred_misses.fetch_add(1, Ordering::Relaxed);
+                        let home = index.bucket_of(addr);
+                        bounce_tx[home]
+                            .send(Job::Home {
+                                addr,
+                                tag,
+                                bounced: true,
+                            })
+                            .expect("home worker alive");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_compress::onrtc;
+    use clue_fib::gen::FibGen;
+    use clue_traffic::PacketGen;
+
+    fn setup() -> (RouteTable, Vec<u32>) {
+        let fib = onrtc(&FibGen::new(41).routes(3_000).generate());
+        let trace = PacketGen::new(42).generate(&fib, 30_000);
+        (fib, trace)
+    }
+
+    #[test]
+    fn threaded_results_match_reference_trie() {
+        let (fib, trace) = setup();
+        let reference = fib.to_trie();
+        let (report, results) = run_threaded(&fib, &trace, ThreadedConfig::default());
+        assert_eq!(report.completions, trace.len() as u64);
+        for (&addr, nh) in trace.iter().zip(&results) {
+            assert_eq!(
+                *nh,
+                reference.lookup(addr).map(|(_, &v)| v),
+                "divergence at {addr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_workers_participate() {
+        let (fib, trace) = setup();
+        let (report, _) = run_threaded(&fib, &trace, ThreadedConfig::default());
+        assert_eq!(report.serviced_per_chip.len(), 4);
+        assert!(
+            report.serviced_per_chip.iter().all(|&s| s > 0),
+            "idle worker: {:?}",
+            report.serviced_per_chip
+        );
+        assert!(report.pps() > 0.0);
+    }
+
+    #[test]
+    fn tiny_fifo_forces_diversions_and_stays_correct() {
+        let (fib, trace) = setup();
+        let cfg = ThreadedConfig {
+            chips: 4,
+            fifo_capacity: 2,
+            dred_capacity: 512,
+        };
+        let reference = fib.to_trie();
+        let (report, results) = run_threaded(&fib, &trace, cfg);
+        assert!(report.diversions > 0, "tiny FIFOs must overflow");
+        assert!(report.dred_hits + report.dred_misses > 0);
+        for (&addr, nh) in trace.iter().zip(&results) {
+            assert_eq!(*nh, reference.lookup(addr).map(|(_, &v)| v));
+        }
+    }
+
+    #[test]
+    fn single_worker_still_completes() {
+        let (fib, trace) = setup();
+        let cfg = ThreadedConfig {
+            chips: 1,
+            fifo_capacity: 64,
+            dred_capacity: 64,
+        };
+        let (report, _) = run_threaded(&fib, &trace[..5_000], cfg);
+        assert_eq!(report.completions, 5_000);
+    }
+}

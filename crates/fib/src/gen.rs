@@ -1,0 +1,379 @@
+//! Synthetic FIB generation.
+//!
+//! The paper evaluates on 12 real BGP RIBs downloaded from RIPE RIS
+//! (2011-10-01). Those RIBs are not redistributable, so this module
+//! generates *structurally equivalent* tables: the properties that drive
+//! every experiment — prefix-length histogram (mode at /24), a small set
+//! of next hops, spatial next-hop correlation between neighbouring
+//! prefixes, and nested more-specifics — are all reproduced and seeded,
+//! so every run of the benchmarks sees the same tables.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::prefix::{NextHop, Prefix};
+use crate::route::RouteTable;
+
+/// Configuration for the synthetic FIB generator.
+///
+/// # Examples
+///
+/// ```
+/// use clue_fib::gen::FibGen;
+///
+/// let fib = FibGen::new(42).routes(10_000).generate();
+/// assert!(fib.len() >= 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FibGen {
+    seed: u64,
+    routes: usize,
+    next_hops: u16,
+    locality: f64,
+    aggregate_rate: f64,
+    deep_rate: f64,
+    legacy_blocks: Option<usize>,
+}
+
+impl FibGen {
+    /// Creates a generator with the given seed and calibrated defaults.
+    ///
+    /// The defaults are tuned so that ONRTC compresses the generated
+    /// tables to roughly the paper's 71 % (see the calibration test in
+    /// `clue-compress`).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FibGen {
+            seed,
+            routes: 100_000,
+            next_hops: 24,
+            locality: 0.915,
+            aggregate_rate: 0.47,
+            deep_rate: 0.017,
+            legacy_blocks: None,
+        }
+    }
+
+    /// Target number of routes (the generator may slightly overshoot while
+    /// finishing an allocation block).
+    #[must_use]
+    pub fn routes(mut self, routes: usize) -> Self {
+        self.routes = routes;
+        self
+    }
+
+    /// Number of distinct next hops (backbone routers have a few dozen).
+    #[must_use]
+    pub fn next_hops(mut self, next_hops: u16) -> Self {
+        assert!(next_hops > 0, "need at least one next hop");
+        self.next_hops = next_hops;
+        self
+    }
+
+    /// Probability that a sub-route inherits its allocation's next hop.
+    ///
+    /// Higher locality means more mergeable siblings and therefore better
+    /// compression.
+    #[must_use]
+    pub fn locality(mut self, locality: f64) -> Self {
+        assert!((0.0..=1.0).contains(&locality));
+        self.locality = locality;
+        self
+    }
+
+    /// Probability that an allocation also announces its covering
+    /// aggregate (creates ancestor/descendant overlap).
+    #[must_use]
+    pub fn aggregate_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.aggregate_rate = rate;
+        self
+    }
+
+    /// Probability of adding a deep more-specific (/25–/32) inside a
+    /// sub-route (rare in real tables).
+    #[must_use]
+    pub fn deep_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.deep_rate = rate;
+        self
+    }
+
+    /// Number of legacy class-A/B-scale covering blocks (/8–/10).
+    ///
+    /// Defaults to roughly one per 3 000 routes — the handful of legacy
+    /// announcements real tables carry. These are what give sub-tree
+    /// partitioning its covering-prefix redundancy.
+    #[must_use]
+    pub fn legacy_blocks(mut self, blocks: usize) -> Self {
+        self.legacy_blocks = Some(blocks);
+        self
+    }
+
+    /// Generates the table.
+    #[must_use]
+    pub fn generate(&self) -> RouteTable {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut table = RouteTable::new();
+
+        // Dense registry regions: real address-space usage is lumpy —
+        // most announcements cluster in a few heavily-assigned /6-scale
+        // areas. This lumpiness is what makes bit-selection (SLPL) split
+        // unevenly on real tables.
+        let regions: Vec<Prefix> = (0..8)
+            .map(|_| {
+                let addr = rng.random_range(0x0100_0000u32..0xDF00_0000u32);
+                Prefix::new(addr, rng.random_range(5..=7u8))
+            })
+            .collect();
+
+        // Legacy covering blocks: always announced, owners' interiors
+        // correlate with them (real class-A space behaves this way).
+        let legacy_count = self.legacy_blocks.unwrap_or(self.routes / 3_000);
+        let mut legacy: Vec<(Prefix, NextHop)> = Vec::with_capacity(legacy_count);
+        while legacy.len() < legacy_count {
+            let len = rng.random_range(8..=10u8);
+            let addr = rng.random_range(0x0100_0000u32..0xDF00_0000u32);
+            let block = Prefix::new(addr, len);
+            if legacy.iter().any(|&(p, _)| p.overlaps(block)) {
+                continue;
+            }
+            let nh = NextHop(rng.random_range(0..self.next_hops));
+            table.insert(block, nh);
+            legacy.push((block, nh));
+        }
+
+        while table.len() < self.routes {
+            self.emit_allocation(&mut rng, &mut table, &legacy, &regions);
+        }
+        table
+    }
+
+    /// Emits one "allocation": a covering block carved into sub-routes
+    /// with correlated next hops, mimicking how registries hand out
+    /// address space that providers then de-aggregate.
+    fn emit_allocation(
+        &self,
+        rng: &mut StdRng,
+        table: &mut RouteTable,
+        legacy: &[(Prefix, NextHop)],
+        regions: &[Prefix],
+    ) {
+        // Allocation sizes: /12–/18, weighted toward /16.
+        const ALLOC_LENS: [(u8, u32); 7] =
+            [(12, 4), (13, 6), (14, 10), (15, 14), (16, 34), (17, 14), (18, 18)];
+        let alloc_len = weighted(rng, &ALLOC_LENS);
+        // A quarter of allocations land inside legacy space (heavily
+        // de-aggregated in real tables), half cluster in the dense
+        // registry regions, and the rest are uniform over unicast-ish
+        // space (avoiding 0/8 and ≥224/8).
+        let roll: f64 = rng.random();
+        let addr = if !legacy.is_empty() && roll < 0.25 {
+            let &(block, _) = &legacy[rng.random_range(0..legacy.len())];
+            block.low() + (rng.random_range(0..block.size()) as u32)
+        } else if !regions.is_empty() && roll < 0.75 {
+            let region = regions[rng.random_range(0..regions.len())];
+            region.low() + (rng.random_range(0..region.size()) as u32)
+        } else {
+            rng.random_range(0x0100_0000u32..0xDF00_0000u32)
+        };
+        let alloc = Prefix::new(addr, alloc_len);
+        // Allocations inside a legacy block usually keep its next hop
+        // (same owner), which keeps the covering overlap compressible.
+        let covering = legacy.iter().find(|&&(p, _)| p.contains(alloc));
+        let base_nh = match covering {
+            Some(&(_, nh)) if rng.random_bool(0.85) => nh,
+            _ => NextHop(rng.random_range(0..self.next_hops)),
+        };
+
+        if rng.random_bool(self.aggregate_rate) {
+            table.insert(alloc, base_nh);
+        }
+        let locality = self.locality;
+        let deep_rate = self.deep_rate;
+
+        // Sub-route lengths: weighted toward /24, never shorter than the
+        // allocation plus one bit.
+        const SUB_LENS: [(u8, u32); 6] =
+            [(19, 5), (20, 7), (21, 8), (22, 11), (23, 10), (24, 59)];
+        let sub_len = weighted(rng, &SUB_LENS).max(alloc_len + 1);
+
+        // A run of consecutive sibling blocks starting at a random aligned
+        // offset inside the allocation. Runs of neighbours sharing a next
+        // hop are exactly what makes real tables compressible.
+        let blocks_in_alloc = 1u32 << (sub_len - alloc_len);
+        let run = rng.random_range(1..=16u32).min(blocks_in_alloc);
+        let start = rng.random_range(0..=blocks_in_alloc - run);
+        let step = 1u32 << (32 - sub_len);
+        for i in 0..run {
+            let bits = alloc.bits() + (start + i) * step;
+            let nh = if rng.random_bool(locality) {
+                base_nh
+            } else {
+                NextHop(rng.random_range(0..self.next_hops))
+            };
+            let sub = Prefix::new(bits, sub_len);
+            table.insert(sub, nh);
+
+            if sub_len < 32 && rng.random_bool(deep_rate) {
+                let deep_len = rng.random_range(sub_len + 1..=32.min(sub_len + 8));
+                let offset = rng.random_range(0..sub.size()) as u32;
+                let deep = Prefix::new(bits | offset, deep_len);
+                let deep_nh = NextHop(rng.random_range(0..self.next_hops));
+                table.insert(deep, deep_nh);
+            }
+        }
+    }
+}
+
+fn weighted(rng: &mut StdRng, choices: &[(u8, u32)]) -> u8 {
+    let total: u32 = choices.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.random_range(0..total);
+    for &(v, w) in choices {
+        if pick < w {
+            return v;
+        }
+        pick -= w;
+    }
+    unreachable!("weights sum covered the range")
+}
+
+/// Description of one synthetic "router" in the evaluation catalog.
+///
+/// Stands in for the 12 RIPE RIS collectors in Table I of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterSpec {
+    /// Collector name, e.g. `rrc01`.
+    pub name: &'static str,
+    /// Collector location (as in Table I).
+    pub location: &'static str,
+    /// Route count for the synthetic RIB.
+    pub routes: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl RouterSpec {
+    /// Generates the synthetic RIB for this router, scaled by `scale`
+    /// (use `1.0` for the full-size table, smaller for quick runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    #[must_use]
+    pub fn generate(&self, scale: f64) -> RouteTable {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        let routes = ((self.routes as f64 * scale) as usize).max(16);
+        FibGen::new(self.seed).routes(routes).generate()
+    }
+}
+
+/// The 12-router catalog mirroring Table I of the paper.
+///
+/// Sizes are in the 2011 ballpark (355 K–400 K routes) and vary per
+/// collector like real RIS tables do.
+#[must_use]
+pub fn catalog() -> Vec<RouterSpec> {
+    const LOCS: [(&str, &str, usize); 12] = [
+        ("rrc01", "LINX, London", 392_000),
+        ("rrc03", "AMS-IX, Amsterdam", 385_000),
+        ("rrc04", "CIXP, Geneva", 377_000),
+        ("rrc05", "VIX, Vienna", 369_000),
+        ("rrc06", "Otemachi, Japan", 356_000),
+        ("rrc07", "Stockholm, Sweden", 372_000),
+        ("rrc11", "New York (NY), USA", 398_000),
+        ("rrc12", "Frankfurt, Germany", 388_000),
+        ("rrc13", "Moscow, Russia", 364_000),
+        ("rrc14", "Palo Alto, USA", 381_000),
+        ("rrc15", "Sao Paulo, Brazil", 359_000),
+        ("rrc16", "Miami, USA", 375_000),
+    ];
+    LOCS.iter()
+        .enumerate()
+        .map(|(i, &(name, location, routes))| RouterSpec {
+            name,
+            location,
+            routes,
+            seed: 0xC1_0E_0000 + i as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FibGen::new(7).routes(5_000).generate();
+        let b = FibGen::new(7).routes(5_000).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FibGen::new(7).routes(5_000).generate();
+        let b = FibGen::new(8).routes(5_000).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reaches_target_size() {
+        let fib = FibGen::new(1).routes(20_000).generate();
+        assert!(fib.len() >= 20_000);
+        assert!(fib.len() < 21_000, "overshoot should be bounded");
+    }
+
+    #[test]
+    fn respects_next_hop_budget() {
+        let fib = FibGen::new(1).routes(3_000).next_hops(4).generate();
+        let hops = fib.next_hops();
+        assert!(hops.len() <= 4);
+        assert!(hops.iter().all(|nh| nh.0 < 4));
+    }
+
+    #[test]
+    fn tables_overlap_like_real_ribs() {
+        // Real RIBs contain covering aggregates; the generator must too,
+        // otherwise the compression experiments are trivial.
+        let fib = FibGen::new(2).routes(10_000).generate();
+        assert!(!fib.is_non_overlapping());
+    }
+
+    #[test]
+    fn length_histogram_peaks_at_24() {
+        let fib = FibGen::new(3).routes(30_000).generate();
+        let mut hist = [0usize; 33];
+        for r in fib.iter() {
+            hist[r.prefix.len() as usize] += 1;
+        }
+        let max_len = (0..33).max_by_key(|&l| hist[l]).unwrap();
+        assert_eq!(max_len, 24, "mode of the length histogram must be /24");
+        assert!(hist[24] as f64 > fib.len() as f64 * 0.3);
+    }
+
+    #[test]
+    fn catalog_matches_table_one() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 12);
+        assert_eq!(cat[0].name, "rrc01");
+        assert!(cat.iter().all(|r| r.routes >= 355_000 && r.routes <= 400_000));
+        // Distinct seeds per router.
+        let mut seeds: Vec<u64> = cat.iter().map(|r| r.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12);
+    }
+
+    #[test]
+    fn router_spec_scaling() {
+        let spec = &catalog()[0];
+        let small = spec.generate(0.01);
+        assert!(small.len() >= 3_000 && small.len() <= 6_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn router_spec_rejects_bad_scale() {
+        let _ = catalog()[0].generate(0.0);
+    }
+}

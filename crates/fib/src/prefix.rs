@@ -1,0 +1,483 @@
+//! IPv4 prefixes and next hops.
+//!
+//! A [`Prefix`] is the fundamental unit of a routing table: the first
+//! `len` bits of a 32-bit IPv4 address. Prefixes form a binary trie; most
+//! of the algorithms in this workspace are phrased in terms of the
+//! parent/child/sibling relations defined here.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::str::FromStr;
+
+/// Maximum prefix length of an IPv4 prefix.
+pub const MAX_LEN: u8 = 32;
+
+/// A forwarding action: the index of the next-hop port/adjacency.
+///
+/// Backbone FIBs map each prefix to one of a few dozen next hops; the
+/// compression algorithms in [`clue-compress`](../../compress) exploit how
+/// few distinct values there are.
+///
+/// # Examples
+///
+/// ```
+/// use clue_fib::NextHop;
+/// let nh = NextHop(3);
+/// assert_eq!(nh.to_string(), "nh3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NextHop(pub u16);
+
+impl fmt::Display for NextHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nh{}", self.0)
+    }
+}
+
+impl From<u16> for NextHop {
+    fn from(v: u16) -> Self {
+        NextHop(v)
+    }
+}
+
+/// One of the two children of a trie node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bit {
+    /// The 0 branch (lower half of the address range).
+    Zero = 0,
+    /// The 1 branch (upper half of the address range).
+    One = 1,
+}
+
+impl Bit {
+    /// The opposite branch.
+    #[must_use]
+    pub fn flip(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+
+    /// Index (0 or 1) for array-based child storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// An IPv4 prefix: the leading `len` bits of `bits`.
+///
+/// Invariant: all bits below the top `len` are zero. The constructor masks
+/// its input, so the invariant always holds.
+///
+/// The derived-equivalent ordering is lexicographic on `(bits, len)`. For a
+/// **non-overlapping** set of prefixes this coincides with the order of the
+/// address ranges they cover, which is what CLUE's even-range partitioning
+/// relies on.
+///
+/// # Examples
+///
+/// ```
+/// use clue_fib::Prefix;
+/// let p: Prefix = "10.0.0.0/8".parse()?;
+/// assert!(p.contains_addr(0x0A01_0203));
+/// assert_eq!(p.to_string(), "10.0.0.0/8");
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix from a (possibly unmasked) address and a length.
+    ///
+    /// Bits beyond `len` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    #[must_use]
+    pub fn new(bits: u32, len: u8) -> Self {
+        assert!(len <= MAX_LEN, "prefix length {len} exceeds 32");
+        Prefix {
+            bits: bits & mask(len),
+            len,
+        }
+    }
+
+    /// The zero-length prefix covering the whole address space.
+    #[must_use]
+    pub fn root() -> Self {
+        Prefix { bits: 0, len: 0 }
+    }
+
+    /// The network bits, left-aligned in a `u32`.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The prefix length in bits.
+    #[must_use]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the root (length-0) prefix.
+    #[must_use]
+    pub fn is_root(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this is a full host route (/32).
+    #[must_use]
+    pub fn is_host(self) -> bool {
+        self.len == MAX_LEN
+    }
+
+    /// Lowest address covered by the prefix.
+    #[must_use]
+    pub fn low(self) -> u32 {
+        self.bits
+    }
+
+    /// Highest address covered by the prefix.
+    #[must_use]
+    pub fn high(self) -> u32 {
+        self.bits | !mask(self.len)
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    #[must_use]
+    pub fn contains_addr(self, addr: u32) -> bool {
+        (addr & mask(self.len)) == self.bits
+    }
+
+    /// Whether `other` is equal to or more specific than `self`.
+    #[must_use]
+    pub fn contains(self, other: Prefix) -> bool {
+        other.len >= self.len && (other.bits & mask(self.len)) == self.bits
+    }
+
+    /// Whether the two prefixes overlap (one contains the other).
+    #[must_use]
+    pub fn overlaps(self, other: Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The immediate parent, or `None` for the root.
+    #[must_use]
+    pub fn parent(self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix::new(self.bits, self.len - 1))
+        }
+    }
+
+    /// The child on branch `bit`, or `None` if already a /32.
+    #[must_use]
+    pub fn child(self, bit: Bit) -> Option<Prefix> {
+        if self.len >= MAX_LEN {
+            return None;
+        }
+        let len = self.len + 1;
+        let bits = match bit {
+            Bit::Zero => self.bits,
+            Bit::One => self.bits | (1u32 << (32 - len)),
+        };
+        Some(Prefix { bits, len })
+    }
+
+    /// The sibling under the same parent, or `None` for the root.
+    #[must_use]
+    pub fn sibling(self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix {
+                bits: self.bits ^ (1u32 << (32 - self.len)),
+                len: self.len,
+            })
+        }
+    }
+
+    /// Which branch this prefix takes under its parent, or `None` for root.
+    #[must_use]
+    pub fn branch(self) -> Option<Bit> {
+        if self.len == 0 {
+            None
+        } else if self.bits & (1u32 << (32 - self.len)) == 0 {
+            Some(Bit::Zero)
+        } else {
+            Some(Bit::One)
+        }
+    }
+
+    /// The value of bit `depth` (0-based from the top) of `addr` as a [`Bit`].
+    ///
+    /// This is the branch an address takes when descending from a node at
+    /// depth `depth` in the trie.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= 32`.
+    #[must_use]
+    pub fn addr_bit(addr: u32, depth: u8) -> Bit {
+        assert!(depth < MAX_LEN);
+        if addr & (1u32 << (31 - depth)) == 0 {
+            Bit::Zero
+        } else {
+            Bit::One
+        }
+    }
+
+    /// Truncates the prefix to `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    #[must_use]
+    pub fn truncate(self, len: u8) -> Prefix {
+        assert!(len <= self.len, "cannot truncate /{} to /{len}", self.len);
+        Prefix::new(self.bits, len)
+    }
+
+    /// Number of addresses covered: `2^(32-len)`.
+    #[must_use]
+    pub fn size(self) -> u64 {
+        1u64 << (32 - u32::from(self.len))
+    }
+
+    /// The dotted-quad form of the network address.
+    #[must_use]
+    pub fn octets(self) -> [u8; 4] {
+        self.bits.to_be_bytes()
+    }
+}
+
+impl Default for Prefix {
+    fn default() -> Self {
+        Prefix::root()
+    }
+}
+
+impl PartialOrd for Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Prefix {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bits
+            .cmp(&other.bits)
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+/// Error returned when parsing a [`Prefix`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError {
+    input: String,
+}
+
+impl ParsePrefixError {
+    fn new(input: &str) -> Self {
+        ParsePrefixError {
+            input: input.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    /// Parses `a.b.c.d/len` notation.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError::new(s);
+        let (addr, len) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len.parse().map_err(|_| err())?;
+        if len > MAX_LEN {
+            return Err(err());
+        }
+        let mut bits: u32 = 0;
+        let mut count = 0;
+        for part in addr.split('.') {
+            let octet: u8 = part.parse().map_err(|_| err())?;
+            bits = (bits << 8) | u32::from(octet);
+            count += 1;
+        }
+        if count != 4 {
+            return Err(err());
+        }
+        Ok(Prefix::new(bits, len))
+    }
+}
+
+/// Bit mask with the top `len` bits set.
+#[inline]
+#[must_use]
+pub fn mask(len: u8) -> u32 {
+    debug_assert!(len <= MAX_LEN);
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_masks_trailing_bits() {
+        let p = Prefix::new(0xFFFF_FFFF, 8);
+        assert_eq!(p.bits(), 0xFF00_0000);
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32")]
+    fn new_rejects_len_over_32() {
+        let _ = Prefix::new(0, 33);
+    }
+
+    #[test]
+    fn root_covers_everything() {
+        let r = Prefix::root();
+        assert!(r.is_root());
+        assert!(r.contains_addr(0));
+        assert!(r.contains_addr(u32::MAX));
+        assert_eq!(r.size(), 1 << 32);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.128/25", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_masks_host_bits() {
+        let p: Prefix = "10.1.2.3/8".parse().unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "10.0.0.0", "10.0.0.0/33", "10.0.0/8", "a.b.c.d/8", "10.0.0.0.0/8"] {
+            assert!(s.parse::<Prefix>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn parent_child_inverse() {
+        let p: Prefix = "192.168.0.0/16".parse().unwrap();
+        let l = p.child(Bit::Zero).unwrap();
+        let r = p.child(Bit::One).unwrap();
+        assert_eq!(l.parent(), Some(p));
+        assert_eq!(r.parent(), Some(p));
+        assert_eq!(l.sibling(), Some(r));
+        assert_eq!(r.sibling(), Some(l));
+        assert_eq!(l.branch(), Some(Bit::Zero));
+        assert_eq!(r.branch(), Some(Bit::One));
+    }
+
+    #[test]
+    fn host_prefix_has_no_children() {
+        let p: Prefix = "1.2.3.4/32".parse().unwrap();
+        assert!(p.child(Bit::Zero).is_none());
+        assert!(p.child(Bit::One).is_none());
+        assert!(p.is_host());
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_directional() {
+        let a: Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix = "10.1.0.0/16".parse().unwrap();
+        let c: Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(a.contains(a));
+        assert!(a.contains(b));
+        assert!(!b.contains(a));
+        assert!(!a.contains(c));
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn range_bounds() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.low(), 0x0A00_0000);
+        assert_eq!(p.high(), 0x0AFF_FFFF);
+        assert!(p.contains_addr(p.low()));
+        assert!(p.contains_addr(p.high()));
+        assert!(!p.contains_addr(p.high().wrapping_add(1)));
+    }
+
+    #[test]
+    fn ordering_matches_ranges_for_disjoint_prefixes() {
+        let a: Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix = "11.0.0.0/16".parse().unwrap();
+        let c: Prefix = "12.0.0.0/7".parse().unwrap();
+        let mut v = vec![c, b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+        assert!(v[0].high() < v[1].low());
+        assert!(v[1].high() < v[2].low());
+    }
+
+    #[test]
+    fn addr_bit_walks_msb_first() {
+        let addr = 0b1010_0000_0000_0000_0000_0000_0000_0000u32;
+        assert_eq!(Prefix::addr_bit(addr, 0), Bit::One);
+        assert_eq!(Prefix::addr_bit(addr, 1), Bit::Zero);
+        assert_eq!(Prefix::addr_bit(addr, 2), Bit::One);
+        assert_eq!(Prefix::addr_bit(addr, 3), Bit::Zero);
+    }
+
+    #[test]
+    fn truncate_gives_ancestor() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        let t = p.truncate(8);
+        assert_eq!(t.to_string(), "10.0.0.0/8");
+        assert!(t.contains(p));
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 0x8000_0000);
+        assert_eq!(mask(32), u32::MAX);
+    }
+}

@@ -1,0 +1,255 @@
+//! SLPL's ID-bit partition (bit-selection; Zane et al., INFOCOM 2003).
+//!
+//! `k` address-bit positions are chosen and each prefix is hashed into
+//! one of `2^k` buckets by its values at those positions. A prefix that
+//! is *shorter* than a chosen position wildcards that bit and must be
+//! **replicated** into every matching bucket — redundancy. Bit positions
+//! are picked greedily to minimize the largest bucket, but real tables
+//! still split unevenly (paper Figure 9's criticism).
+
+use std::collections::HashMap;
+
+use clue_fib::{Route, RouteTable};
+
+use crate::Indexer;
+
+/// An ID-bit partitioning into `2^k` buckets.
+#[derive(Debug, Clone)]
+pub struct IdBitPartition {
+    positions: Vec<u8>,
+    buckets: Vec<Vec<Route>>,
+    replicas: usize,
+}
+
+impl IdBitPartition {
+    /// Greedily selects `k` bit positions from the first
+    /// `candidate_bits` address bits and partitions `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `candidate_bits > 32`, or
+    /// `k > candidate_bits`.
+    #[must_use]
+    pub fn split(table: &RouteTable, k: u32, candidate_bits: u8) -> Self {
+        assert!(k > 0, "need at least one index bit");
+        assert!(candidate_bits <= 32 && k <= u32::from(candidate_bits));
+        let routes: Vec<Route> = table.iter().collect();
+
+        let mut positions: Vec<u8> = Vec::new();
+        for _ in 0..k {
+            let best = (0..candidate_bits)
+                .filter(|p| !positions.contains(p))
+                .min_by_key(|&p| {
+                    let mut trial = positions.clone();
+                    trial.push(p);
+                    let (max, _) = bucket_loads(&routes, &trial);
+                    max
+                })
+                .expect("candidates remain");
+            positions.push(best);
+        }
+        positions.sort_unstable();
+
+        let mut buckets = vec![Vec::new(); 1 << k];
+        let mut replicas = 0;
+        for &r in &routes {
+            let ids = bucket_ids(r, &positions);
+            replicas += ids.len() - 1;
+            for id in ids {
+                buckets[id].push(r);
+            }
+        }
+        IdBitPartition {
+            positions,
+            buckets,
+            replicas,
+        }
+    }
+
+    /// The chosen bit positions (0 = most significant), sorted.
+    #[must_use]
+    pub fn positions(&self) -> &[u8] {
+        &self.positions
+    }
+
+    /// The `2^k` buckets.
+    #[must_use]
+    pub fn buckets(&self) -> &[Vec<Route>] {
+        &self.buckets
+    }
+
+    /// Number of replica entries created by wildcarded short prefixes.
+    #[must_use]
+    pub fn total_redundancy(&self) -> usize {
+        self.replicas
+    }
+
+    /// The address indexer for this partitioning.
+    #[must_use]
+    pub fn indexer(&self) -> BitIndex {
+        BitIndex {
+            positions: self.positions.clone(),
+        }
+    }
+}
+
+/// Buckets a prefix must live in: one per combination of its wildcarded
+/// chosen bits.
+fn bucket_ids(route: Route, positions: &[u8]) -> Vec<usize> {
+    let p = route.prefix;
+    let mut ids = vec![0usize];
+    for (i, &pos) in positions.iter().enumerate() {
+        if pos < p.len() {
+            let bit = (p.bits() >> (31 - pos)) & 1;
+            for id in &mut ids {
+                *id |= (bit as usize) << i;
+            }
+        } else {
+            // Wildcard: replicate into both halves.
+            let with_one: Vec<usize> = ids.iter().map(|id| id | (1 << i)).collect();
+            ids.extend(with_one);
+        }
+    }
+    ids
+}
+
+/// `(max bucket load, total entries)` for a candidate position set,
+/// computed via distinct `(value, wildcard)` keys so evaluation stays
+/// fast even on large tables.
+fn bucket_loads(routes: &[Route], positions: &[u8]) -> (usize, usize) {
+    // key: (value bits packed, wildcard mask packed) over `positions`.
+    let mut keys: HashMap<(u32, u32), usize> = HashMap::new();
+    for r in routes {
+        let mut value = 0u32;
+        let mut wild = 0u32;
+        for (i, &pos) in positions.iter().enumerate() {
+            if pos < r.prefix.len() {
+                value |= ((r.prefix.bits() >> (31 - pos)) & 1) << i;
+            } else {
+                wild |= 1 << i;
+            }
+        }
+        *keys.entry((value, wild)).or_insert(0) += 1;
+    }
+    let n = 1usize << positions.len();
+    let mut loads = vec![0usize; n];
+    for (&(value, wild), &count) in &keys {
+        // Enumerate value | s for every submask s of the wildcard bits.
+        let (value, wild) = (value as usize, wild as usize);
+        let mut sub = wild;
+        loop {
+            loads[value | sub] += count;
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & wild;
+        }
+    }
+    (
+        loads.iter().copied().max().unwrap_or(0),
+        loads.iter().sum(),
+    )
+}
+
+/// Address → bucket via the chosen bit positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitIndex {
+    positions: Vec<u8>,
+}
+
+impl Indexer for BitIndex {
+    fn bucket_of(&self, addr: u32) -> usize {
+        let mut id = 0usize;
+        for (i, &pos) in self.positions.iter().enumerate() {
+            id |= (((addr >> (31 - pos)) & 1) as usize) << i;
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::{NextHop, Prefix};
+
+    fn flat_table(count: u32) -> RouteTable {
+        (0..count)
+            .map(|i| (Prefix::new(i << 24, 8), NextHop(1)))
+            .collect()
+    }
+
+    #[test]
+    fn long_prefixes_land_in_one_bucket() {
+        let t = flat_table(16);
+        let p = IdBitPartition::split(&t, 2, 8);
+        assert_eq!(p.buckets().len(), 4);
+        assert_eq!(p.total_redundancy(), 0);
+        let total: usize = p.buckets().iter().map(Vec::len).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn short_prefixes_replicate() {
+        let mut t = flat_table(8);
+        // /0 wildcards every candidate bit → replicated into all buckets.
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop(9));
+        let p = IdBitPartition::split(&t, 2, 8);
+        assert_eq!(p.total_redundancy(), 3);
+        for b in p.buckets() {
+            assert!(b.iter().any(|r| r.prefix.is_root()));
+        }
+    }
+
+    #[test]
+    fn indexer_agrees_with_bucket_membership() {
+        let t = flat_table(32);
+        let p = IdBitPartition::split(&t, 3, 8);
+        let idx = p.indexer();
+        for r in t.iter() {
+            let b = idx.bucket_of(r.prefix.low());
+            assert!(
+                p.buckets()[b].contains(&r),
+                "{} missing from bucket {b}",
+                r.prefix
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_beats_worst_single_bit_on_skewed_table() {
+        // All prefixes share their top bit, so choosing bit 0 would put
+        // everything in one bucket; the greedy pick must do better.
+        let t: RouteTable = (0..32u32)
+            .map(|i| (Prefix::new(0x8000_0000 | (i << 24), 8), NextHop(1)))
+            .collect();
+        let p = IdBitPartition::split(&t, 1, 8);
+        let max = p.buckets().iter().map(Vec::len).max().unwrap();
+        assert!(max < 32, "greedy selection failed to split at all");
+        assert!(!p.positions().contains(&0));
+    }
+
+    #[test]
+    fn bucket_loads_matches_materialized_buckets() {
+        let mut t = flat_table(16);
+        t.insert("0.0.0.0/1".parse().unwrap(), NextHop(2));
+        t.insert("128.0.0.0/2".parse().unwrap(), NextHop(3));
+        let routes: Vec<Route> = t.iter().collect();
+        let positions = vec![0u8, 3];
+        let (max, total) = bucket_loads(&routes, &positions);
+        // Materialize and compare.
+        let mut buckets = vec![0usize; 4];
+        for &r in &routes {
+            for id in bucket_ids(r, &positions) {
+                buckets[id] += 1;
+            }
+        }
+        assert_eq!(max, *buckets.iter().max().unwrap());
+        assert_eq!(total, buckets.iter().sum::<usize>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_bits() {
+        let _ = IdBitPartition::split(&RouteTable::new(), 0, 8);
+    }
+}

@@ -1,0 +1,50 @@
+//! Routing-table partition algorithms for parallel TCAM lookup.
+//!
+//! Three schemes, compared in Figure 9 of the paper:
+//!
+//! * [`EvenRangePartition`] — **CLUE**: after ONRTC the table is
+//!   non-overlapping, so an in-order walk cut every `M/n` prefixes gives
+//!   perfectly even buckets with **zero redundancy**; the index is a
+//!   binary search over `n−1` addresses.
+//! * [`SubTreePartition`] — **CLPL** (Lin et al.): carve the trie into
+//!   bounded subtrees; even-ish buckets but every carved bucket
+//!   replicates its covering prefixes.
+//! * [`IdBitPartition`] — **SLPL** (Zane et al. bit selection): hash on
+//!   `k` chosen address bits; uneven buckets *and* replicas for short
+//!   prefixes.
+//!
+//! All indexes implement [`Indexer`], the engine's "Indexing Logic".
+//!
+//! # Examples
+//!
+//! ```
+//! use clue_compress::onrtc;
+//! use clue_fib::gen::FibGen;
+//! use clue_partition::{EvenRangePartition, PartitionStats};
+//!
+//! let fib = onrtc(&FibGen::new(1).routes(4_000).generate());
+//! let parts = EvenRangePartition::split(&fib, 4);
+//! let stats = PartitionStats::measure(parts.buckets(), fib.len());
+//! assert_eq!(stats.redundancy, 0);
+//! assert!(stats.imbalance() < 1.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod even_range;
+mod id_bit;
+mod stats;
+mod subtree;
+
+pub use even_range::{EvenRangePartition, RangeIndex};
+pub use id_bit::{BitIndex, IdBitPartition};
+pub use stats::PartitionStats;
+pub use subtree::{SubTreePartition, TrieIndex};
+
+/// The Indexing Logic of Figure 1: maps a destination address to the
+/// bucket (and hence home TCAM) that stores its potential match.
+pub trait Indexer {
+    /// Bucket index for `addr`.
+    fn bucket_of(&self, addr: u32) -> usize;
+}

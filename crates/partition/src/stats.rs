@@ -1,0 +1,81 @@
+//! Bucket-shape statistics for the partition comparison (Figure 9).
+
+use clue_fib::Route;
+
+/// Shape summary of one partitioning run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Number of buckets.
+    pub buckets: usize,
+    /// Largest bucket (entries, including replicas).
+    pub max: usize,
+    /// Smallest bucket.
+    pub min: usize,
+    /// Total stored entries across buckets.
+    pub total: usize,
+    /// Entries beyond the input table size (replicas).
+    pub redundancy: usize,
+}
+
+impl PartitionStats {
+    /// Measures a bucket set produced from a table of `input_len` routes.
+    #[must_use]
+    pub fn measure(buckets: &[Vec<Route>], input_len: usize) -> Self {
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        PartitionStats {
+            buckets: buckets.len(),
+            max: buckets.iter().map(Vec::len).max().unwrap_or(0),
+            min: buckets.iter().map(Vec::len).min().unwrap_or(0),
+            total,
+            redundancy: total.saturating_sub(input_len),
+        }
+    }
+
+    /// `max / (total / buckets)`: 1.0 is a perfectly even split.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.buckets == 0 || self.total == 0 {
+            return 1.0;
+        }
+        self.max as f64 / (self.total as f64 / self.buckets as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::{NextHop, Prefix};
+
+    fn bucket(n: usize) -> Vec<Route> {
+        (0..n as u32)
+            .map(|i| Route::new(Prefix::new(i << 16, 16), NextHop(0)))
+            .collect()
+    }
+
+    #[test]
+    fn measures_shape() {
+        let buckets = vec![bucket(4), bucket(8), bucket(4)];
+        let s = PartitionStats::measure(&buckets, 14);
+        assert_eq!(s.buckets, 3);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.total, 16);
+        assert_eq!(s.redundancy, 2);
+        assert!((s.imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_split_has_unit_imbalance() {
+        let buckets = vec![bucket(5), bucket(5)];
+        let s = PartitionStats::measure(&buckets, 10);
+        assert_eq!(s.redundancy, 0);
+        assert!((s.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_degenerate_but_defined() {
+        let s = PartitionStats::measure(&[], 0);
+        assert_eq!(s.buckets, 0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

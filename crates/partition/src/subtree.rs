@@ -1,0 +1,255 @@
+//! CLPL's sub-tree partition (Lin et al., IPDPS 2007).
+//!
+//! The trie is carved bottom-up into subtrees of bounded size. Each
+//! carved bucket must replicate the *covering prefixes* — routes at
+//! ancestors of the carve point — so that a lookup landing in the bucket
+//! still finds its LPM when the true match lies above the subtree. Those
+//! replicas are the redundancy CLUE eliminates (paper Figure 9).
+
+use clue_fib::{Bit, NextHop, NodeRef, Prefix, Route, RouteTable, Trie};
+
+use crate::Indexer;
+
+/// A sub-tree partitioning.
+#[derive(Debug, Clone)]
+pub struct SubTreePartition {
+    buckets: Vec<Vec<Route>>,
+    /// Routes per bucket that are replicas of covering prefixes.
+    redundancy: Vec<usize>,
+    index: TrieIndex,
+}
+
+impl SubTreePartition {
+    /// Carves `table` into subtrees holding at most `capacity` original
+    /// routes each (covering-prefix replicas come on top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn split(table: &RouteTable, capacity: usize) -> Self {
+        assert!(capacity > 0, "bucket capacity must be positive");
+        let trie = table.to_trie();
+        let mut builder = Builder {
+            capacity,
+            buckets: Vec::new(),
+            redundancy: Vec::new(),
+            carve_roots: Vec::new(),
+        };
+        if !trie.is_empty() {
+            let leftover = builder.carve(trie.root(), &[]);
+            builder.finish_bucket(leftover, Prefix::root(), &[]);
+        }
+        let index_trie: Trie<usize> = builder
+            .carve_roots
+            .iter()
+            .map(|&(p, b)| (p, b))
+            .collect();
+        SubTreePartition {
+            buckets: builder.buckets,
+            redundancy: builder.redundancy,
+            index: TrieIndex { trie: index_trie },
+        }
+    }
+
+    /// Buckets, each holding its subtree routes plus covering replicas.
+    #[must_use]
+    pub fn buckets(&self) -> &[Vec<Route>] {
+        &self.buckets
+    }
+
+    /// Number of replicated covering prefixes per bucket.
+    #[must_use]
+    pub fn redundancy(&self) -> &[usize] {
+        &self.redundancy
+    }
+
+    /// Total replicated routes across all buckets.
+    #[must_use]
+    pub fn total_redundancy(&self) -> usize {
+        self.redundancy.iter().sum()
+    }
+
+    /// The index mapping an address to its bucket.
+    #[must_use]
+    pub fn index(&self) -> &TrieIndex {
+        &self.index
+    }
+}
+
+struct Builder {
+    capacity: usize,
+    buckets: Vec<Vec<Route>>,
+    redundancy: Vec<usize>,
+    carve_roots: Vec<(Prefix, usize)>,
+}
+
+impl Builder {
+    /// Post-order carve. Returns the routes of the subtree under `node`
+    /// that have not been carved into a bucket yet. `path` holds the
+    /// routes at ancestors of `node` (potential covering prefixes).
+    fn carve(&mut self, node: NodeRef<'_, NextHop>, path: &[Route]) -> Vec<Route> {
+        let mut extended;
+        let path_here: &[Route] = match node.value() {
+            Some(&nh) => {
+                extended = path.to_vec();
+                extended.push(Route::new(node.prefix(), nh));
+                &extended
+            }
+            None => path,
+        };
+
+        let mut remaining = Vec::new();
+        for bit in [Bit::Zero, Bit::One] {
+            if let Some(child) = node.child(bit) {
+                remaining.extend(self.carve(child, path_here));
+            }
+        }
+        if let Some(&nh) = node.value() {
+            remaining.push(Route::new(node.prefix(), nh));
+        }
+
+        // Carve once the subtree holds ≥ ⌈b/2⌉ uncarved routes. Children
+        // each returned < ⌈b/2⌉, so bucket sizes stay within [⌈b/2⌉, b] —
+        // Lin et al.'s size guarantee.
+        if remaining.len() >= self.capacity.div_ceil(2) {
+            self.finish_bucket(remaining, node.prefix(), path);
+            return Vec::new();
+        }
+        remaining
+    }
+
+    /// Emits a bucket for the carve point `root`, replicating the
+    /// covering prefixes in `path`.
+    fn finish_bucket(&mut self, mut routes: Vec<Route>, root: Prefix, path: &[Route]) {
+        if routes.is_empty() {
+            return;
+        }
+        let replicas = path.len();
+        routes.extend_from_slice(path);
+        self.buckets.push(routes);
+        self.redundancy.push(replicas);
+        self.carve_roots.push((root, self.buckets.len() - 1));
+    }
+}
+
+/// Address → bucket index via longest-matching carve root.
+#[derive(Debug, Clone)]
+pub struct TrieIndex {
+    trie: Trie<usize>,
+}
+
+impl Indexer for TrieIndex {
+    fn bucket_of(&self, addr: u32) -> usize {
+        self.trie.lookup(addr).map_or(0, |(_, &b)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(routes: &[(&str, u16)]) -> RouteTable {
+        routes
+            .iter()
+            .map(|&(p, nh)| (p.parse::<Prefix>().unwrap(), NextHop(nh)))
+            .collect()
+    }
+
+    fn flat_table(count: u32) -> RouteTable {
+        (0..count)
+            .map(|i| (Prefix::new(i << 16, 16), NextHop(1)))
+            .collect()
+    }
+
+    #[test]
+    fn small_table_is_one_bucket() {
+        let t = table(&[("10.0.0.0/8", 1), ("11.0.0.0/8", 2)]);
+        let p = SubTreePartition::split(&t, 10);
+        assert_eq!(p.buckets().len(), 1);
+        assert_eq!(p.total_redundancy(), 0);
+    }
+
+    #[test]
+    fn buckets_respect_capacity_for_original_routes() {
+        let t = flat_table(64);
+        let p = SubTreePartition::split(&t, 8);
+        for (b, red) in p.buckets().iter().zip(p.redundancy()) {
+            assert!(b.len() - red <= 8, "bucket over capacity");
+        }
+        let total: usize = p.buckets().iter().map(Vec::len).sum();
+        assert_eq!(total, 64 + p.total_redundancy());
+    }
+
+    #[test]
+    fn covering_prefixes_are_replicated() {
+        // A default-ish route covering many specifics must be copied
+        // into every carved bucket it covers.
+        let mut t = flat_table(32);
+        t.insert("0.0.0.0/1".parse().unwrap(), NextHop(9));
+        let p = SubTreePartition::split(&t, 8);
+        assert!(
+            p.total_redundancy() > 0,
+            "covering route must create redundancy"
+        );
+        // Each bucket that holds specifics under 0/1 also holds 0/1.
+        for bucket in p.buckets() {
+            let has_specific = bucket
+                .iter()
+                .any(|r| r.prefix.len() == 16 && r.prefix.low() < 0x8000_0000);
+            if has_specific {
+                assert!(
+                    bucket.iter().any(|r| r.prefix.len() == 1),
+                    "bucket missing its covering /1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_route_lands_in_exactly_the_indexed_bucket() {
+        let t = flat_table(64);
+        let p = SubTreePartition::split(&t, 8);
+        for r in t.iter() {
+            let b = p.index().bucket_of(r.prefix.low());
+            assert!(
+                p.buckets()[b].contains(&r),
+                "route {} not in bucket {b}",
+                r.prefix
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_within_indexed_bucket_matches_global_lpm() {
+        let mut t = flat_table(48);
+        t.insert("0.0.0.0/4".parse().unwrap(), NextHop(7));
+        t.insert("0.0.0.0/2".parse().unwrap(), NextHop(8));
+        let p = SubTreePartition::split(&t, 8);
+        let global = t.to_trie();
+        for addr in (0u32..64).map(|i| (i << 16) + 1) {
+            let b = p.index().bucket_of(addr);
+            let local: Trie<NextHop> = p.buckets()[b]
+                .iter()
+                .map(|r| (r.prefix, r.next_hop))
+                .collect();
+            assert_eq!(
+                local.lookup(addr).map(|(_, &nh)| nh),
+                global.lookup(addr).map(|(_, &nh)| nh),
+                "addr {addr:#x} diverges in bucket {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_table_gives_no_buckets() {
+        let p = SubTreePartition::split(&RouteTable::new(), 4);
+        assert!(p.buckets().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        let _ = SubTreePartition::split(&RouteTable::new(), 0);
+    }
+}

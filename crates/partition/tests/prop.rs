@@ -1,0 +1,91 @@
+//! Property tests: all three partition schemes must cover every route,
+//! index consistently, and honour their structural guarantees.
+
+use clue_compress::onrtc;
+use clue_fib::{NextHop, Prefix, Route, RouteTable, Trie};
+use clue_partition::{
+    EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition,
+};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = RouteTable> {
+    prop::collection::vec((any::<u32>(), 4u8..=16, 0u16..4), 8..120).prop_map(|v| {
+        v.into_iter()
+            .map(|(bits, len, nh)| (Prefix::new(bits, len), NextHop(nh)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CLUE's even split: disjoint cover, sizes within 1, zero
+    /// redundancy, and the index routes each route's full range to its
+    /// own bucket.
+    #[test]
+    fn even_range_invariants(t in arb_table(), n in 1usize..12) {
+        let table = onrtc(&t);
+        prop_assume!(!table.is_empty());
+        let parts = EvenRangePartition::split(&table, n);
+        let stats = PartitionStats::measure(parts.buckets(), table.len());
+        prop_assert_eq!(stats.total, table.len());
+        prop_assert_eq!(stats.redundancy, 0);
+        prop_assert!(stats.max - stats.min <= 1);
+        for (i, bucket) in parts.buckets().iter().enumerate() {
+            for r in bucket {
+                prop_assert_eq!(parts.index().bucket_of(r.prefix.low()), i);
+                prop_assert_eq!(parts.index().bucket_of(r.prefix.high()), i);
+            }
+        }
+    }
+
+    /// Sub-tree partition: every original route appears in exactly the
+    /// bucket its address indexes to, and a local LPM there equals the
+    /// global LPM (covering replicas make buckets self-contained).
+    #[test]
+    fn subtree_local_lookup_equals_global(t in arb_table(), cap in 2usize..24) {
+        prop_assume!(!t.is_empty());
+        let parts = SubTreePartition::split(&t, cap);
+        let global = t.to_trie();
+        for r in t.iter() {
+            let addr = r.prefix.low();
+            let b = parts.index().bucket_of(addr);
+            prop_assume!(b < parts.buckets().len());
+            let local: Trie<NextHop> = parts.buckets()[b]
+                .iter()
+                .map(|x| (x.prefix, x.next_hop))
+                .collect();
+            prop_assert_eq!(
+                local.lookup(addr).map(|(_, &nh)| nh),
+                global.lookup(addr).map(|(_, &nh)| nh),
+                "addr {:#x} in bucket {}", addr, b
+            );
+        }
+        // Bucket sizes net of replicas respect the capacity bound.
+        for (bucket, &red) in parts.buckets().iter().zip(parts.redundancy()) {
+            prop_assert!(bucket.len() - red <= cap);
+        }
+    }
+
+    /// ID-bit partition: every route is present in the bucket of every
+    /// address it covers, and total replicas match the reported count.
+    #[test]
+    fn id_bit_replication_is_complete(t in arb_table(), k in 1u32..5) {
+        prop_assume!(!t.is_empty());
+        let parts = IdBitPartition::split(&t, k, 16);
+        let idx = parts.indexer();
+        for r in t.iter() {
+            // Probe both ends of the route's range: the route must be
+            // stored wherever its addresses go.
+            for addr in [r.prefix.low(), r.prefix.high()] {
+                let b = idx.bucket_of(addr);
+                prop_assert!(
+                    parts.buckets()[b].contains(&Route::new(r.prefix, r.next_hop)),
+                    "{} missing from bucket {}", r.prefix, b
+                );
+            }
+        }
+        let total: usize = parts.buckets().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, t.len() + parts.total_redundancy());
+    }
+}

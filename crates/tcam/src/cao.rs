@@ -1,0 +1,309 @@
+//! CAO: chain-ancestor ordering (Shah & Gupta, Hot Interconnects 2000).
+//!
+//! The priority encoder only needs the *longest* match to win, and two
+//! prefixes can both match an address only when one is the other's
+//! ancestor. So the full length order of
+//! [`PrefixLengthOrderedTcam`](crate::PrefixLengthOrderedTcam) is
+//! overkill: it suffices that every prefix sits at a lower slot (higher
+//! priority) than all of its ancestors — ordering along trie *chains*
+//! only. Unrelated prefixes can go anywhere, holes are allowed, and an
+//! insert usually finds a free slot inside its chain window with zero
+//! moves; when the window is saturated, one boundary entry per chain
+//! level is relocated (≤ 32, ≈ 1 in practice).
+//!
+//! This is the strongest classical update scheme for *overlapping*
+//! tables — the fair upper baseline for CLUE's unordered layout, which
+//! beats it only because ONRTC removed the overlap constraint entirely.
+
+use std::collections::BTreeSet;
+use std::ops::Bound::{Excluded, Unbounded};
+
+use clue_fib::{NextHop, Prefix, Route, Trie};
+
+use crate::slots::{SlotArray, TcamStats};
+use crate::tables::{TcamFullError, TcamTable, UpdateCost};
+
+/// A TCAM under chain-ancestor ordering.
+#[derive(Debug, Clone)]
+pub struct CaoTcam {
+    arr: SlotArray,
+    /// Stored prefix → slot (structural view for window queries).
+    index: Trie<usize>,
+    /// Free slots, ordered for window-range queries.
+    free: BTreeSet<usize>,
+}
+
+impl CaoTcam {
+    /// Creates an empty table with `capacity` slots.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        CaoTcam {
+            arr: SlotArray::new(capacity),
+            index: Trie::new(),
+            free: (0..capacity).collect(),
+        }
+    }
+
+    /// The chain window of `prefix`: slots strictly between its deepest
+    /// stored descendant and its shallowest stored ancestor.
+    ///
+    /// Returns `(lo, hi)` with the legal slots being `lo+1 ..= hi-1`.
+    fn window(&self, prefix: Prefix) -> (isize, isize) {
+        // Descendants: stored prefixes inside `prefix` must sit at lower
+        // slots. Their maximum bounds the window from below.
+        let lo = self
+            .index
+            .iter_subtree(prefix)
+            .filter(|&(p, _)| p != prefix)
+            .map(|(_, &slot)| slot as isize)
+            .max()
+            .unwrap_or(-1);
+        // Ancestors: walk the path from the root.
+        let mut hi = self.arr.capacity() as isize;
+        let mut node = Some(self.index.root());
+        for depth in 0..prefix.len() {
+            let Some(n) = node else { break };
+            if let Some(&slot) = n.value() {
+                if n.prefix() != prefix {
+                    hi = hi.min(slot as isize);
+                }
+            }
+            node = n.child(Prefix::addr_bit(prefix.bits(), depth));
+        }
+        // (the node at the prefix itself, if reached, is not a bound)
+        (lo, hi)
+    }
+
+    /// Pops a free slot inside `(lo, hi)` exclusive, if any.
+    fn take_free_in(&mut self, lo: isize, hi: isize) -> Option<usize> {
+        let start = if lo < 0 { Unbounded } else { Excluded(lo as usize) };
+        let slot = *self
+            .free
+            .range((start, Unbounded))
+            .next()
+            .filter(|&&f| (f as isize) < hi)?;
+        self.free.remove(&slot);
+        Some(slot)
+    }
+
+    /// Makes room inside `(lo, hi)` by relocating a boundary ancestor
+    /// (the entry at `hi`) deeper into its own window, cascading if
+    /// necessary. Returns the freed slot.
+    fn open_by_moving_ancestors(&mut self, hi: isize) -> Option<usize> {
+        if hi < 0 || hi as usize >= self.arr.capacity() {
+            return None;
+        }
+        let slot = hi as usize;
+        let entry = self.arr.entry(slot)?;
+        let prefix = entry.prefix().expect("routing entries are prefixes");
+        let (_, anc_hi) = self.window(prefix);
+        // The boundary entry may move anywhere above its own slot up to
+        // its own shallowest ancestor.
+        let dest = match self.take_free_in(slot as isize, anc_hi) {
+            Some(d) => d,
+            None => self.open_by_moving_ancestors(anc_hi)?,
+        };
+        self.arr.relocate(slot, dest);
+        *self
+            .index
+            .get_mut(prefix)
+            .expect("index tracks stored prefixes") = dest;
+        Some(slot)
+    }
+
+    /// Symmetric: relocate the boundary descendant (entry at `lo`)
+    /// higher (toward slot 0) within its own window.
+    fn open_by_moving_descendants(&mut self, lo: isize) -> Option<usize> {
+        if lo < 0 || lo as usize >= self.arr.capacity() {
+            return None;
+        }
+        let slot = lo as usize;
+        let entry = self.arr.entry(slot)?;
+        let prefix = entry.prefix().expect("routing entries are prefixes");
+        let (desc_lo, _) = self.window(prefix);
+        let dest = match self.take_free_in(desc_lo, slot as isize) {
+            Some(d) => d,
+            None => self.open_by_moving_descendants(desc_lo)?,
+        };
+        self.arr.relocate(slot, dest);
+        *self
+            .index
+            .get_mut(prefix)
+            .expect("index tracks stored prefixes") = dest;
+        Some(slot)
+    }
+
+    /// Chain-order invariant: every stored prefix sits at a lower slot
+    /// than each of its stored ancestors.
+    #[must_use]
+    pub fn chain_order_holds(&self) -> bool {
+        self.index.iter().all(|(p, &slot)| {
+            let mut q = p;
+            while let Some(parent) = q.parent() {
+                q = parent;
+                if let Some(&anc_slot) = self.index.get(q) {
+                    if anc_slot <= slot {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+    }
+}
+
+impl TcamTable for CaoTcam {
+    fn insert(&mut self, route: Route) -> Result<UpdateCost, TcamFullError> {
+        let before = self.arr.stats();
+        if self.arr.rewrite_action(route.prefix, route.next_hop) {
+            return Ok(UpdateCost::between(before, self.arr.stats()));
+        }
+        if self.free.is_empty() {
+            return Err(TcamFullError {
+                capacity: self.arr.capacity(),
+            });
+        }
+        let (lo, hi) = self.window(route.prefix);
+        let slot = self
+            .take_free_in(lo, hi)
+            .or_else(|| self.open_by_moving_ancestors(hi))
+            .or_else(|| self.open_by_moving_descendants(lo))
+            .ok_or(TcamFullError {
+                capacity: self.arr.capacity(),
+            })?;
+        self.arr.write(slot, route);
+        self.index.insert(route.prefix, slot);
+        debug_assert!(self.chain_order_holds());
+        Ok(UpdateCost::between(before, self.arr.stats()))
+    }
+
+    fn delete(&mut self, prefix: Prefix) -> Option<UpdateCost> {
+        let slot = self.arr.slot_of(prefix)?;
+        let before = self.arr.stats();
+        self.arr.erase(slot);
+        self.index.remove(prefix);
+        self.free.insert(slot);
+        Some(UpdateCost::between(before, self.arr.stats()))
+    }
+
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        self.arr.lookup(addr).map(|(_, a)| a)
+    }
+
+    fn len(&self) -> usize {
+        self.arr.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.arr.capacity()
+    }
+
+    fn stats(&self) -> TcamStats {
+        self.arr.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.arr.reset_stats();
+    }
+
+    fn routes(&self) -> Vec<Route> {
+        self.arr.routes().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::load;
+
+    fn route(s: &str, nh: u16) -> Route {
+        Route::new(s.parse().unwrap(), NextHop(nh))
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn unrelated_prefixes_insert_with_zero_moves() {
+        let mut t = CaoTcam::new(16);
+        for (i, s) in ["10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/16"].iter().enumerate() {
+            let c = t.insert(route(s, i as u16)).unwrap();
+            assert_eq!(c.moves, 0, "unrelated insert must not move anything");
+        }
+        assert!(t.chain_order_holds());
+    }
+
+    #[test]
+    fn chain_order_enforced_on_nested_inserts() {
+        let mut t = CaoTcam::new(16);
+        // Insert ancestor first, then descendants — each must land above.
+        t.insert(route("0.0.0.0/0", 1)).unwrap();
+        t.insert(route("10.0.0.0/8", 2)).unwrap();
+        t.insert(route("10.1.0.0/16", 3)).unwrap();
+        assert!(t.chain_order_holds());
+        for (addr, want) in [(0x0A01_0001u32, 3u16), (0x0A02_0001, 2), (0x0B00_0001, 1)] {
+            assert_eq!(t.lookup(addr), Some(NextHop(want)));
+        }
+    }
+
+    #[test]
+    fn saturated_window_relocates_boundary() {
+        // Capacity 3, fill it so the new descendant's window has no free
+        // slot and an ancestor must move.
+        let mut t = CaoTcam::new(4);
+        t.insert(route("0.0.0.0/0", 1)).unwrap();
+        t.insert(route("10.0.0.0/8", 2)).unwrap();
+        t.insert(route("10.1.0.0/16", 3)).unwrap();
+        // One free slot left, but it may violate the chain; inserting a
+        // /24 under all three must still succeed.
+        let c = t.insert(route("10.1.2.0/24", 4)).unwrap();
+        assert!(t.chain_order_holds());
+        assert!(c.total_ops() >= 1);
+        assert_eq!(t.lookup(0x0A01_0201), Some(NextHop(4)));
+    }
+
+    #[test]
+    fn delete_is_one_erase_no_moves() {
+        let mut t = CaoTcam::new(8);
+        load(&mut t, [route("10.0.0.0/8", 1), route("10.1.0.0/16", 2)]);
+        let c = t.delete(p("10.0.0.0/8")).unwrap();
+        assert_eq!(c.moves, 0);
+        assert_eq!(c.erases, 1);
+        assert_eq!(t.lookup(0x0A02_0001), None);
+        assert_eq!(t.lookup(0x0A01_0001), Some(NextHop(2)));
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut t = CaoTcam::new(2);
+        t.insert(route("10.0.0.0/8", 1)).unwrap();
+        t.insert(route("11.0.0.0/8", 2)).unwrap();
+        assert!(t.insert(route("12.0.0.0/8", 3)).is_err());
+        t.delete(p("10.0.0.0/8")).unwrap();
+        assert!(t.insert(route("12.0.0.0/8", 3)).is_ok());
+    }
+
+    #[test]
+    fn rewrite_in_place() {
+        let mut t = CaoTcam::new(4);
+        t.insert(route("10.0.0.0/8", 1)).unwrap();
+        let c = t.insert(route("10.0.0.0/8", 7)).unwrap();
+        assert_eq!(c.moves, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0x0A00_0001), Some(NextHop(7)));
+    }
+
+    #[test]
+    fn deep_chain_in_tight_space() {
+        // A full 8-level chain in exactly 8 slots, inserted shallowest
+        // first: every insert lands above its ancestors.
+        let mut t = CaoTcam::new(8);
+        for len in 1..=8u8 {
+            t.insert(Route::new(Prefix::new(0xFF00_0000, len), NextHop(u16::from(len))))
+                .unwrap();
+        }
+        assert!(t.chain_order_holds());
+        assert_eq!(t.lookup(0xFF00_0001), Some(NextHop(8)));
+    }
+}

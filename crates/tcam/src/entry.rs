@@ -1,0 +1,115 @@
+//! Ternary entries: the unit a TCAM stores.
+
+use clue_fib::{mask, NextHop, Prefix, Route};
+
+/// One TCAM word: value/mask pair plus the associated action read from
+/// the attached SRAM on a match.
+///
+/// Routing entries always use prefix-form masks; the general value/mask
+/// representation is kept because that is what the hardware stores (and
+/// what a packet-classification extension would need).
+///
+/// # Examples
+///
+/// ```
+/// use clue_fib::{NextHop, Route};
+/// use clue_tcam::TernaryEntry;
+///
+/// let e = TernaryEntry::from_route(Route::new("10.0.0.0/8".parse()?, NextHop(1)));
+/// assert!(e.matches(0x0A01_0203));
+/// assert!(!e.matches(0x0B01_0203));
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TernaryEntry {
+    /// Cared-about bit values.
+    pub value: u32,
+    /// Bit positions that participate in the match (1 = compare).
+    pub mask: u32,
+    /// Action returned on a match.
+    pub action: NextHop,
+}
+
+impl TernaryEntry {
+    /// Builds an entry from a route.
+    #[must_use]
+    pub fn from_route(route: Route) -> Self {
+        TernaryEntry {
+            value: route.prefix.bits(),
+            mask: mask(route.prefix.len()),
+            action: route.next_hop,
+        }
+    }
+
+    /// Whether `addr` matches this entry.
+    #[must_use]
+    pub fn matches(self, addr: u32) -> bool {
+        (addr & self.mask) == self.value
+    }
+
+    /// Interprets the entry as a prefix, if the mask is prefix-form
+    /// (contiguous leading ones).
+    #[must_use]
+    pub fn prefix(self) -> Option<Prefix> {
+        let len = self.mask.leading_ones() as u8;
+        (mask(len) == self.mask).then(|| Prefix::new(self.value, len))
+    }
+
+    /// Converts back to a route (prefix-form masks only).
+    #[must_use]
+    pub fn route(self) -> Option<Route> {
+        self.prefix().map(|p| Route::new(p, self.action))
+    }
+}
+
+impl From<Route> for TernaryEntry {
+    fn from(route: Route) -> Self {
+        TernaryEntry::from_route(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(s: &str, nh: u16) -> Route {
+        Route::new(s.parse().unwrap(), NextHop(nh))
+    }
+
+    #[test]
+    fn round_trip_through_route() {
+        let r = route("192.168.0.0/16", 5);
+        let e = TernaryEntry::from_route(r);
+        assert_eq!(e.route(), Some(r));
+        assert_eq!(e.prefix(), Some(r.prefix));
+    }
+
+    #[test]
+    fn match_respects_mask() {
+        let e = TernaryEntry::from_route(route("10.0.0.0/8", 1));
+        assert!(e.matches(0x0AFF_FFFF));
+        assert!(!e.matches(0x0B00_0000));
+        let default = TernaryEntry::from_route(route("0.0.0.0/0", 1));
+        assert!(default.matches(0));
+        assert!(default.matches(u32::MAX));
+    }
+
+    #[test]
+    fn non_prefix_mask_has_no_prefix_view() {
+        let e = TernaryEntry {
+            value: 0,
+            mask: 0x0F0F_0000,
+            action: NextHop(1),
+        };
+        assert_eq!(e.prefix(), None);
+        assert_eq!(e.route(), None);
+        assert!(e.matches(0xF0F0_FFFF));
+    }
+
+    #[test]
+    fn host_entry_matches_exactly_one_address() {
+        let e = TernaryEntry::from_route(route("1.2.3.4/32", 9));
+        assert!(e.matches(0x0102_0304));
+        assert!(!e.matches(0x0102_0305));
+    }
+}

@@ -1,0 +1,45 @@
+//! TCAM device model for the CLUE reproduction.
+//!
+//! The paper's evaluation runs on real linecard TCAMs; this crate
+//! replaces them with a cycle-cost-accurate software model (see
+//! `DESIGN.md` §1 for the substitution argument):
+//!
+//! * [`TernaryEntry`] / [`SlotArray`] — the word array plus its software
+//!   mirror, counting every write, move, and erase;
+//! * [`TcamTable`] — the policy trait with three layouts:
+//!   [`UnorderedTcam`] (CLUE, O(1) updates, needs non-overlap),
+//!   [`PrefixLengthOrderedTcam`] (classical ≤ 32-shift layout, charged
+//!   to CLPL), and [`FullyOrderedTcam`] (naive O(n) baseline);
+//! * [`TcamTiming`] / [`PowerStats`] — the 24 ns-per-operation cost model
+//!   of the paper's CYNSE70256 and per-search activation accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use clue_fib::{NextHop, Route};
+//! use clue_tcam::{TcamTable, TcamTiming, UnorderedTcam};
+//!
+//! let mut tcam = UnorderedTcam::new(1024);
+//! let cost = tcam.insert(Route::new("10.0.0.0/8".parse()?, NextHop(3)))?;
+//! // CLUE's headline: one slot operation = 24 ns per update.
+//! assert_eq!(TcamTiming::default().cost_ns(cost), 24.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod cao;
+mod entry;
+mod slots;
+mod tables;
+mod timing;
+
+pub use cao::CaoTcam;
+pub use entry::TernaryEntry;
+pub use slots::{SlotArray, TcamStats};
+pub use tables::{
+    load, FullyOrderedTcam, PrefixLengthOrderedTcam, TcamFullError, TcamTable, UnorderedTcam,
+    UpdateCost,
+};
+pub use timing::{PowerStats, TcamTiming};

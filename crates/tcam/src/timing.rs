@@ -1,0 +1,121 @@
+//! Device timing and power models.
+//!
+//! The paper's prototype uses a CYNSE70256 TCAM: 256 K entries, 36-bit
+//! words, 41.5 MHz, so one search — and, to first order, one entry
+//! write/move — costs about 24 ns. TTF2 and TTF3 are reported as
+//! operation counts multiplied by this constant, which is exactly what
+//! [`TcamTiming::cost_ns`] computes.
+
+use crate::tables::UpdateCost;
+
+/// Timing constants of one TCAM device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcamTiming {
+    /// One search cycle, nanoseconds.
+    pub search_ns: f64,
+    /// One slot write/move/erase, nanoseconds.
+    pub write_ns: f64,
+}
+
+impl TcamTiming {
+    /// The paper's device: CYNSE70256 at 41.5 MHz ⇒ 24 ns per operation.
+    #[must_use]
+    pub fn cynse70256() -> Self {
+        TcamTiming {
+            search_ns: 24.0,
+            write_ns: 24.0,
+        }
+    }
+
+    /// A faster contemporary device (166 MHz, the clock the paper quotes
+    /// for "common TCAMs").
+    #[must_use]
+    pub fn fast_166mhz() -> Self {
+        let ns = 1e3 / 166.0;
+        TcamTiming {
+            search_ns: ns,
+            write_ns: ns,
+        }
+    }
+
+    /// Nanoseconds consumed by an update of the given cost.
+    #[must_use]
+    pub fn cost_ns(&self, cost: UpdateCost) -> f64 {
+        cost.total_ops() as f64 * self.write_ns
+    }
+}
+
+impl Default for TcamTiming {
+    fn default() -> Self {
+        TcamTiming::cynse70256()
+    }
+}
+
+/// Power accounting: a TCAM search activates every entry in the searched
+/// block, so energy is proportional to entries activated.
+///
+/// Partitioned schemes win power by only activating one partition per
+/// search; this counter lets the engine report that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerStats {
+    /// Searches issued.
+    pub searches: u64,
+    /// Total entries activated across all searches.
+    pub entries_activated: u64,
+}
+
+impl PowerStats {
+    /// Records one search that activated `entries` entries.
+    pub fn record_search(&mut self, entries: usize) {
+        self.searches += 1;
+        self.entries_activated += entries as u64;
+    }
+
+    /// Mean entries activated per search (0 if none issued).
+    #[must_use]
+    pub fn mean_activated(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.entries_activated as f64 / self.searches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_device() {
+        let t = TcamTiming::default();
+        assert_eq!(t.write_ns, 24.0);
+        assert_eq!(t, TcamTiming::cynse70256());
+    }
+
+    #[test]
+    fn cost_ns_multiplies_ops() {
+        let t = TcamTiming::cynse70256();
+        let c = UpdateCost {
+            writes: 1,
+            moves: 14,
+            erases: 0,
+        };
+        assert!((t.cost_ns(c) - 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_device_is_faster() {
+        assert!(TcamTiming::fast_166mhz().search_ns < TcamTiming::cynse70256().search_ns);
+    }
+
+    #[test]
+    fn power_stats_average() {
+        let mut p = PowerStats::default();
+        assert_eq!(p.mean_activated(), 0.0);
+        p.record_search(100);
+        p.record_search(300);
+        assert_eq!(p.searches, 2);
+        assert_eq!(p.mean_activated(), 200.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests: every layout policy must behave like a map with LPM
+//! lookup, stay internally consistent, and respect its cost bound.
+
+use std::collections::BTreeMap;
+
+use clue_fib::{NextHop, Prefix, Route};
+use clue_tcam::{
+    CaoTcam, FullyOrderedTcam, PrefixLengthOrderedTcam, TcamTable, UnorderedTcam,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Route),
+    Delete(Prefix),
+}
+
+fn arb_ops(max_len: u8) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (any::<u32>(), 0u8..=max_len, 0u16..4, any::<bool>()),
+        1..80,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(bits, len, nh, ins)| {
+                let p = Prefix::new(bits, len);
+                if ins {
+                    Op::Insert(Route::new(p, NextHop(nh)))
+                } else {
+                    Op::Delete(p)
+                }
+            })
+            .collect()
+    })
+}
+
+fn reference_lpm(model: &BTreeMap<Prefix, NextHop>, addr: u32) -> Option<NextHop> {
+    model
+        .iter()
+        .filter(|(p, _)| p.contains_addr(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, &nh)| nh)
+}
+
+/// Drives a policy through `ops`, checking per-op cost with `max_cost`
+/// and final behaviour against the map model.
+fn check_policy<T: TcamTable>(
+    table: &mut T,
+    ops: &[Op],
+    probes: &[u32],
+    max_cost: impl Fn(&T) -> u64,
+) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<Prefix, NextHop> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(r) => {
+                let cost = table.insert(r).expect("capacity sized for the op count");
+                model.insert(r.prefix, r.next_hop);
+                prop_assert!(
+                    cost.total_ops() <= max_cost(table),
+                    "insert cost {} over bound {}",
+                    cost.total_ops(),
+                    max_cost(table)
+                );
+            }
+            Op::Delete(p) => {
+                let cost = table.delete(p);
+                let expect = model.remove(&p);
+                prop_assert_eq!(cost.is_some(), expect.is_some());
+                if let Some(c) = cost {
+                    prop_assert!(c.total_ops() <= max_cost(table));
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+    }
+    // Stored routes match the model exactly.
+    let mut got: Vec<Route> = table.routes();
+    got.sort();
+    let want: Vec<Route> = model
+        .iter()
+        .map(|(&p, &nh)| Route::new(p, nh))
+        .collect();
+    prop_assert_eq!(got, want);
+    // LPM lookups agree with the reference.
+    for &addr in probes {
+        prop_assert_eq!(table.lookup(addr), reference_lpm(&model, addr));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plo_behaves_like_model(ops in arb_ops(32), probes in prop::collection::vec(any::<u32>(), 12)) {
+        let mut t = PrefixLengthOrderedTcam::new(128);
+        // PLO bound: one move per length group (≤ 33) + write + erase + 1
+        // in-group swap.
+        check_policy(&mut t, &ops, &probes, |_| 36)?;
+    }
+
+    #[test]
+    fn naive_behaves_like_model(ops in arb_ops(32), probes in prop::collection::vec(any::<u32>(), 12)) {
+        let mut t = FullyOrderedTcam::new(128);
+        // Naive bound: shifts everything — at most len() moves + bookkeeping.
+        check_policy(&mut t, &ops, &probes, |t| t.len() as u64 + 2)?;
+    }
+
+    #[test]
+    fn unordered_behaves_like_model_on_disjoint_content(
+        ops in arb_ops(8).prop_map(|ops| {
+            // Restrict to one fixed length so content never overlaps —
+            // the precondition for the encoder-free layout.
+            ops.into_iter().map(|op| match op {
+                Op::Insert(r) => Op::Insert(Route::new(
+                    Prefix::new(r.prefix.bits(), 8), r.next_hop)),
+                Op::Delete(p) => Op::Delete(Prefix::new(p.bits(), 8)),
+            }).collect::<Vec<_>>()
+        }),
+        probes in prop::collection::vec(any::<u32>(), 12),
+    ) {
+        let mut t = UnorderedTcam::new(128);
+        // CLUE bound: O(1) — never more than two slot operations.
+        check_policy(&mut t, &ops, &probes, |_| 2)?;
+    }
+
+    #[test]
+    fn cao_behaves_like_model(ops in arb_ops(32), probes in prop::collection::vec(any::<u32>(), 12)) {
+        let mut t = CaoTcam::new(128);
+        // CAO bound: one move per chain level per direction, plus
+        // bookkeeping — far below the array size.
+        check_policy(&mut t, &ops, &probes, |_| 70)?;
+        prop_assert!(t.chain_order_holds());
+    }
+
+    /// All ordered policies agree with each other on identical content.
+    #[test]
+    fn policies_agree(ops in arb_ops(24), probes in prop::collection::vec(any::<u32>(), 16)) {
+        // Use only non-overlapping content (single length) so Unordered
+        // is applicable too.
+        let mut plo = PrefixLengthOrderedTcam::new(128);
+        let mut naive = FullyOrderedTcam::new(128);
+        let mut cao = CaoTcam::new(128);
+        for op in &ops {
+            match *op {
+                Op::Insert(r) => {
+                    plo.insert(r).unwrap();
+                    naive.insert(r).unwrap();
+                    cao.insert(r).unwrap();
+                }
+                Op::Delete(p) => {
+                    let a = plo.delete(p).is_some();
+                    prop_assert_eq!(a, naive.delete(p).is_some());
+                    prop_assert_eq!(a, cao.delete(p).is_some());
+                }
+            }
+        }
+        for &addr in &probes {
+            prop_assert_eq!(plo.lookup(addr), naive.lookup(addr));
+            prop_assert_eq!(plo.lookup(addr), cao.lookup(addr));
+        }
+    }
+}

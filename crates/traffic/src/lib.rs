@@ -1,0 +1,35 @@
+//! Synthetic traffic for the CLUE reproduction.
+//!
+//! Stands in for the two captures the paper replays (see DESIGN.md §1):
+//!
+//! * [`PacketGen`] — CAIDA-like packet traces: Zipf destination
+//!   popularity (skew → partition load imbalance) and flow trains
+//!   (locality → DRed hit rate);
+//! * [`UpdateGen`] — RIPE-like BGP churn: re-announce/announce/withdraw
+//!   mixes concentrated on unstable prefixes, split into arrival
+//!   [`windows`] for the TTF time series;
+//! * [`workload`] — per-partition traffic profiling and the adversarial
+//!   partition→chip mapping of Table II / Figure 15.
+//!
+//! # Examples
+//!
+//! ```
+//! use clue_fib::gen::FibGen;
+//! use clue_traffic::{PacketGen, UpdateGen};
+//!
+//! let fib = FibGen::new(1).routes(1_000).generate();
+//! let packets = PacketGen::new(2).generate(&fib, 5_000);
+//! assert_eq!(packets.len(), 5_000);
+//! let updates = UpdateGen::new(3).generate(&fib, 100);
+//! assert_eq!(updates.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod packets;
+mod updates;
+pub mod workload;
+
+pub use packets::{PacketGen, Zipf};
+pub use updates::{windows, UpdateGen, UpdateMix};

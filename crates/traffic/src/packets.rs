@@ -1,0 +1,312 @@
+//! Synthetic packet traces.
+//!
+//! The paper replays a CAIDA Chicago capture; this generator reproduces
+//! the two properties the experiments depend on (see DESIGN.md §1):
+//!
+//! * **skew** — destination popularity follows a Zipf law over prefixes,
+//!   so some partitions carry far more traffic than others (Table II's
+//!   77.88 % / 0.16 % spread);
+//! * **locality** — packets arrive in flow trains, so a recently used
+//!   prefix is very likely to be used again soon (what gives DRed its
+//!   hit rate).
+
+use clue_fib::{Prefix, RouteTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n` ranks with exponent `s`
+    /// (`P(rank k) ∝ 1/(k+1)^s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite, ≥ 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is degenerate (cannot happen — kept for API
+    /// symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Configuration for the packet-trace generator.
+#[derive(Debug, Clone)]
+pub struct PacketGen {
+    seed: u64,
+    zipf_exponent: f64,
+    /// Mean packets per flow train (geometric).
+    mean_flow_len: f64,
+    /// Number of concurrently active flows.
+    active_flows: usize,
+    /// Hot-set drift: every `.0` packets, `.1` of the popularity ranks
+    /// are re-shuffled (0.0 = stationary).
+    drift: Option<(usize, f64)>,
+}
+
+impl PacketGen {
+    /// Creates a generator with CAIDA-flavoured defaults.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        PacketGen {
+            seed,
+            zipf_exponent: 1.0,
+            mean_flow_len: 10.0,
+            active_flows: 64,
+            drift: None,
+        }
+    }
+
+    /// Enables hot-set drift: every `period` packets, a `fraction` of
+    /// the popularity ranking is re-shuffled. This is the burstiness
+    /// that defeats statically provisioned redundancy (paper §I).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period > 0` and `fraction ∈ [0, 1]`.
+    #[must_use]
+    pub fn hot_drift(mut self, period: usize, fraction: f64) -> Self {
+        assert!(period > 0, "drift period must be positive");
+        assert!((0.0..=1.0).contains(&fraction));
+        self.drift = Some((period, fraction));
+        self
+    }
+
+    /// Sets the Zipf popularity exponent (0 = uniform; ~1 = Internet).
+    #[must_use]
+    pub fn zipf_exponent(mut self, s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0);
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Sets the mean flow-train length in packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `len ≥ 1`.
+    #[must_use]
+    pub fn mean_flow_len(mut self, len: f64) -> Self {
+        assert!(len >= 1.0, "flow trains are at least one packet");
+        self.mean_flow_len = len;
+        self
+    }
+
+    /// Sets the number of interleaved active flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn active_flows(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.active_flows = n;
+        self
+    }
+
+    /// Generates `count` destination addresses targeting `table`'s
+    /// prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is empty.
+    #[must_use]
+    pub fn generate(&self, table: &RouteTable, count: usize) -> Vec<u32> {
+        assert!(!table.is_empty(), "cannot target an empty table");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Assign Zipf ranks to prefixes in a seeded shuffle so hot
+        // prefixes are scattered across the address space.
+        let mut prefixes: Vec<Prefix> = table.iter().map(|r| r.prefix).collect();
+        for i in (1..prefixes.len()).rev() {
+            prefixes.swap(i, rng.random_range(0..=i));
+        }
+        let zipf = Zipf::new(prefixes.len(), self.zipf_exponent);
+
+        // Flow slots: (address, remaining packets); 0 remaining = idle.
+        let mut flows: Vec<(u32, u32)> = vec![(0, 0); self.active_flows];
+        let mut out = Vec::with_capacity(count);
+        let continue_p = 1.0 - 1.0 / self.mean_flow_len;
+        let mut next_drift = self.drift.map(|(period, _)| period);
+
+        while out.len() < count {
+            if let (Some(at), Some((period, fraction))) = (next_drift, self.drift) {
+                if out.len() >= at {
+                    // Re-shuffle a slice of the popularity ranking: the
+                    // hot set moves, as bursty traffic does.
+                    let swaps = ((prefixes.len() as f64) * fraction) as usize;
+                    for _ in 0..swaps {
+                        let a = rng.random_range(0..prefixes.len());
+                        let b = rng.random_range(0..prefixes.len());
+                        prefixes.swap(a, b);
+                    }
+                    next_drift = Some(at + period);
+                }
+            }
+            let slot = rng.random_range(0..self.active_flows);
+            if flows[slot].1 == 0 {
+                // Start a new flow train on a Zipf-sampled prefix.
+                let p = prefixes[zipf.sample(&mut rng)];
+                let span = (p.high() - p.low()) as u64 + 1;
+                let addr = p.low() + (rng.random_range(0..span) as u32);
+                flows[slot] = (addr, geometric(&mut rng, continue_p));
+            }
+            let (addr, remaining) = &mut flows[slot];
+            out.push(*addr);
+            *remaining -= 1;
+        }
+        out
+    }
+}
+
+/// Geometric sample ≥ 1 with continuation probability `p`.
+fn geometric(rng: &mut StdRng, p: f64) -> u32 {
+    let mut n = 1;
+    while n < 10_000 && rng.random_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::NextHop;
+
+    fn table(count: u32) -> RouteTable {
+        (0..count)
+            .map(|i| (Prefix::new(i << 16, 16), NextHop(1)))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = table(64);
+        let a = PacketGen::new(5).generate(&t, 1000);
+        let b = PacketGen::new(5).generate(&t, 1000);
+        let c = PacketGen::new(6).generate(&t, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_packet_hits_some_prefix() {
+        let t = table(16);
+        let trie = t.to_trie();
+        for addr in PacketGen::new(1).generate(&t, 2000) {
+            assert!(trie.lookup(addr).is_some(), "addr {addr:#x} missed");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_popularity() {
+        let t = table(256);
+        let trace = PacketGen::new(2).zipf_exponent(1.2).generate(&t, 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for addr in trace {
+            *counts.entry(addr >> 16).or_insert(0usize) += 1;
+        }
+        let mut loads: Vec<usize> = counts.into_values().collect();
+        loads.sort_unstable_by(|a, b| b.cmp(a));
+        // The hottest block must dwarf the median.
+        assert!(loads[0] > 10 * loads[loads.len() / 2]);
+    }
+
+    #[test]
+    fn uniform_exponent_spreads_load() {
+        let t = table(16);
+        let trace = PacketGen::new(3).zipf_exponent(0.0).generate(&t, 32_000);
+        let mut counts = [0usize; 16];
+        for addr in trace {
+            counts[(addr >> 16) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < min * 2, "uniform trace too skewed: {max} vs {min}");
+    }
+
+    #[test]
+    fn flow_trains_repeat_addresses() {
+        let t = table(256);
+        let trace = PacketGen::new(4).mean_flow_len(20.0).generate(&t, 10_000);
+        let distinct: std::collections::HashSet<u32> = trace.iter().copied().collect();
+        // With 20-packet trains, distinct addresses ≪ packets.
+        assert!(distinct.len() * 5 < trace.len());
+    }
+
+    #[test]
+    fn hot_drift_moves_the_hot_set() {
+        let t = table(512);
+        // Stationary: first and second halves of the trace share their
+        // hottest block. Drifting: they usually do not.
+        let hottest = |trace: &[u32]| {
+            let mut counts = std::collections::HashMap::new();
+            for &a in trace {
+                *counts.entry(a >> 16).or_insert(0usize) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        let stationary = PacketGen::new(8).zipf_exponent(1.3).generate(&t, 40_000);
+        assert_eq!(
+            hottest(&stationary[..20_000]),
+            hottest(&stationary[20_000..])
+        );
+        let drifting = PacketGen::new(8)
+            .zipf_exponent(1.3)
+            .hot_drift(10_000, 1.0)
+            .generate(&t, 40_000);
+        assert_ne!(hottest(&drifting[..10_000]), hottest(&drifting[30_000..]));
+    }
+
+    #[test]
+    fn zipf_sampler_is_normalized_and_ordered() {
+        let z = Zipf::new(100, 1.0);
+        assert_eq!(z.len(), 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50]);
+        assert!(counts[0] > counts[99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn rejects_empty_table() {
+        let _ = PacketGen::new(0).generate(&RouteTable::new(), 10);
+    }
+}

@@ -1,0 +1,311 @@
+//! BGP-like update traces.
+//!
+//! Stands in for the RIPE update feed (2011-10-01 → 10-02) the paper
+//! replays. Real BGP churn is dominated by *re-announcements* (path
+//! changes rewriting the next hop), with a smaller share of fresh
+//! announcements and withdrawals, and it is heavily concentrated on a
+//! few unstable prefixes. All three knobs are parameters here.
+
+use clue_fib::{NextHop, Prefix, RouteTable, Update};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packets::Zipf;
+
+/// Mix of update kinds (weights, normalized internally).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateMix {
+    /// Re-announce an existing prefix with a (usually) different hop.
+    pub reannounce: f64,
+    /// Announce a brand-new prefix.
+    pub announce_new: f64,
+    /// Withdraw an existing prefix.
+    pub withdraw: f64,
+}
+
+impl Default for UpdateMix {
+    /// BGP-flavoured default, restricted to *FIB-affecting* updates (a
+    /// next-hop-preserving re-announcement never reaches the FIB): path
+    /// changes that move the next hop, fresh announcements, and
+    /// withdrawals in roughly equal measure, keeping the table size
+    /// stable.
+    fn default() -> Self {
+        UpdateMix {
+            reannounce: 0.34,
+            announce_new: 0.33,
+            withdraw: 0.33,
+        }
+    }
+}
+
+/// Configuration for the update-trace generator.
+#[derive(Debug, Clone)]
+pub struct UpdateGen {
+    seed: u64,
+    mix: UpdateMix,
+    next_hops: u16,
+    /// Zipf exponent over prefixes: how concentrated churn is.
+    churn_skew: f64,
+    /// Probability that a *new* announcement is a de-aggregation
+    /// carrying its covering route's next hop (a redundant specific).
+    redundant_rate: f64,
+}
+
+impl UpdateGen {
+    /// Creates a generator with BGP-flavoured defaults.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        UpdateGen {
+            seed,
+            mix: UpdateMix::default(),
+            next_hops: 24,
+            churn_skew: 0.8,
+            redundant_rate: 0.45,
+        }
+    }
+
+    /// Sets the probability that a new announcement inherits its
+    /// covering route's next hop (a redundant de-aggregation — the very
+    /// routes ONRTC compresses away; ~30–45 % of real tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate ∈ [0, 1]`.
+    #[must_use]
+    pub fn redundant_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.redundant_rate = rate;
+        self
+    }
+
+    /// Sets the kind mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all are zero.
+    #[must_use]
+    pub fn mix(mut self, mix: UpdateMix) -> Self {
+        assert!(
+            mix.reannounce >= 0.0 && mix.announce_new >= 0.0 && mix.withdraw >= 0.0,
+            "weights must be non-negative"
+        );
+        assert!(
+            mix.reannounce + mix.announce_new + mix.withdraw > 0.0,
+            "at least one weight must be positive"
+        );
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the next-hop alphabet size (should match the FIB's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn next_hops(mut self, n: u16) -> Self {
+        assert!(n > 0);
+        self.next_hops = n;
+        self
+    }
+
+    /// Sets how concentrated churn is on unstable prefixes
+    /// (0 = uniform).
+    #[must_use]
+    pub fn churn_skew(mut self, s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0);
+        self.churn_skew = s;
+        self
+    }
+
+    /// Generates `count` updates against (an evolving copy of) `table`.
+    ///
+    /// The returned trace is *consistent*: withdrawals only target
+    /// prefixes currently present, and a prefix announced as new was
+    /// absent at that point in the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is empty.
+    #[must_use]
+    pub fn generate(&self, table: &RouteTable, count: usize) -> Vec<Update> {
+        assert!(!table.is_empty(), "need a base table to churn");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut present: Vec<Prefix> = table.iter().map(|r| r.prefix).collect();
+        // Seeded shuffle, then Zipf rank = churn concentration.
+        for i in (1..present.len()).rev() {
+            present.swap(i, rng.random_range(0..=i));
+        }
+        let mut current: RouteTable = table.clone();
+        let mut current_trie = table.to_trie();
+
+        let total = self.mix.reannounce + self.mix.announce_new + self.mix.withdraw;
+        let p_re = self.mix.reannounce / total;
+        let p_new = self.mix.announce_new / total;
+
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let zipf = Zipf::new(present.len().max(1), self.churn_skew);
+            // Regenerating the sampler each iteration would be O(n²);
+            // sample a batch per epoch instead.
+            let batch = (count - out.len()).min(present.len().max(64).min(4096));
+            for _ in 0..batch {
+                if out.len() >= count {
+                    break;
+                }
+                let roll: f64 = rng.random();
+                // If churn has drained the table completely, only fresh
+                // announcements remain possible; emit one regardless of
+                // the configured mix so the trace always reaches `count`.
+                let force_new = current.is_empty();
+                let update = if !force_new && roll < p_re {
+                    let prefix = present[zipf.sample(&mut rng) % present.len()];
+                    if !current.contains(prefix) || !churn_accepts(&mut rng, prefix) {
+                        continue;
+                    }
+                    Update::Announce {
+                        prefix,
+                        next_hop: NextHop(rng.random_range(0..self.next_hops)),
+                    }
+                } else if force_new || roll < p_re + p_new {
+                    // A fresh, reasonably deep prefix near existing space.
+                    let base = present[rng.random_range(0..present.len().max(1)) % present.len()];
+                    let len = rng.random_range(20..=24u8).max(base.len());
+                    let span = base.size();
+                    let prefix =
+                        Prefix::new(base.low() + (rng.random_range(0..span) as u32), len);
+                    if current.contains(prefix) {
+                        continue;
+                    }
+                    // Many real announcements are de-aggregations whose
+                    // next hop matches the covering route.
+                    let covering_nh = current_trie.lookup(prefix.low()).map(|(_, &nh)| nh);
+                    let next_hop = match covering_nh {
+                        Some(nh) if rng.random_bool(self.redundant_rate) => nh,
+                        _ => NextHop(rng.random_range(0..self.next_hops)),
+                    };
+                    present.push(prefix);
+                    Update::Announce { prefix, next_hop }
+                } else {
+                    let idx = zipf.sample(&mut rng) % present.len();
+                    let prefix = present[idx];
+                    if !current.contains(prefix) || !churn_accepts(&mut rng, prefix) {
+                        continue;
+                    }
+                    Update::Withdraw { prefix }
+                };
+                current.apply(update);
+                match update {
+                    Update::Announce { prefix, next_hop } => {
+                        current_trie.insert(prefix, next_hop);
+                    }
+                    Update::Withdraw { prefix } => {
+                        current_trie.remove(prefix);
+                    }
+                }
+                out.push(update);
+            }
+        }
+        out
+    }
+}
+
+/// BGP instability concentrates in long, single-homed prefixes; short
+/// covering aggregates are announced by large, stable networks and
+/// almost never flap. Accept a churn target with a probability that
+/// falls off sharply below /20.
+fn churn_accepts(rng: &mut StdRng, prefix: Prefix) -> bool {
+    let p = match prefix.len() {
+        20..=32 => 1.0,
+        16..=19 => 0.25,
+        12..=15 => 0.02,
+        _ => 0.002,
+    };
+    rng.random_bool(p)
+}
+
+/// Splits a trace into fixed-size windows for the TTF time-series plots
+/// (Figures 10–14 put one point per arrival window).
+#[must_use]
+pub fn windows(trace: &[Update], per_window: usize) -> Vec<&[Update]> {
+    assert!(per_window > 0, "window size must be positive");
+    trace.chunks(per_window).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::gen::FibGen;
+
+    fn base() -> RouteTable {
+        FibGen::new(11).routes(2_000).generate()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = base();
+        assert_eq!(
+            UpdateGen::new(1).generate(&t, 500),
+            UpdateGen::new(1).generate(&t, 500)
+        );
+        assert_ne!(
+            UpdateGen::new(1).generate(&t, 500),
+            UpdateGen::new(2).generate(&t, 500)
+        );
+    }
+
+    #[test]
+    fn trace_is_replayable_consistently() {
+        let t = base();
+        let trace = UpdateGen::new(3).generate(&t, 2_000);
+        let mut replay = t.clone();
+        for u in &trace {
+            match *u {
+                Update::Withdraw { prefix } => {
+                    assert!(replay.contains(prefix), "withdraw of absent {prefix}");
+                }
+                Update::Announce { .. } => {}
+            }
+            replay.apply(*u);
+        }
+    }
+
+    #[test]
+    fn mix_is_respected_roughly() {
+        let t = base();
+        let trace = UpdateGen::new(4).generate(&t, 4_000);
+        let announces = trace.iter().filter(|u| u.is_announce()).count();
+        let frac = announces as f64 / trace.len() as f64;
+        // Default mix: ~67 % announcements (re + new). Some slack: the
+        // length-aware churn filter rejects differently per kind.
+        assert!((0.55..0.85).contains(&frac), "announce fraction {frac}");
+    }
+
+    #[test]
+    fn withdraw_only_mix_drains_table() {
+        let t = base();
+        let trace = UpdateGen::new(5)
+            .mix(UpdateMix {
+                reannounce: 0.0,
+                announce_new: 0.0,
+                withdraw: 1.0,
+            })
+            .generate(&t, 500);
+        assert!(trace.iter().all(|u| !u.is_announce()));
+    }
+
+    #[test]
+    fn windows_chunk_evenly() {
+        let t = base();
+        let trace = UpdateGen::new(6).generate(&t, 1_000);
+        let w = windows(&trace, 100);
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|c| c.len() == 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "base table")]
+    fn rejects_empty_base() {
+        let _ = UpdateGen::new(0).generate(&RouteTable::new(), 10);
+    }
+}

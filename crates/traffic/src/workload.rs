@@ -1,0 +1,124 @@
+//! Workload profiling: how traffic distributes over partitions.
+//!
+//! This is the machinery behind Table II and the "Original" bars of
+//! Figure 15: measure the traffic share of each partition, sort the
+//! partitions by share, and map consecutive groups onto chips to build
+//! the paper's *adversarial* (maximally uneven) placement.
+
+/// Per-bucket traffic counts for a trace.
+///
+/// `bucket_of` is any indexing function (see `clue_partition::Indexer`);
+/// a closure keeps this crate independent of the partition schemes.
+#[must_use]
+pub fn profile(trace: &[u32], buckets: usize, mut bucket_of: impl FnMut(u32) -> usize) -> Vec<u64> {
+    let mut counts = vec![0u64; buckets];
+    for &addr in trace {
+        let b = bucket_of(addr);
+        assert!(b < buckets, "indexer returned bucket {b} of {buckets}");
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// Converts counts to shares in `[0, 1]`.
+#[must_use]
+pub fn shares(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// The paper's adversarial placement: sort buckets by load (descending)
+/// and deal them out in consecutive blocks of `buckets/chips`, so chip 0
+/// receives all the hottest buckets.
+///
+/// Returns `assignment[bucket] = chip`.
+///
+/// # Panics
+///
+/// Panics if `chips == 0` or does not divide the bucket count.
+#[must_use]
+pub fn adversarial_mapping(counts: &[u64], chips: usize) -> Vec<usize> {
+    assert!(chips > 0, "need at least one chip");
+    assert!(
+        counts.len() % chips == 0,
+        "chips ({chips}) must divide bucket count ({})",
+        counts.len()
+    );
+    let per_chip = counts.len() / chips;
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(counts[b]));
+    let mut assignment = vec![0usize; counts.len()];
+    for (rank, &bucket) in order.iter().enumerate() {
+        assignment[bucket] = rank / per_chip;
+    }
+    assignment
+}
+
+/// Per-chip load shares under an assignment.
+#[must_use]
+pub fn chip_shares(counts: &[u64], assignment: &[usize], chips: usize) -> Vec<f64> {
+    assert_eq!(counts.len(), assignment.len());
+    let mut chip_counts = vec![0u64; chips];
+    for (b, &chip) in assignment.iter().enumerate() {
+        assert!(chip < chips);
+        chip_counts[chip] += counts[b];
+    }
+    shares(&chip_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_by_index() {
+        let trace = [0u32, 1, 2, 3, 0, 0];
+        let counts = profile(&trace, 2, |a| (a % 2) as usize);
+        assert_eq!(counts, vec![4, 2]);
+    }
+
+    #[test]
+    fn shares_normalize() {
+        let s = shares(&[3, 1]);
+        assert!((s[0] - 0.75).abs() < 1e-9);
+        assert!((s[1] - 0.25).abs() < 1e-9);
+        assert_eq!(shares(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn adversarial_mapping_concentrates_heat() {
+        // 8 buckets, loads descending by index already.
+        let counts = [100u64, 90, 80, 70, 4, 3, 2, 1];
+        let assignment = adversarial_mapping(&counts, 2);
+        // The four hottest go to chip 0.
+        assert_eq!(&assignment[..4], &[0, 0, 0, 0]);
+        assert_eq!(&assignment[4..], &[1, 1, 1, 1]);
+        let cs = chip_shares(&counts, &assignment, 2);
+        assert!(cs[0] > 0.9);
+    }
+
+    #[test]
+    fn adversarial_mapping_handles_shuffled_loads() {
+        let counts = [1u64, 100, 2, 90];
+        let assignment = adversarial_mapping(&counts, 2);
+        assert_eq!(assignment[1], 0);
+        assert_eq!(assignment[3], 0);
+        assert_eq!(assignment[0], 1);
+        assert_eq!(assignment[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn mapping_rejects_nondivisible() {
+        let _ = adversarial_mapping(&[1, 2, 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "indexer returned")]
+    fn profile_rejects_out_of_range_index() {
+        let _ = profile(&[5], 2, |a| a as usize);
+    }
+}

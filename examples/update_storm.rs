@@ -1,0 +1,80 @@
+//! Update storm: CLUE vs CLPL under heavy BGP churn.
+//!
+//! Replays the same update trace through both complete pipelines and
+//! prints the TTF breakdown — the live version of Figures 10–14. The
+//! paper's peak observation (35 K updates/s) sets the bar: a pipeline
+//! is update-limited once its per-update TTF exceeds ~28.6 µs.
+//!
+//! ```sh
+//! cargo run --release --example update_storm
+//! ```
+
+use clue::core::update_pipeline::{mean_ttf, CluePipeline, ClplPipeline, TtfSample};
+use clue::fib::gen::FibGen;
+use clue::traffic::{windows, PacketGen, UpdateGen};
+
+fn main() {
+    println!("== BGP update storm: CLUE vs CLPL ==\n");
+    let rib = FibGen::new(55).routes(100_000).generate();
+    let updates = UpdateGen::new(56).generate(&rib, 20_000);
+    let warm = PacketGen::new(57).generate(&rib, 50_000);
+
+    let mut clue = CluePipeline::new(&rib, 4, 1024, 65_536);
+    let mut clpl = ClplPipeline::new(&rib, 4, 1024, 65_536);
+    clue.warm(&warm);
+    clpl.warm(&warm);
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12}",
+        "window", "CLUE ttf1", "CLUE ttf2+3", "CLPL ttf1", "CLPL ttf2+3", "CLUE total", "CLPL total"
+    );
+
+    let mut clue_all: Vec<TtfSample> = Vec::new();
+    let mut clpl_all: Vec<TtfSample> = Vec::new();
+    for (i, w) in windows(&updates, 2_000).iter().enumerate() {
+        let a: Vec<TtfSample> = w.iter().map(|&u| clue.apply(u)).collect();
+        let b: Vec<TtfSample> = w.iter().map(|&u| clpl.apply(u)).collect();
+        let (ma, mb) = (mean_ttf(&a), mean_ttf(&b));
+        println!(
+            "{:<8} {:>10.3}us {:>10.3}us {:>10.3}us {:>10.3}us | {:>10.3}us {:>10.3}us",
+            i,
+            ma.ttf1_ns / 1e3,
+            (ma.ttf2_ns + ma.ttf3_ns) / 1e3,
+            mb.ttf1_ns / 1e3,
+            (mb.ttf2_ns + mb.ttf3_ns) / 1e3,
+            ma.total_ns() / 1e3,
+            mb.total_ns() / 1e3,
+        );
+        clue_all.extend(a);
+        clpl_all.extend(b);
+    }
+
+    let (ma, mb) = (mean_ttf(&clue_all), mean_ttf(&clpl_all));
+    println!("\n-- storm summary over {} updates --", clue_all.len());
+    println!(
+        "CLUE: mean TTF {:.3} us  (trie {:.3}, tcam {:.3}, dred {:.3})",
+        ma.total_ns() / 1e3,
+        ma.ttf1_ns / 1e3,
+        ma.ttf2_ns / 1e3,
+        ma.ttf3_ns / 1e3
+    );
+    println!(
+        "CLPL: mean TTF {:.3} us  (trie {:.3}, tcam {:.3}, dred {:.3})",
+        mb.total_ns() / 1e3,
+        mb.ttf1_ns / 1e3,
+        mb.ttf2_ns / 1e3,
+        mb.ttf3_ns / 1e3
+    );
+    println!(
+        "data-plane-interrupting cost (ttf2+ttf3): CLUE is {:.1}% of CLPL",
+        (ma.ttf2_ns + ma.ttf3_ns) / (mb.ttf2_ns + mb.ttf3_ns) * 100.0
+    );
+    let budget_ns = 1e9 / 35_000.0;
+    println!(
+        "at the paper's 35 K updates/s peak ({:.2} us budget): CLUE uses {:.1}%, CLPL {:.1}%",
+        budget_ns / 1e3,
+        ma.total_ns() / budget_ns * 100.0,
+        mb.total_ns() / budget_ns * 100.0
+    );
+    assert!(clue.tcam_synced() && clpl.tcam_synced());
+}

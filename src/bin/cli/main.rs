@@ -1,0 +1,423 @@
+//! `clue` — command-line front end for the CLUE reproduction.
+//!
+//! ```text
+//! clue gen-fib      --out fib.txt [--routes N] [--seed S] [--next-hops K]
+//! clue gen-packets  --fib fib.txt --out trace.txt [--count N] [--seed S] [--zipf X]
+//! clue gen-updates  --fib fib.txt --out updates.txt [--count N] [--seed S]
+//! clue compress     --fib fib.txt [--algorithm onrtc|ortc|leaf-push] [--out out.txt]
+//! clue partition    --fib fib.txt [--scheme clue|subtree|idbit] [--n N]
+//! clue simulate     --fib fib.txt --packets trace.txt [--chips N] [--dred N]
+//!                   [--fifo N] [--service N] [--scheme clue|clpl] [--adversarial true]
+//! clue replay       --fib fib.txt --updates updates.txt [--pipeline clue|clpl] [--window N]
+//! ```
+//!
+//! All file formats are plain text: FIBs are `a.b.c.d/len nh` lines,
+//! packet traces are one dotted-quad address per line, update traces are
+//! `A prefix nh` / `W prefix` lines.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+
+use clue::compress::{compress_with_stats, leaf_push, ortc, onrtc};
+use clue::core::engine::{Engine, EngineConfig};
+use clue::core::update_pipeline::{mean_ttf, CluePipeline, ClplPipeline, TtfSample};
+use clue::core::DredConfig;
+use clue::fib::gen::FibGen;
+use clue::fib::{RouteTable, Update};
+use clue::partition::{
+    EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition,
+};
+use clue::traffic::workload::{adversarial_mapping, profile};
+use clue::traffic::{PacketGen, UpdateGen};
+
+const USAGE: &str = "\
+usage: clue <command> [flags]
+
+commands:
+  gen-fib       generate a synthetic FIB            (--out; --routes --seed --next-hops)
+  gen-packets   generate a packet trace             (--fib --out; --count --seed --zipf)
+  gen-updates   generate a BGP update trace         (--fib --out; --count --seed)
+  compress      compress a FIB                      (--fib; --algorithm --out)
+  partition     partition a FIB and report shape    (--fib; --scheme --n)
+  simulate      run the parallel lookup engine      (--fib --packets; --chips --dred
+                                                     --fifo --service --scheme --adversarial)
+  replay        replay updates through a pipeline   (--fib --updates; --pipeline --window)
+
+run `clue <command> --help` semantics: every flag is `--key value`.";
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--help") || raw.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let command = raw.remove(0);
+    let result = Args::parse(raw).and_then(|args| dispatch(&command, &args));
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("clue {command}: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(command: &str, args: &Args) -> Result<(), ArgError> {
+    match command {
+        "gen-fib" => gen_fib(args),
+        "gen-packets" => gen_packets(args),
+        "gen-updates" => gen_updates(args),
+        "compress" => compress(args),
+        "partition" => partition(args),
+        "simulate" => simulate(args),
+        "replay" => replay(args),
+        other => Err(ArgError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> ArgError {
+    ArgError(format!("{context}: {e}"))
+}
+
+fn load_fib(path: &str) -> Result<RouteTable, ArgError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+    RouteTable::from_text(&text).map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), ArgError> {
+    std::fs::write(path, contents).map_err(|e| io_err(path, &e))
+}
+
+fn gen_fib(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["out", "routes", "seed", "next-hops"])?;
+    let out = args.required("out")?;
+    let routes: usize = args.get_or("routes", 100_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let next_hops: u16 = args.get_or("next-hops", 24)?;
+    let fib = FibGen::new(seed)
+        .routes(routes)
+        .next_hops(next_hops)
+        .generate();
+    write_file(out, &fib.to_text())?;
+    println!("wrote {} routes to {out}", fib.len());
+    Ok(())
+}
+
+fn gen_packets(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["fib", "out", "count", "seed", "zipf"])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let out = args.required("out")?;
+    let count: usize = args.get_or("count", 1_000_000)?;
+    let seed: u64 = args.get_or("seed", 2)?;
+    let zipf: f64 = args.get_or("zipf", 1.1)?;
+    let trace = PacketGen::new(seed).zipf_exponent(zipf).generate(&fib, count);
+    let mut text = String::with_capacity(count * 16);
+    for addr in trace {
+        let o = addr.to_be_bytes();
+        text.push_str(&format!("{}.{}.{}.{}\n", o[0], o[1], o[2], o[3]));
+    }
+    write_file(out, &text)?;
+    println!("wrote {count} packets to {out}");
+    Ok(())
+}
+
+fn gen_updates(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["fib", "out", "count", "seed"])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let out = args.required("out")?;
+    let count: usize = args.get_or("count", 10_000)?;
+    let seed: u64 = args.get_or("seed", 3)?;
+    let updates = UpdateGen::new(seed).generate(&fib, count);
+    let mut text = String::with_capacity(count * 24);
+    for u in &updates {
+        text.push_str(&u.to_string());
+        text.push('\n');
+    }
+    write_file(out, &text)?;
+    println!("wrote {count} updates to {out}");
+    Ok(())
+}
+
+fn compress(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["fib", "algorithm", "out"])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let algorithm = args.optional("algorithm").unwrap_or("onrtc");
+    let (result, label) = match algorithm {
+        "onrtc" => {
+            let (out, stats) = compress_with_stats(&fib);
+            println!(
+                "onrtc: {} -> {} entries ({:.2}% of input) in {:.1} ms",
+                stats.original,
+                stats.compressed,
+                stats.ratio() * 100.0,
+                stats.millis
+            );
+            (out, "non-overlapping")
+        }
+        "leaf-push" => {
+            let out = leaf_push(&fib);
+            println!(
+                "leaf-push: {} -> {} entries ({:.2}% of input)",
+                fib.len(),
+                out.len(),
+                out.len() as f64 / fib.len() as f64 * 100.0
+            );
+            (out, "leaf-pushed")
+        }
+        "ortc" => {
+            let t = ortc(&fib);
+            println!(
+                "ortc: {} -> {} entries ({:.2}% of input; {} explicit-miss)",
+                fib.len(),
+                t.len(),
+                t.len() as f64 / fib.len() as f64 * 100.0,
+                t.miss_entries()
+            );
+            // ORTC output may carry miss entries; only forwarding
+            // entries can be exported as a plain FIB.
+            let forwarding: RouteTable = t
+                .entries()
+                .iter()
+                .filter_map(|&(p, a)| a.map(|nh| clue::fib::Route::new(p, nh)))
+                .collect();
+            if args.optional("out").is_some() && t.miss_entries() > 0 {
+                return Err(ArgError(
+                    "ortc output contains explicit-miss entries; it cannot be \
+                     exported as a plain FIB (use onrtc instead)"
+                        .to_owned(),
+                ));
+            }
+            (forwarding, "ortc")
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown algorithm {other:?} (onrtc|ortc|leaf-push)"
+            )))
+        }
+    };
+    if let Some(out) = args.optional("out") {
+        write_file(out, &result.to_text())?;
+        println!("wrote {label} table ({} entries) to {out}", result.len());
+    }
+    Ok(())
+}
+
+fn partition(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["fib", "scheme", "n"])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let scheme = args.optional("scheme").unwrap_or("clue");
+    let n: usize = args.get_or("n", 4)?;
+    if n == 0 {
+        return Err(ArgError("--n must be positive".into()));
+    }
+    let stats = match scheme {
+        "clue" => {
+            let compressed = onrtc(&fib);
+            println!(
+                "compressing first: {} -> {} entries",
+                fib.len(),
+                compressed.len()
+            );
+            let p = EvenRangePartition::split(&compressed, n);
+            PartitionStats::measure(p.buckets(), compressed.len())
+        }
+        "subtree" => {
+            let p = SubTreePartition::split(&fib, fib.len().div_ceil(n));
+            PartitionStats::measure(p.buckets(), fib.len())
+        }
+        "idbit" => {
+            let k = n.next_power_of_two().trailing_zeros();
+            if 1usize << k != n {
+                return Err(ArgError("idbit needs --n to be a power of two".into()));
+            }
+            let p = IdBitPartition::split(&fib, k, 16);
+            PartitionStats::measure(p.buckets(), fib.len())
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown scheme {other:?} (clue|subtree|idbit)"
+            )))
+        }
+    };
+    println!(
+        "{scheme}: {} buckets | max {} min {} | total {} | redundancy {} | imbalance {:.3}",
+        stats.buckets, stats.max, stats.min, stats.total, stats.redundancy, stats.imbalance()
+    );
+    Ok(())
+}
+
+fn load_packets(path: &str) -> Result<Vec<u32>, ArgError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut addr: u32 = 0;
+        let mut octets = 0;
+        for part in line.split('.') {
+            let o: u8 = part
+                .parse()
+                .map_err(|_| ArgError(format!("{path}:{}: bad address", lineno + 1)))?;
+            addr = (addr << 8) | u32::from(o);
+            octets += 1;
+        }
+        if octets != 4 {
+            return Err(ArgError(format!("{path}:{}: bad address", lineno + 1)));
+        }
+        out.push(addr);
+    }
+    Ok(out)
+}
+
+fn simulate(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "fib", "packets", "chips", "dred", "fifo", "service", "scheme", "adversarial", "buckets",
+    ])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let trace = load_packets(args.required("packets")?)?;
+    let cfg = EngineConfig {
+        chips: args.get_or("chips", 4)?,
+        fifo_capacity: args.get_or("fifo", 256)?,
+        service_clocks: args.get_or("service", 4)?,
+        arrival_period: 1,
+        update_stall: None,
+    };
+    let dred: usize = args.get_or("dred", 1024)?;
+    let buckets_n: usize = args.get_or("buckets", cfg.chips * 8)?;
+    let adversarial: bool = args.get_or("adversarial", false)?;
+    let scheme = args.optional("scheme").unwrap_or("clue");
+
+    let compressed = onrtc(&fib);
+    println!(
+        "compressed {} -> {} entries; {} chips x {} buckets",
+        fib.len(),
+        compressed.len(),
+        cfg.chips,
+        buckets_n
+    );
+    let parts = EvenRangePartition::split(&compressed, buckets_n);
+    let (buckets, index) = parts.into_parts();
+    let mapping = if adversarial {
+        let counts = profile(&trace, buckets_n, |a| index.bucket_of(a));
+        adversarial_mapping(&counts, cfg.chips)
+    } else {
+        (0..buckets_n).map(|b| b * cfg.chips / buckets_n).collect()
+    };
+    let dred_cfg = match scheme {
+        "clue" => DredConfig::Clue {
+            capacity: dred,
+            exclude_home: true,
+        },
+        "clpl" => DredConfig::Clpl {
+            capacity: dred,
+            sram_trie: fib.to_trie(),
+        },
+        other => return Err(ArgError(format!("unknown scheme {other:?} (clue|clpl)"))),
+    };
+    let mut engine = Engine::from_buckets(
+        &buckets,
+        move |a| index.bucket_of(a),
+        mapping,
+        dred_cfg,
+        cfg,
+    );
+    let (report, _) = engine.run(&trace);
+    println!(
+        "completed {} of {} ({} dropped) in {} clocks",
+        report.completions, report.arrivals, report.drops, report.clocks
+    );
+    println!(
+        "speedup {:.2}x | DRed hit rate {:.2}% | diversions {} | out-of-order {} | reorder depth {}",
+        report.speedup(cfg.service_clocks),
+        report.scheme.hit_rate() * 100.0,
+        report.diversions,
+        report.out_of_order,
+        report.reorder_high_water,
+    );
+    println!(
+        "per-chip load: {:?}",
+        report
+            .chip_shares()
+            .iter()
+            .map(|s| format!("{:.1}%", s * 100.0))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "control-plane interactions: {} | SRAM accesses: {}",
+        report.scheme.control_plane_interactions, report.scheme.sram_accesses
+    );
+    Ok(())
+}
+
+fn replay(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["fib", "updates", "pipeline", "window", "chips", "dred"])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let path = args.required("updates")?;
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+    let mut updates = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let u: Update = line
+            .parse()
+            .map_err(|_| ArgError(format!("{path}:{}: bad update", lineno + 1)))?;
+        updates.push(u);
+    }
+    let window: usize = args.get_or("window", 1_000)?;
+    if window == 0 {
+        return Err(ArgError("--window must be positive".into()));
+    }
+    let chips: usize = args.get_or("chips", 4)?;
+    let dred: usize = args.get_or("dred", 1024)?;
+    let pipeline = args.optional("pipeline").unwrap_or("clue");
+
+    println!(
+        "replaying {} updates through the {pipeline} pipeline ({} windows)",
+        updates.len(),
+        updates.len().div_ceil(window)
+    );
+    println!("{:>7} {:>12} {:>12} {:>12} {:>12}", "window", "ttf1(us)", "ttf2(us)", "ttf3(us)", "total(us)");
+    let mut all: Vec<TtfSample> = Vec::new();
+    let mut apply: Box<dyn FnMut(Update) -> TtfSample> = match pipeline {
+        "clue" => {
+            let mut p = CluePipeline::new(&fib, chips, dred, fib.len());
+            Box::new(move |u| p.apply(u))
+        }
+        "clpl" => {
+            let mut p = ClplPipeline::new(&fib, chips, dred, fib.len());
+            Box::new(move |u| p.apply(u))
+        }
+        other => return Err(ArgError(format!("unknown pipeline {other:?} (clue|clpl)"))),
+    };
+    for (i, chunk) in updates.chunks(window).enumerate() {
+        let samples: Vec<TtfSample> = chunk.iter().map(|&u| apply(u)).collect();
+        let m = mean_ttf(&samples);
+        println!(
+            "{:>7} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            i,
+            m.ttf1_ns / 1e3,
+            m.ttf2_ns / 1e3,
+            m.ttf3_ns / 1e3,
+            m.total_ns() / 1e3
+        );
+        all.extend(samples);
+    }
+    let m = mean_ttf(&all);
+    println!(
+        "\nmean TTF {:.4} us (trie {:.4} + tcam {:.4} + dred {:.4}) over {} updates",
+        m.total_ns() / 1e3,
+        m.ttf1_ns / 1e3,
+        m.ttf2_ns / 1e3,
+        m.ttf3_ns / 1e3,
+        all.len()
+    );
+    Ok(())
+}

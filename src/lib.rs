@@ -1,0 +1,53 @@
+//! # CLUE — Compression, Lookup, and UpdatE for TCAM routers
+//!
+//! A faithful, fully software reproduction of *"CLUE: Achieving Fast
+//! Update over Compressed Table for Parallel Lookup with Reduced
+//! Dynamic Redundancy"* (Yang et al., ICDCS 2012).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`fib`] | `clue-fib` | prefixes, tries, routing tables, synthetic RIBs |
+//! | [`compress`] | `clue-compress` | ONRTC, ORTC, leaf-pushing, incremental updates |
+//! | [`tcam`] | `clue-tcam` | TCAM model: layouts, shift accounting, timing/power |
+//! | [`partition`] | `clue-partition` | even-range, sub-tree, ID-bit partitioning |
+//! | [`cache`] | `clue-cache` | LRU prefix caches, RRC-ME, IP-cache baseline |
+//! | [`traffic`] | `clue-traffic` | packet and BGP-update trace generators |
+//! | [`core`] | `clue-core` | the parallel lookup engine, DRed schemes, TTF pipeline |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clue::compress::onrtc;
+//! use clue::core::engine::{Engine, EngineConfig};
+//! use clue::fib::gen::FibGen;
+//! use clue::traffic::PacketGen;
+//!
+//! // 1. A routing table (synthetic stand-in for a RIPE RIB).
+//! let fib = FibGen::new(7).routes(5_000).generate();
+//!
+//! // 2. Compress: optimal non-overlapping equivalent (~71 %).
+//! let compressed = onrtc(&fib);
+//! assert!(compressed.is_non_overlapping());
+//!
+//! // 3. Parallel lookup over 4 TCAM chips with Dynamic Redundancy.
+//! let cfg = EngineConfig::default();
+//! let mut engine = Engine::clue(&compressed, 1024, cfg);
+//! let trace = PacketGen::new(9).generate(&compressed, 20_000);
+//! let (report, _) = engine.run(&trace);
+//! assert!(report.speedup(cfg.service_clocks) > 3.0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use clue_cache as cache;
+pub use clue_compress as compress;
+pub use clue_core as core;
+pub use clue_fib as fib;
+pub use clue_partition as partition;
+pub use clue_tcam as tcam;
+pub use clue_traffic as traffic;

@@ -1,0 +1,162 @@
+//! End-to-end tests of the `clue` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn clue() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clue"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("clue-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn clue binary");
+    assert!(
+        out.status.success(),
+        "command failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn full_workflow_through_the_cli() {
+    let fib = tmp("wf_fib.txt");
+    let comp = tmp("wf_comp.txt");
+    let trace = tmp("wf_trace.txt");
+    let updates = tmp("wf_updates.txt");
+
+    let out = run_ok(clue().args([
+        "gen-fib",
+        "--out",
+        fib.to_str().unwrap(),
+        "--routes",
+        "5000",
+        "--seed",
+        "77",
+    ]));
+    assert!(out.contains("wrote"), "{out}");
+
+    let out = run_ok(clue().args([
+        "compress",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--out",
+        comp.to_str().unwrap(),
+    ]));
+    assert!(out.contains("onrtc:"), "{out}");
+
+    // The exported compressed table must parse and be non-overlapping.
+    let table =
+        clue::fib::RouteTable::from_text(&std::fs::read_to_string(&comp).unwrap()).unwrap();
+    assert!(table.is_non_overlapping());
+    assert!(!table.is_empty());
+
+    run_ok(clue().args([
+        "gen-packets",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--out",
+        trace.to_str().unwrap(),
+        "--count",
+        "20000",
+    ]));
+    run_ok(clue().args([
+        "gen-updates",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--out",
+        updates.to_str().unwrap(),
+        "--count",
+        "500",
+    ]));
+
+    let out = run_ok(clue().args([
+        "simulate",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--packets",
+        trace.to_str().unwrap(),
+        "--chips",
+        "4",
+    ]));
+    assert!(out.contains("speedup"), "{out}");
+    assert!(out.contains("control-plane interactions: 0"), "{out}");
+
+    let out = run_ok(clue().args([
+        "replay",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--updates",
+        updates.to_str().unwrap(),
+        "--window",
+        "250",
+    ]));
+    assert!(out.contains("mean TTF"), "{out}");
+
+    let out = run_ok(clue().args([
+        "partition",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--scheme",
+        "clue",
+        "--n",
+        "8",
+    ]));
+    assert!(out.contains("redundancy 0"), "{out}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = clue().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_flag_is_reported() {
+    let out = clue().arg("gen-fib").output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--out"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = clue()
+        .args(["gen-fib", "--out", "/dev/null", "--bogus", "1"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --bogus"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(clue().arg("--help"));
+    assert!(out.contains("usage: clue"), "{out}");
+    for cmd in ["gen-fib", "compress", "partition", "simulate", "replay"] {
+        assert!(out.contains(cmd), "usage missing {cmd}");
+    }
+}
+
+#[test]
+fn bad_input_file_is_a_clean_error() {
+    let bad = tmp("bad_fib.txt");
+    std::fs::write(&bad, "this is not a fib\n").unwrap();
+    let out = clue()
+        .args(["compress", "--fib", bad.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "{stderr}");
+}

@@ -1,0 +1,130 @@
+//! Stress and corner-case integration tests.
+
+use clue::compress::{onrtc, CompressedFib};
+use clue::core::engine::{Engine, EngineConfig};
+use clue::core::threads::{run_threaded, ThreadedConfig};
+use clue::core::update_pipeline::CluePipeline;
+use clue::fib::gen::FibGen;
+use clue::fib::{RouteTable, Update};
+use clue::traffic::{PacketGen, UpdateGen, UpdateMix};
+
+/// The threaded engine stays correct when the hot set drifts mid-trace
+/// (DRed contents go stale and must turn over).
+#[test]
+fn threaded_engine_correct_under_hot_drift() {
+    let fib = onrtc(&FibGen::new(7001).routes(5_000).generate());
+    let trace = PacketGen::new(7002)
+        .zipf_exponent(1.3)
+        .hot_drift(10_000, 0.5)
+        .generate(&fib, 60_000);
+    let reference = fib.to_trie();
+    let cfg = ThreadedConfig {
+        chips: 4,
+        fifo_capacity: 8, // tiny FIFOs force constant diversion + bouncing
+        dred_capacity: 256,
+    };
+    let (report, results) = run_threaded(&fib, &trace, cfg);
+    assert_eq!(report.completions, trace.len() as u64);
+    assert!(report.diversions > 0);
+    for (&addr, nh) in trace.iter().zip(&results) {
+        assert_eq!(*nh, reference.lookup(addr).map(|(_, &v)| v));
+    }
+}
+
+/// The clock engine's latency histogram is consistent with its queue
+/// statistics: completions counted, p99 ≥ p50, and latencies bounded by
+/// the run length.
+#[test]
+fn latency_statistics_are_consistent() {
+    let fib = onrtc(&FibGen::new(7003).routes(4_000).generate());
+    let trace = PacketGen::new(7004).generate(&fib, 30_000);
+    let cfg = EngineConfig::default();
+    let mut engine = Engine::clue(&fib, 512, cfg);
+    let (report, _) = engine.run(&trace);
+    assert_eq!(report.latency.count(), report.completions);
+    assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.5));
+    assert!(u64::from(report.latency.max()) <= report.clocks);
+    // Mean queueing is reflected in mean latency: a packet's latency is
+    // at least its service time.
+    assert!(report.latency.mean() + 0.5 >= f64::from(cfg.service_clocks) / 2.0);
+}
+
+/// Withdraw-everything storm: the pipeline drains to an empty table and
+/// the TCAM follows exactly.
+#[test]
+fn withdraw_storm_drains_to_empty() {
+    let fib = FibGen::new(7005).routes(2_000).generate();
+    let mut pipeline = CluePipeline::new(&fib, 4, 128, fib.len() * 4);
+    let routes: Vec<_> = fib.iter().collect();
+    for r in &routes {
+        pipeline.apply(Update::Withdraw { prefix: r.prefix });
+    }
+    assert_eq!(pipeline.tcam_entries(), 0);
+    assert!(pipeline.tcam_synced());
+    assert_eq!(pipeline.fib().original_len(), 0);
+    assert_eq!(pipeline.fib().compressed_len(), 0);
+}
+
+/// Rebuild-from-empty: announce a full table one route at a time; the
+/// incremental compressed table must equal the one-shot compression.
+#[test]
+fn announce_storm_builds_the_compressed_table() {
+    let fib = FibGen::new(7006).routes(2_000).generate();
+    let mut cf = CompressedFib::new(&RouteTable::new());
+    for r in fib.iter() {
+        cf.apply(Update::Announce {
+            prefix: r.prefix,
+            next_hop: r.next_hop,
+        });
+    }
+    assert_eq!(cf.compressed_table(), onrtc(&fib));
+}
+
+/// A churn trace that interleaves all three update kinds heavily keeps
+/// every invariant across thousands of steps (slow-path regression net
+/// for the incremental engine).
+#[test]
+fn mixed_churn_marathon() {
+    let fib = FibGen::new(7007).routes(5_000).generate();
+    let updates = UpdateGen::new(7008)
+        .mix(UpdateMix {
+            reannounce: 1.0,
+            announce_new: 1.0,
+            withdraw: 1.0,
+        })
+        .churn_skew(1.2)
+        .generate(&fib, 10_000);
+    let mut cf = CompressedFib::new(&fib);
+    let mut reference = fib.clone();
+    for (i, &u) in updates.iter().enumerate() {
+        cf.apply(u);
+        reference.apply(u);
+        if i % 2_500 == 2_499 {
+            assert_eq!(cf.compressed_table(), onrtc(&reference), "step {i}");
+            assert!(cf.compressed_table().is_non_overlapping());
+        }
+    }
+    assert_eq!(cf.original_len(), reference.len());
+}
+
+/// Engine with many buckets per chip and the neutral mapping behaves
+/// like the one-bucket-per-chip engine on the same traffic.
+#[test]
+fn bucket_granularity_does_not_change_results() {
+    let fib = onrtc(&FibGen::new(7009).routes(4_000).generate());
+    let trace = PacketGen::new(7010).generate(&fib, 20_000);
+    let reference = fib.to_trie();
+    let cfg = EngineConfig::default();
+    for engine in [
+        &mut Engine::clue(&fib, 512, cfg),
+        &mut Engine::clue_with_buckets(&fib, 32, 512, cfg),
+    ] {
+        let (report, outcomes) = engine.run(&trace);
+        assert_eq!(report.arrivals, trace.len() as u64);
+        for (&addr, outcome) in trace.iter().zip(&outcomes) {
+            if let clue::core::Outcome::Forwarded(nh) = *outcome {
+                assert_eq!(nh, reference.lookup(addr).map(|(_, &v)| v));
+            }
+        }
+    }
+}
