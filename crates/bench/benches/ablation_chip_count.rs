@@ -19,7 +19,9 @@ fn main() {
         "t >= (N-1)h + 1 for every N; required hit rate (N-2)/(N-1) climbs",
     );
     let table = standard_compressed();
-    let trace = PacketGen::new(0xF00D).zipf_exponent(1.25).generate(&table, 1_000_000);
+    let trace = PacketGen::new(0xF00D)
+        .zipf_exponent(1.25)
+        .generate(&table, 1_000_000);
     println!(
         "{:>6} {:>10} {:>9} {:>12} {:>12}",
         "chips", "hit rate", "speedup", "(N-1)h+1", "req. h"
@@ -60,7 +62,10 @@ fn main() {
             worst_case_speedup(chips, h),
             required_hit_rate(chips),
         );
-        assert!(t >= 0.93 * worst_case_speedup(chips, h), "bound broken at N={chips}");
+        assert!(
+            t >= 0.93 * worst_case_speedup(chips, h),
+            "bound broken at N={chips}"
+        );
     }
     println!("\n(the Section III-D bound holds at every chip count)");
 }

@@ -14,7 +14,10 @@ fn main() {
         "fewer distinct next hops => more mergeable regions => better ratio",
     );
     let routes = ((120_000.0 * scale()) as usize).max(2_000);
-    println!("{:>10} {:>12} {:>12} {:>12}", "next hops", "onrtc", "ortc", "(of input)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "next hops", "onrtc", "ortc", "(of input)"
+    );
     for hops in [2u16, 4, 8, 16, 32, 64, 128] {
         let fib = FibGen::new(0xAB1).routes(routes).next_hops(hops).generate();
         let (_, s) = compress_with_stats(&fib);

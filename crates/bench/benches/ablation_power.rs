@@ -19,7 +19,10 @@ fn main() {
     let table = standard_compressed();
     let trace = PacketGen::new(0xA11).generate(&table, 300_000);
     println!("table: {} compressed entries\n", table.len());
-    println!("{:>6} {:>22} {:>16}", "chips", "entries activated/search", "vs monolithic");
+    println!(
+        "{:>6} {:>22} {:>16}",
+        "chips", "entries activated/search", "vs monolithic"
+    );
 
     let monolithic = table.len() as f64;
     for chips in [1usize, 2, 4, 8, 16] {

@@ -17,7 +17,9 @@ fn main() {
     );
     let table = standard_compressed();
     let trie = table.to_trie();
-    let trace = PacketGen::new(0xCAC4E).zipf_exponent(1.1).generate(&table, 400_000);
+    let trace = PacketGen::new(0xCAC4E)
+        .zipf_exponent(1.1)
+        .generate(&table, 400_000);
 
     println!(
         "{:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",

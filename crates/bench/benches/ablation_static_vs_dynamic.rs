@@ -47,9 +47,15 @@ fn main() {
     // Profiling window and two evaluation windows: same popularity
     // ranking (seed 1), and a shifted ranking (seed 99 permutes which
     // prefixes are hot).
-    let profile_trace = PacketGen::new(1).zipf_exponent(1.25).generate(&table, 500_000);
-    let same = PacketGen::new(1).zipf_exponent(1.25).generate(&table, 500_000);
-    let shifted = PacketGen::new(99).zipf_exponent(1.25).generate(&table, 500_000);
+    let profile_trace = PacketGen::new(1)
+        .zipf_exponent(1.25)
+        .generate(&table, 500_000);
+    let same = PacketGen::new(1)
+        .zipf_exponent(1.25)
+        .generate(&table, 500_000);
+    let shifted = PacketGen::new(99)
+        .zipf_exponent(1.25)
+        .generate(&table, 500_000);
 
     // Adversarial mapping from the profile (both schemes share it).
     let counts = profile(&profile_trace, 32, |a| index.bucket_of(a));

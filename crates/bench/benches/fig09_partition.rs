@@ -23,8 +23,16 @@ fn main() {
 
     println!(
         "{:>5} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11}",
-        "n", "slpl-max", "slpl-min", "slpl-redund", "clpl-max", "clpl-min", "clpl-redund",
-        "clue-max", "clue-min", "clue-redund"
+        "n",
+        "slpl-max",
+        "slpl-min",
+        "slpl-redund",
+        "clpl-max",
+        "clpl-min",
+        "clpl-redund",
+        "clue-max",
+        "clue-min",
+        "clue-redund"
     );
     for k in [2u32, 3, 4, 5, 6, 7, 8] {
         let n = 1usize << k;
@@ -40,7 +48,15 @@ fn main() {
 
         println!(
             "{:>5} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11}",
-            n, s1.max, s1.min, s1.redundancy, s2.max, s2.min, s2.redundancy, s3.max, s3.min,
+            n,
+            s1.max,
+            s1.min,
+            s1.redundancy,
+            s2.max,
+            s2.min,
+            s2.redundancy,
+            s3.max,
+            s3.min,
             s3.redundancy
         );
         assert_eq!(s3.redundancy, 0, "CLUE must have zero redundancy");

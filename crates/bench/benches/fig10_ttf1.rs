@@ -13,7 +13,10 @@ fn main() {
         "CLUE mean ~0.221 us, slightly above the uncompressed ground truth",
     );
     let series = ttf_series(12, 2_000);
-    println!("{:>7} {:>14} {:>14} {:>8}", "window", "CLUE ttf1(us)", "CLPL ttf1(us)", "ratio");
+    println!(
+        "{:>7} {:>14} {:>14} {:>8}",
+        "window", "CLUE ttf1(us)", "CLPL ttf1(us)", "ratio"
+    );
     let (mut a_sum, mut b_sum) = (0.0, 0.0);
     let mut rows = Vec::new();
     for p in &series.points {

@@ -14,7 +14,10 @@ fn main() {
         "CLPL ~0.36 us/update, CLUE 0.024 us (one 24 ns write)",
     );
     let series = ttf_series(12, 2_000);
-    println!("{:>7} {:>14} {:>14} {:>12}", "window", "CLUE ttf2(us)", "CLPL ttf2(us)", "CLPL/CLUE");
+    println!(
+        "{:>7} {:>14} {:>14} {:>12}",
+        "window", "CLUE ttf2(us)", "CLPL ttf2(us)", "CLPL/CLUE"
+    );
     let (mut a_sum, mut b_sum) = (0.0, 0.0);
     let mut rows = Vec::new();
     for p in &series.points {
@@ -40,8 +43,7 @@ fn main() {
         b_sum / series.points.len() as f64 / 1e3,
         b_sum / a_sum.max(1.0)
     );
-    let (_, p50, p99, _, _) =
-        clue_bench::TtfSeries::digest_us(&series.clpl_samples, |s| s.ttf2_ns);
+    let (_, p50, p99, _, _) = clue_bench::TtfSeries::digest_us(&series.clpl_samples, |s| s.ttf2_ns);
     println!("CLPL ttf2 percentiles (us): p50 {p50:.4} p99 {p99:.4}");
     clue_bench::csv_write("fig11_ttf2", "window,clue_us,clpl_us", &rows);
 }

@@ -12,7 +12,10 @@ fn main() {
         "CLUE = 4.29% of CLPL on average",
     );
     let series = ttf_series(12, 2_000);
-    println!("{:>7} {:>14} {:>14} {:>12}", "window", "CLUE (us)", "CLPL (us)", "CLUE/CLPL");
+    println!(
+        "{:>7} {:>14} {:>14} {:>12}",
+        "window", "CLUE (us)", "CLPL (us)", "CLUE/CLPL"
+    );
     let (mut a_sum, mut b_sum) = (0.0, 0.0);
     let mut worst: f64 = 1.0;
     let mut rows = Vec::new();

@@ -12,7 +12,10 @@ fn main() {
         "CLPL mean 0.666 us = 234% of CLUE's 0.269 us",
     );
     let series = ttf_series(12, 2_000);
-    println!("{:>7} {:>14} {:>14} {:>12}", "window", "CLUE (us)", "CLPL (us)", "CLPL/CLUE");
+    println!(
+        "{:>7} {:>14} {:>14} {:>12}",
+        "window", "CLUE (us)", "CLPL (us)", "CLPL/CLUE"
+    );
     let (mut a_sum, mut b_sum) = (0.0, 0.0);
     let mut rows = Vec::new();
     for p in &series.points {

@@ -39,7 +39,12 @@ fn main() {
     let balanced = report.chip_shares();
     println!("{:>6} {:>12} {:>12}", "chip", "Original", "CLUE");
     for i in 0..4 {
-        println!("{:>6} {:>12} {:>12}", i + 1, pct(original[i]), pct(balanced[i]));
+        println!(
+            "{:>6} {:>12} {:>12}",
+            i + 1,
+            pct(original[i]),
+            pct(balanced[i])
+        );
     }
     println!(
         "\nspeedup {:.2}x, DRed hit rate {:.1}%, drops {} of {} ({}), diversions {}",
@@ -59,5 +64,8 @@ fn main() {
         pct(orig_spread),
         pct(spread)
     );
-    assert!(spread < orig_spread / 2.0, "DRed failed to flatten the load");
+    assert!(
+        spread < orig_spread / 2.0,
+        "DRed failed to flatten the load"
+    );
 }

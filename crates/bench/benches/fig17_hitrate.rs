@@ -73,7 +73,10 @@ fn main() {
         }
         // The fill-count ratio shows the 3/4 claim directly: CLUE writes
         // N-1 copies per fill, CLPL writes N.
-        assert!(clue_stored < rb.scheme.fills, "CLUE must store fewer copies");
+        assert!(
+            clue_stored < rb.scheme.fills,
+            "CLUE must store fewer copies"
+        );
     }
     println!(
         "\nCLUE hit rate >= CLPL in {clue_wins}/{rows} rows; CLUE writes 3 copies per fill vs CLPL's 4 (paper's 3/4 claim)"

@@ -29,7 +29,13 @@ fn bench_engines(c: &mut Criterion) {
         });
     });
     group.bench_function("threaded_4chips", |b| {
-        b.iter(|| black_box(run_threaded(&fib, black_box(&trace), ThreadedConfig::default())));
+        b.iter(|| {
+            black_box(run_threaded(
+                &fib,
+                black_box(&trace),
+                ThreadedConfig::default(),
+            ))
+        });
     });
     group.finish();
 }

@@ -43,7 +43,10 @@ fn main() {
                 pct(bucket_shares[b])
             );
         } else if rank % 8 == 3 {
-            println!("{:>5} {:>8} {:^18} {:^18} {:>10}", chip, "...", "...", "...", "...");
+            println!(
+                "{:>5} {:>8} {:^18} {:^18} {:>10}",
+                chip, "...", "...", "...", "..."
+            );
         }
     }
 

@@ -30,7 +30,9 @@ pub fn scale() -> f64 {
 #[must_use]
 pub fn standard_rib() -> RouteTable {
     let routes = (390_000.0 * scale()) as usize;
-    FibGen::new(0xC1_0E_0001).routes(routes.max(1_000)).generate()
+    FibGen::new(0xC10E_0001)
+        .routes(routes.max(1_000))
+        .generate()
 }
 
 /// The compressed (ONRTC) form of [`standard_rib`].
@@ -81,7 +83,7 @@ impl TtfSeries {
 /// window.
 #[must_use]
 pub fn ttf_series(windows: usize, per_window: usize) -> TtfSeries {
-    use clue_core::{mean_ttf, CluePipeline, ClplPipeline};
+    use clue_core::{mean_ttf, ClplPipeline, CluePipeline};
     use clue_traffic::{PacketGen, UpdateGen};
 
     let rib = standard_rib();

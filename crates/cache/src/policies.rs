@@ -147,24 +147,30 @@ impl PolicyPrefixCache {
     fn pick_victim(&mut self) -> Prefix {
         debug_assert!(!self.entries.is_empty());
         match self.policy {
-            Eviction::Lru => *self
-                .entries
-                .iter()
-                .min_by_key(|(_, m)| m.touched)
-                .expect("non-empty")
-                .0,
-            Eviction::Fifo => *self
-                .entries
-                .iter()
-                .min_by_key(|(_, m)| m.inserted)
-                .expect("non-empty")
-                .0,
-            Eviction::Lfu => *self
-                .entries
-                .iter()
-                .min_by_key(|(_, m)| (m.hits, m.inserted))
-                .expect("non-empty")
-                .0,
+            Eviction::Lru => {
+                *self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, m)| m.touched)
+                    .expect("non-empty")
+                    .0
+            }
+            Eviction::Fifo => {
+                *self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, m)| m.inserted)
+                    .expect("non-empty")
+                    .0
+            }
+            Eviction::Lfu => {
+                *self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, m)| (m.hits, m.inserted))
+                    .expect("non-empty")
+                    .0
+            }
             Eviction::Random { .. } => {
                 // Sort the candidates so the seeded choice is stable
                 // regardless of HashMap iteration order.

@@ -127,7 +127,10 @@ mod tests {
     fn leaf_match_is_directly_cacheable() {
         let t = trie(&[("10.0.0.0/8", 1)]);
         let me = rrc_me(&t, 0x0A12_3456).unwrap();
-        assert_eq!(me.route, Route::new("10.0.0.0/8".parse().unwrap(), NextHop(1)));
+        assert_eq!(
+            me.route,
+            Route::new("10.0.0.0/8".parse().unwrap(), NextHop(1))
+        );
     }
 
     #[test]
@@ -140,7 +143,10 @@ mod tests {
         assert_eq!(me.route.next_hop, NextHop(1));
         // The expansion must cover the address, sit inside p, and avoid q.
         assert!(me.route.prefix.contains_addr(0x8000_0001));
-        assert!("128.0.0.0/1".parse::<Prefix>().unwrap().contains(me.route.prefix));
+        assert!("128.0.0.0/1"
+            .parse::<Prefix>()
+            .unwrap()
+            .contains(me.route.prefix));
         assert!(!me.route.prefix.overlaps("132.0.0.0/6".parse().unwrap()));
     }
 
@@ -150,7 +156,10 @@ mod tests {
         let me = rrc_me(&t, 0x8000_0001).unwrap();
         // One level above the expansion, the region would contain q.
         let parent = me.route.prefix.parent().unwrap();
-        assert!(parent.overlaps("160.0.0.0/3".parse().unwrap()) || parent == "128.0.0.0/1".parse().unwrap());
+        assert!(
+            parent.overlaps("160.0.0.0/3".parse().unwrap())
+                || parent == "128.0.0.0/1".parse().unwrap()
+        );
         assert_eq!(me.route.prefix.to_string(), "128.0.0.0/3");
     }
 
@@ -162,7 +171,13 @@ mod tests {
             ("144.0.0.0/4", 2),
             ("144.0.0.0/7", 3),
         ]);
-        for addr in [0x8000_0001u32, 0x9000_0001, 0x9100_0001, 0xC000_0001, 0x4000_0001] {
+        for addr in [
+            0x8000_0001u32,
+            0x9000_0001,
+            0x9100_0001,
+            0xC000_0001,
+            0x4000_0001,
+        ] {
             let me = rrc_me(&t, addr).unwrap();
             assert!(me.route.prefix.contains_addr(addr));
             // Every address inside the ME region must LPM to the same hop.

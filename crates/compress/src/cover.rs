@@ -206,7 +206,13 @@ mod tests {
         let c = onrtc(&t);
         assert!(c.is_non_overlapping());
         // Semantics preserved everywhere.
-        for addr in [0x8000_0000u32, 0xA000_0000, 0xC000_0000, 0xFF00_0000, 0x7000_0000] {
+        for addr in [
+            0x8000_0000u32,
+            0xA000_0000,
+            0xC000_0000,
+            0xFF00_0000,
+            0x7000_0000,
+        ] {
             assert_eq!(lookup(&c, addr), lookup(&t, addr), "addr {addr:#x}");
         }
         // The carved cover: 128.0.0.0/3→2, 160.0.0.0/3→1, 192.0.0.0/2→1.
@@ -252,19 +258,12 @@ mod tests {
 
     #[test]
     fn region_cover_in_matches_full_rebuild() {
-        let t = table(&[
-            ("10.0.0.0/8", 1),
-            ("10.1.0.0/16", 2),
-            ("11.0.0.0/8", 1),
-        ]);
+        let t = table(&[("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("11.0.0.0/8", 1)]);
         let trie = t.to_trie();
         let region: Prefix = "10.0.0.0/8".parse().unwrap();
         let local = region_cover_in(&trie, region).into_routes(region);
         let full = onrtc(&t);
-        let expected: Vec<Route> = full
-            .iter()
-            .filter(|r| region.contains(r.prefix))
-            .collect();
+        let expected: Vec<Route> = full.iter().filter(|r| region.contains(r.prefix)).collect();
         assert_eq!(local, expected);
     }
 

@@ -255,10 +255,7 @@ mod tests {
     }
 
     fn table(routes: &[(&str, u16)]) -> RouteTable {
-        routes
-            .iter()
-            .map(|&(s, nh)| (p(s), NextHop(nh)))
-            .collect()
+        routes.iter().map(|&(s, nh)| (p(s), NextHop(nh))).collect()
     }
 
     fn announce(s: &str, nh: u16) -> Update {
@@ -337,8 +334,14 @@ mod tests {
         assert!(!diff.is_empty());
         assert_synced(&cf);
         let trie = cf.compressed();
-        assert_eq!(trie.lookup(0x0A00_0001).map(|(_, &nh)| nh), Some(NextHop(2)));
-        assert_eq!(trie.lookup(0x0A80_0001).map(|(_, &nh)| nh), Some(NextHop(1)));
+        assert_eq!(
+            trie.lookup(0x0A00_0001).map(|(_, &nh)| nh),
+            Some(NextHop(2))
+        );
+        assert_eq!(
+            trie.lookup(0x0A80_0001).map(|(_, &nh)| nh),
+            Some(NextHop(1))
+        );
     }
 
     #[test]

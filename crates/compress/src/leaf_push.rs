@@ -118,7 +118,13 @@ mod tests {
         ]);
         let p = leaf_push(&t);
         assert!(p.is_non_overlapping());
-        for addr in [0x0000_0001u32, 0x8000_0000, 0xC000_0000, 0xE000_0000, 0xFFFF_FFFF] {
+        for addr in [
+            0x0000_0001u32,
+            0x8000_0000,
+            0xC000_0000,
+            0xE000_0000,
+            0xFFFF_FFFF,
+        ] {
             assert_eq!(lookup(&p, addr), lookup(&t, addr), "addr {addr:#x}");
         }
     }

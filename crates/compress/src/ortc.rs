@@ -117,12 +117,7 @@ fn build(node: Option<NodeRef<'_, NextHop>>, inherited: Action) -> MeldTree {
 
 /// Pass 3: walk top-down choosing actions; emit an entry wherever the
 /// inherited choice is not in the node's candidate set.
-fn assign(
-    t: &MeldTree,
-    prefix: Prefix,
-    choice: Option<Action>,
-    out: &mut Vec<(Prefix, Action)>,
-) {
+fn assign(t: &MeldTree, prefix: Prefix, choice: Option<Action>, out: &mut Vec<(Prefix, Action)>) {
     let effective = match choice {
         Some(c) if t.set.contains(&c) => c,
         _ => {

@@ -54,9 +54,9 @@ fn every_small_table_compresses_correctly() {
     let universe = universe();
     let probes = probes();
     let total = 3u32.pow(universe.len() as u32); // 3^15 = 14 348 907
-    // Full enumeration of 14 M tables × compression is too slow for CI;
-    // stride over the space so every prefix/value pattern combination
-    // appears (coprime stride → full residue coverage of low digits).
+                                                 // Full enumeration of 14 M tables × compression is too slow for CI;
+                                                 // stride over the space so every prefix/value pattern combination
+                                                 // appears (coprime stride → full residue coverage of low digits).
     let stride = 1_117;
     let mut checked = 0u32;
     let mut code = 0u32;
@@ -65,10 +65,17 @@ fn every_small_table_compresses_correctly() {
         let c = onrtc(&t);
         assert!(c.is_non_overlapping(), "overlap for code {code}");
         for &addr in &probes {
-            assert_eq!(lookup(&c, addr), lookup(&t, addr), "code {code}, addr {addr:#x}");
+            assert_eq!(
+                lookup(&c, addr),
+                lookup(&t, addr),
+                "code {code}, addr {addr:#x}"
+            );
         }
         assert_eq!(onrtc(&c), c, "not idempotent for code {code}");
-        assert!(c.len() <= t.len().max(1) * 4, "suspicious blowup for code {code}");
+        assert!(
+            c.len() <= t.len().max(1) * 4,
+            "suspicious blowup for code {code}"
+        );
         checked += 1;
         code += stride;
     }
@@ -112,7 +119,10 @@ fn every_single_update_matches_recompression() {
         }
         code += stride;
     }
-    assert!(checked_updates > 5_000, "only {checked_updates} updates checked");
+    assert!(
+        checked_updates > 5_000,
+        "only {checked_updates} updates checked"
+    );
 }
 
 #[test]

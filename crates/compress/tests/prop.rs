@@ -8,12 +8,11 @@ use clue_fib::{NextHop, Prefix, RouteTable, Update};
 use proptest::prelude::*;
 
 fn arb_table() -> impl Strategy<Value = RouteTable> {
-    prop::collection::vec((any::<u32>(), 0u8..=10, 0u16..3), 0..40)
-        .prop_map(|v| {
-            v.into_iter()
-                .map(|(bits, len, nh)| (Prefix::new(bits, len), NextHop(nh)))
-                .collect()
-        })
+    prop::collection::vec((any::<u32>(), 0u8..=10, 0u16..3), 0..40).prop_map(|v| {
+        v.into_iter()
+            .map(|(bits, len, nh)| (Prefix::new(bits, len), NextHop(nh)))
+            .collect()
+    })
 }
 
 fn lookup(t: &RouteTable, addr: u32) -> Option<NextHop> {

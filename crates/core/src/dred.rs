@@ -150,10 +150,7 @@ impl RedundancyScheme {
                 sram_trie,
             },
             DredConfig::SlplStatic { routes } => {
-                let trie: Trie<NextHop> = routes
-                    .iter()
-                    .map(|r| (r.prefix, r.next_hop))
-                    .collect();
+                let trie: Trie<NextHop> = routes.iter().map(|r| (r.prefix, r.next_hop)).collect();
                 Kind::SlplStatic {
                     tries: vec![trie; chips],
                 }

@@ -59,8 +59,7 @@ impl EngineConfig {
     /// Offered load as a fraction of aggregate service capacity.
     #[must_use]
     pub fn offered_load(&self) -> f64 {
-        f64::from(self.service_clocks)
-            / (self.chips as f64 * f64::from(self.arrival_period))
+        f64::from(self.service_clocks) / (self.chips as f64 * f64::from(self.arrival_period))
     }
 }
 
@@ -352,7 +351,9 @@ impl Engine {
         }
         self.report.arrival_clocks = self.report.clocks;
         self.report.arrival_completions = self.report.completions;
-        let limit = self.report.clocks + 64 + (trace.len() as u64 + 1) * 8 * u64::from(self.cfg.service_clocks);
+        let limit = self.report.clocks
+            + 64
+            + (trace.len() as u64 + 1) * 8 * u64::from(self.cfg.service_clocks);
         while self.outstanding() > 0 {
             self.step(None);
             assert!(
@@ -374,7 +375,7 @@ impl Engine {
     fn step(&mut self, arrival: Option<u32>) {
         self.report.clocks += 1;
         if let Some((interval, ops)) = self.cfg.update_stall {
-            if interval > 0 && self.report.clocks % interval == 0 {
+            if interval > 0 && self.report.clocks.is_multiple_of(interval) {
                 for chip in 0..self.cfg.chips {
                     self.busy[chip] += ops;
                 }
@@ -384,12 +385,19 @@ impl Engine {
         if let Some(addr) = arrival {
             self.admit(addr);
         }
-        let queued: usize = self.queues.iter().map(std::collections::VecDeque::len).sum();
+        let queued: usize = self
+            .queues
+            .iter()
+            .map(std::collections::VecDeque::len)
+            .sum();
         self.report.queue_len_sum += queued as u64;
-        self.report.max_queue_len = self
-            .report
-            .max_queue_len
-            .max(self.queues.iter().map(std::collections::VecDeque::len).max().unwrap_or(0));
+        self.report.max_queue_len = self.report.max_queue_len.max(
+            self.queues
+                .iter()
+                .map(std::collections::VecDeque::len)
+                .max()
+                .unwrap_or(0),
+        );
         for chip in 0..self.cfg.chips {
             if self.busy[chip] > 0 {
                 self.busy[chip] -= 1;
@@ -455,9 +463,7 @@ impl Engine {
             }
             JobKind::Dred => {
                 // DRed search activates only the redundancy partition.
-                self.report
-                    .power
-                    .record_search(self.scheme_stored_on(chip));
+                self.report.power.record_search(self.scheme_stored_on(chip));
                 match self.scheme.lookup(chip, job.addr) {
                     Some(nh) => self.complete(job, Some(nh)),
                     None => {

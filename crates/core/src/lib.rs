@@ -47,4 +47,4 @@ pub use engine::{balanced_mapping, Engine, EngineConfig, EngineReport, Outcome};
 pub use reorder::ReorderBuffer;
 pub use theory::{implied_hit_rate, required_hit_rate, worst_case_speedup};
 pub use threads::{run_threaded, ThreadedConfig, ThreadedReport};
-pub use update_pipeline::{mean_ttf, CluePipeline, ClplPipeline, TtfSample};
+pub use update_pipeline::{mean_ttf, ClplPipeline, CluePipeline, TtfSample};

@@ -198,6 +198,16 @@ impl Summary {
         self.samples[rank - 1]
     }
 
+    /// Merges another summary into this one (sample-set union).
+    ///
+    /// Mirrors [`Histogram::merge`] for the exact-sample side: after the
+    /// merge, `count`/`mean`/`quantile` behave as if every sample of
+    /// both summaries had been recorded into one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// `(min, p50, p99, max, mean)` in one call.
     pub fn digest(&mut self) -> (f64, f64, f64, f64, f64) {
         if self.samples.is_empty() {
@@ -297,5 +307,98 @@ mod tests {
     #[test]
     fn summary_empty_digest() {
         assert_eq!(Summary::new().digest(), (0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn histogram_merge_equals_bulk_record() {
+        // Splitting a sample stream across two histograms and merging
+        // must be indistinguishable from recording it all into one:
+        // same count/sum (via mean), same exact min/max, and the same
+        // bucket counts, hence identical quantiles everywhere.
+        let stream: Vec<u64> = (0..500u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &v) in stream.iter().enumerate() {
+            whole.record(v);
+            if i % 3 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(left.count(), 500);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for i in 0..1_000u64 {
+            h.record((i * 7_919) % 65_536);
+        }
+        let mut prev = 0;
+        for step in 0..=100 {
+            let q = f64::from(step) / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn summary_merge_preserves_min_max_count_sum() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for v in [4.0, 8.0, 15.0] {
+            a.record(v);
+        }
+        for v in [16.0, 23.0, 42.0, 0.5] {
+            b.record(v);
+        }
+        let sum_before = a.mean() * a.count() as f64 + b.mean() * b.count() as f64;
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        let (min, _, _, max, mean) = a.digest();
+        assert_eq!(min, 0.5);
+        assert_eq!(max, 42.0);
+        assert!(
+            (mean * 7.0 - sum_before).abs() < 1e-9,
+            "sum must be preserved"
+        );
+        // Merging an empty summary is the identity.
+        let count = a.count();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), count);
+    }
+
+    #[test]
+    fn summary_merge_quantiles_are_monotone_and_exact() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for i in 0..50 {
+            a.record(f64::from(i * 2)); // evens 0..98
+            b.record(f64::from(i * 2 + 1)); // odds 1..99
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        // Exact nearest-rank over the interleaved union…
+        assert_eq!(a.quantile(0.5), 49.0);
+        assert_eq!(a.quantile(1.0), 99.0);
+        // …and monotone along the whole grid.
+        let mut prev = f64::NEG_INFINITY;
+        for step in 0..=100 {
+            let q = f64::from(step) / 100.0;
+            let v = a.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
     }
 }

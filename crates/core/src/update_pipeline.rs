@@ -32,9 +32,7 @@ use std::time::Instant;
 use clue_cache::LruPrefixCache;
 use clue_compress::CompressedFib;
 use clue_fib::{NextHop, Route, RouteTable, Trie, Update};
-use clue_tcam::{
-    PrefixLengthOrderedTcam, TcamTable, TcamTiming, UnorderedTcam, UpdateCost,
-};
+use clue_tcam::{PrefixLengthOrderedTcam, TcamTable, TcamTiming, UnorderedTcam, UpdateCost};
 
 /// The three-part Time-To-Fresh of one update message.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -96,7 +94,9 @@ impl CluePipeline {
         CluePipeline {
             fib,
             tcam,
-            dreds: (0..chips).map(|_| LruPrefixCache::new(dred_capacity)).collect(),
+            dreds: (0..chips)
+                .map(|_| LruPrefixCache::new(dred_capacity))
+                .collect(),
             timing: TcamTiming::default(),
         }
     }
@@ -115,6 +115,17 @@ impl CluePipeline {
 
     /// Applies one update through all three stages.
     pub fn apply(&mut self, update: Update) -> TtfSample {
+        self.apply_with_diff(update).0
+    }
+
+    /// Applies one update through all three stages and also returns the
+    /// entry-level [`TableDiff`] the trie stage produced.
+    ///
+    /// The diff is what a data plane mirroring the compressed table
+    /// (e.g. the `clue-router` runtime's worker DReds) needs to stay
+    /// synchronized: deleted and modified prefixes must be flushed from
+    /// any redundancy storage that may hold them.
+    pub fn apply_with_diff(&mut self, update: Update) -> (TtfSample, clue_compress::TableDiff) {
         // Stage 1: trie (measures itself).
         let diff = self.fib.apply(update);
         let ttf1_ns = self.fib.last_update_time().as_nanos() as f64;
@@ -158,11 +169,14 @@ impl CluePipeline {
         let ttf3_ns =
             searches as f64 * self.timing.search_ns + dred_writes as f64 * self.timing.write_ns;
 
-        TtfSample {
-            ttf1_ns,
-            ttf2_ns,
-            ttf3_ns,
-        }
+        (
+            TtfSample {
+                ttf1_ns,
+                ttf2_ns,
+                ttf3_ns,
+            },
+            diff,
+        )
     }
 
     /// The compressed table size (TCAM occupancy).
@@ -277,8 +291,7 @@ impl ClplPipeline {
             probes += 1;
             erases += cache.invalidate_overlapping(prefix) as u64;
         }
-        let ttf3_ns =
-            walk as f64 * self.sram_ns + (probes + erases) as f64 * self.timing.write_ns;
+        let ttf3_ns = walk as f64 * self.sram_ns + (probes + erases) as f64 * self.timing.write_ns;
 
         TtfSample {
             ttf1_ns,
@@ -409,8 +422,16 @@ mod tests {
     #[test]
     fn mean_ttf_averages_componentwise() {
         let samples = vec![
-            TtfSample { ttf1_ns: 10.0, ttf2_ns: 20.0, ttf3_ns: 30.0 },
-            TtfSample { ttf1_ns: 30.0, ttf2_ns: 0.0, ttf3_ns: 10.0 },
+            TtfSample {
+                ttf1_ns: 10.0,
+                ttf2_ns: 20.0,
+                ttf3_ns: 30.0,
+            },
+            TtfSample {
+                ttf1_ns: 30.0,
+                ttf2_ns: 0.0,
+                ttf3_ns: 10.0,
+            },
         ];
         let m = mean_ttf(&samples);
         assert_eq!(m.ttf1_ns, 20.0);
@@ -418,6 +439,26 @@ mod tests {
         assert_eq!(m.ttf3_ns, 20.0);
         assert_eq!(m.total_ns(), 50.0);
         assert_eq!(mean_ttf(&[]), TtfSample::default());
+    }
+
+    #[test]
+    fn apply_with_diff_exposes_the_entry_changes() {
+        let mut table = RouteTable::new();
+        table.insert("10.0.0.0/8".parse::<Prefix>().unwrap(), NextHop(1));
+        let mut p = CluePipeline::new(&table, 2, 64, 1_024);
+        let (sample, diff) = p.apply_with_diff(Update::Announce {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            next_hop: NextHop(2),
+        });
+        assert_eq!(diff.modifies.len(), 1, "next-hop rewrite is a modify");
+        assert!(diff.inserts.is_empty() && diff.deletes.is_empty());
+        assert!(sample.ttf2_ns > 0.0);
+        // And the diff-less `apply` stays behaviourally identical.
+        let (_, diff) = p.apply_with_diff(Update::Withdraw {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+        });
+        assert_eq!(diff.deletes.len(), 1);
+        assert!(p.tcam_synced());
     }
 
     #[test]

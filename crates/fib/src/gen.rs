@@ -160,8 +160,15 @@ impl FibGen {
         regions: &[Prefix],
     ) {
         // Allocation sizes: /12–/18, weighted toward /16.
-        const ALLOC_LENS: [(u8, u32); 7] =
-            [(12, 4), (13, 6), (14, 10), (15, 14), (16, 34), (17, 14), (18, 18)];
+        const ALLOC_LENS: [(u8, u32); 7] = [
+            (12, 4),
+            (13, 6),
+            (14, 10),
+            (15, 14),
+            (16, 34),
+            (17, 14),
+            (18, 18),
+        ];
         let alloc_len = weighted(rng, &ALLOC_LENS);
         // A quarter of allocations land inside legacy space (heavily
         // de-aggregated in real tables), half cluster in the dense
@@ -194,8 +201,7 @@ impl FibGen {
 
         // Sub-route lengths: weighted toward /24, never shorter than the
         // allocation plus one bit.
-        const SUB_LENS: [(u8, u32); 6] =
-            [(19, 5), (20, 7), (21, 8), (22, 11), (23, 10), (24, 59)];
+        const SUB_LENS: [(u8, u32); 6] = [(19, 5), (20, 7), (21, 8), (22, 11), (23, 10), (24, 59)];
         let sub_len = weighted(rng, &SUB_LENS).max(alloc_len + 1);
 
         // A run of consecutive sibling blocks starting at a random aligned
@@ -294,7 +300,7 @@ pub fn catalog() -> Vec<RouterSpec> {
             name,
             location,
             routes,
-            seed: 0xC1_0E_0000 + i as u64,
+            seed: 0xC10E_0000 + i as u64,
         })
         .collect()
 }
@@ -357,7 +363,9 @@ mod tests {
         let cat = catalog();
         assert_eq!(cat.len(), 12);
         assert_eq!(cat[0].name, "rrc01");
-        assert!(cat.iter().all(|r| r.routes >= 355_000 && r.routes <= 400_000));
+        assert!(cat
+            .iter()
+            .all(|r| r.routes >= 355_000 && r.routes <= 400_000));
         // Distinct seeds per router.
         let mut seeds: Vec<u64> = cat.iter().map(|r| r.seed).collect();
         seeds.dedup();

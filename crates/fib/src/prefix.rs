@@ -26,7 +26,6 @@ pub const MAX_LEN: u8 = 32;
 /// assert_eq!(nh.to_string(), "nh3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NextHop(pub u16);
 
 impl fmt::Display for NextHop {
@@ -87,7 +86,6 @@ impl Bit {
 /// # Ok::<(), clue_fib::ParsePrefixError>(())
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Prefix {
     bits: u32,
     len: u8,
@@ -123,6 +121,10 @@ impl Prefix {
     }
 
     /// The prefix length in bits.
+    ///
+    /// (`is_empty` is deliberately absent: a zero-length prefix is the
+    /// default route, not an "empty" prefix.)
+    #[allow(clippy::len_without_is_empty)]
     #[must_use]
     pub fn len(self) -> u8 {
         self.len
@@ -395,7 +397,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "10.0.0.0", "10.0.0.0/33", "10.0.0/8", "a.b.c.d/8", "10.0.0.0.0/8"] {
+        for s in [
+            "",
+            "10.0.0.0",
+            "10.0.0.0/33",
+            "10.0.0/8",
+            "a.b.c.d/8",
+            "10.0.0.0.0/8",
+        ] {
             assert!(s.parse::<Prefix>().is_err(), "{s} should not parse");
         }
     }

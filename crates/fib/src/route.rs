@@ -9,7 +9,6 @@ use crate::trie::Trie;
 
 /// One FIB entry: a prefix and its forwarding action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Route {
     /// Destination prefix.
     pub prefix: Prefix,
@@ -52,7 +51,6 @@ impl fmt::Display for Route {
 /// # Ok::<(), clue_fib::ParsePrefixError>(())
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RouteTable {
     map: BTreeMap<Prefix, NextHop>,
 }
@@ -139,7 +137,7 @@ impl RouteTable {
         // so a route overlaps an earlier one exactly when it starts at or
         // below the largest range end seen so far.
         let mut max_high: Option<u32> = None;
-        for (&p, _) in &self.map {
+        for &p in self.map.keys() {
             if let Some(h) = max_high {
                 if p.low() <= h {
                     return false;
@@ -221,11 +219,7 @@ impl FromStr for Route {
         let mut parts = s.split_whitespace();
         let bad = || "".parse::<Prefix>().unwrap_err();
         let prefix: Prefix = parts.next().ok_or_else(bad)?.parse()?;
-        let nh: u16 = parts
-            .next()
-            .ok_or_else(bad)?
-            .parse()
-            .map_err(|_| bad())?;
+        let nh: u16 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         if parts.next().is_some() {
             return Err(bad());
         }
@@ -257,7 +251,6 @@ impl std::error::Error for ParseRouteError {}
 
 /// A BGP-like incremental update message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Update {
     /// A route announcement (insert or next-hop change).
     Announce {
@@ -428,7 +421,13 @@ mod tests {
             let u: Update = s.parse().unwrap();
             assert_eq!(u.to_string(), s);
         }
-        for bad in ["", "X 10.0.0.0/8", "A 10.0.0.0/8", "W 10.0.0.0/8 5", "A nope 5"] {
+        for bad in [
+            "",
+            "X 10.0.0.0/8",
+            "A 10.0.0.0/8",
+            "W 10.0.0.0/8 5",
+            "A nope 5",
+        ] {
             assert!(bad.parse::<Update>().is_err(), "{bad:?} should not parse");
         }
     }

@@ -73,10 +73,8 @@ impl<T> Trie<T> {
     /// Creates an empty trie.
     #[must_use]
     pub fn new() -> Self {
-        let mut nodes = Vec::new();
-        nodes.push(Node::new(Prefix::root(), NIL));
         Trie {
-            nodes,
+            nodes: vec![Node::new(Prefix::root(), NIL)],
             free: Vec::new(),
             root: 0,
             len: 0,
@@ -260,7 +258,8 @@ impl<T> Trie<T> {
     /// in the arena.
     #[must_use]
     pub fn node(&self, prefix: Prefix) -> Option<NodeRef<'_, T>> {
-        self.find_node(prefix).map(|idx| NodeRef { trie: self, idx })
+        self.find_node(prefix)
+            .map(|idx| NodeRef { trie: self, idx })
     }
 
     /// In-order iterator over `(prefix, &value)` pairs.
@@ -505,7 +504,7 @@ mod tests {
         assert_eq!(allocated, 25); // root + 24 path nodes
         t.remove(p("10.1.2.0/24"));
         assert_eq!(t.node_count(), 1); // only root survives
-        // Re-insertion recycles freed slots instead of growing the arena.
+                                       // Re-insertion recycles freed slots instead of growing the arena.
         t.insert(p("10.1.2.0/24"), 2);
         assert_eq!(t.nodes.len(), 25);
     }

@@ -145,10 +145,7 @@ fn bucket_loads(routes: &[Route], positions: &[u8]) -> (usize, usize) {
             sub = (sub - 1) & wild;
         }
     }
-    (
-        loads.iter().copied().max().unwrap_or(0),
-        loads.iter().sum(),
-    )
+    (loads.iter().copied().max().unwrap_or(0), loads.iter().sum())
 }
 
 /// Address → bucket via the chosen bit positions.
@@ -237,7 +234,7 @@ mod tests {
         let positions = vec![0u8, 3];
         let (max, total) = bucket_loads(&routes, &positions);
         // Materialize and compare.
-        let mut buckets = vec![0usize; 4];
+        let mut buckets = [0usize; 4];
         for &r in &routes {
             for id in bucket_ids(r, &positions) {
                 buckets[id] += 1;

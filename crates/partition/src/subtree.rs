@@ -40,11 +40,7 @@ impl SubTreePartition {
             let leftover = builder.carve(trie.root(), &[]);
             builder.finish_bucket(leftover, Prefix::root(), &[]);
         }
-        let index_trie: Trie<usize> = builder
-            .carve_roots
-            .iter()
-            .map(|&(p, b)| (p, b))
-            .collect();
+        let index_trie: Trie<usize> = builder.carve_roots.iter().map(|&(p, b)| (p, b)).collect();
         SubTreePartition {
             buckets: builder.buckets,
             redundancy: builder.redundancy,

@@ -1,0 +1,195 @@
+//! Epoch-style published state for the lookup workers.
+//!
+//! The update plane never mutates a structure a worker is reading.
+//! Instead, after each applied batch it rebuilds the per-worker lookup
+//! tries from the new compressed table and publishes them as one
+//! immutable [`EpochState`] behind an `Arc`. Workers poll a relaxed
+//! atomic epoch counter once per packet and, only when it moved, swap
+//! their local `Arc` for the new one — so every worker observes a batch
+//! atomically (all of its entry changes or none) and two workers can
+//! never serve lookups from different halves of one batch *published*
+//! state.
+//!
+//! Partition cuts are **fixed at start-up** (CLUE's even-range split of
+//! the initial compressed table). Updates shift route boundaries, so a
+//! later route may *span* a cut; such a route is replicated into every
+//! bucket it touches. Because ONRTC output is non-overlapping, the
+//! route matching an address always contains it, hence lives in (a
+//! replica of) the address's own bucket — lookups stay local to one
+//! worker. The replica count is the *dynamic redundancy* the paper's
+//! title promises to keep small; [`EpochState::replicated`] exposes it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clue_fib::{NextHop, RouteTable, Trie};
+use clue_partition::{Indexer, RangeIndex};
+use parking_lot::Mutex;
+
+/// One immutable generation of the lookup plane's view.
+#[derive(Debug)]
+pub struct EpochState {
+    /// Monotonic generation number (0 = initial table).
+    pub epoch: u64,
+    /// One trie per worker, holding its bucket of the compressed table
+    /// (plus replicas of cut-spanning routes).
+    pub tries: Vec<Trie<NextHop>>,
+    /// Entries in the compressed table this epoch was built from.
+    pub entries: usize,
+    /// Routes stored in more than one bucket (extra copies only):
+    /// the dynamic redundancy introduced by updates since start-up.
+    pub replicated: u64,
+}
+
+impl EpochState {
+    /// Builds an epoch by distributing `compressed` (which must be
+    /// non-overlapping) over `workers` buckets along `index`'s fixed
+    /// cuts, replicating any route that spans a cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` disagrees with `index.bucket_count()`.
+    #[must_use]
+    pub fn build(epoch: u64, compressed: &RouteTable, index: &RangeIndex, workers: usize) -> Self {
+        assert_eq!(
+            index.bucket_count(),
+            workers,
+            "index must have one bucket per worker"
+        );
+        let mut tries: Vec<Trie<NextHop>> = (0..workers).map(|_| Trie::new()).collect();
+        let mut replicated = 0u64;
+        for r in compressed.iter() {
+            let first = index.bucket_of(r.prefix.low());
+            let last = index.bucket_of(r.prefix.high());
+            replicated += (last - first) as u64;
+            for trie in &mut tries[first..=last] {
+                trie.insert(r.prefix, r.next_hop);
+            }
+        }
+        EpochState {
+            epoch,
+            tries,
+            entries: compressed.len(),
+            replicated,
+        }
+    }
+}
+
+/// The publish/subscribe cell workers read epochs through.
+///
+/// `current` holds the latest `Arc<EpochState>`; `version` mirrors its
+/// epoch number so readers can detect staleness with one relaxed atomic
+/// load instead of taking the lock on every packet.
+#[derive(Debug)]
+pub struct EpochCell {
+    current: Mutex<Arc<EpochState>>,
+    version: AtomicU64,
+}
+
+impl EpochCell {
+    /// Creates the cell with an initial epoch.
+    #[must_use]
+    pub fn new(initial: EpochState) -> Self {
+        EpochCell {
+            version: AtomicU64::new(initial.epoch),
+            current: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// Publishes a new epoch (update thread only).
+    ///
+    /// The lock is written *before* the version so a reader that
+    /// observes the new version is guaranteed to load the new state.
+    pub fn publish(&self, state: EpochState) {
+        let epoch = state.epoch;
+        *self.current.lock() = Arc::new(state);
+        self.version.store(epoch, Ordering::Release);
+    }
+
+    /// The currently published epoch number (cheap; relaxed).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Loads the current state (takes the lock briefly).
+    #[must_use]
+    pub fn load(&self) -> Arc<EpochState> {
+        Arc::clone(&self.current.lock())
+    }
+
+    /// Refreshes `local` if a newer epoch has been published; returns
+    /// whether it changed. Workers call this once per packet.
+    pub fn refresh(&self, local: &mut Arc<EpochState>) -> bool {
+        if self.version() == local.epoch {
+            return false;
+        }
+        *local = self.load();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::Prefix;
+    use clue_partition::EvenRangePartition;
+
+    fn disjoint_table(count: u32) -> RouteTable {
+        (0..count)
+            .map(|i| (Prefix::new(i << 16, 16), NextHop((i % 5) as u16)))
+            .collect()
+    }
+
+    #[test]
+    fn initial_epoch_has_zero_redundancy() {
+        let t = disjoint_table(32);
+        let index = EvenRangePartition::split(&t, 4).index().clone();
+        let e = EpochState::build(0, &t, &index, 4);
+        assert_eq!(e.replicated, 0, "cuts fall on route boundaries");
+        assert_eq!(e.tries.len(), 4);
+        let held: usize = e.tries.iter().map(Trie::len).sum();
+        assert_eq!(held, t.len());
+    }
+
+    #[test]
+    fn cut_spanning_route_is_replicated_and_found_locally() {
+        let t = disjoint_table(32);
+        let index = EvenRangePartition::split(&t, 4).index().clone();
+        // A later update merges a wide route across every cut.
+        let mut evolved = RouteTable::new();
+        evolved.insert(Prefix::new(0, 4), NextHop(9));
+        let e = EpochState::build(1, &evolved, &index, 4);
+        assert_eq!(e.replicated, 3, "one copy per extra bucket spanned");
+        // Every address's own bucket can resolve it locally.
+        for addr in [0u32, 9 << 16, 17 << 16, 30 << 16] {
+            let b = index.bucket_of(addr);
+            assert_eq!(
+                e.tries[b].lookup(addr).map(|(_, &nh)| nh),
+                Some(NextHop(9)),
+                "addr {addr:#x} must resolve in bucket {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_publish_is_observed_via_refresh() {
+        let t = disjoint_table(8);
+        let index = EvenRangePartition::split(&t, 2).index().clone();
+        let cell = EpochCell::new(EpochState::build(0, &t, &index, 2));
+        let mut local = cell.load();
+        assert!(!cell.refresh(&mut local), "nothing published yet");
+        cell.publish(EpochState::build(1, &t, &index, 2));
+        assert!(cell.refresh(&mut local));
+        assert_eq!(local.epoch, 1);
+        assert!(!cell.refresh(&mut local), "already current");
+    }
+
+    #[test]
+    #[should_panic(expected = "one bucket per worker")]
+    fn build_rejects_mismatched_worker_count() {
+        let t = disjoint_table(8);
+        let index = EvenRangePartition::split(&t, 2).index().clone();
+        let _ = EpochState::build(0, &t, &index, 3);
+    }
+}

@@ -76,7 +76,11 @@ impl CaoTcam {
 
     /// Pops a free slot inside `(lo, hi)` exclusive, if any.
     fn take_free_in(&mut self, lo: isize, hi: isize) -> Option<usize> {
-        let start = if lo < 0 { Unbounded } else { Excluded(lo as usize) };
+        let start = if lo < 0 {
+            Unbounded
+        } else {
+            Excluded(lo as usize)
+        };
         let slot = *self
             .free
             .range((start, Unbounded))
@@ -227,7 +231,10 @@ mod tests {
     #[test]
     fn unrelated_prefixes_insert_with_zero_moves() {
         let mut t = CaoTcam::new(16);
-        for (i, s) in ["10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/16"].iter().enumerate() {
+        for (i, s) in ["10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/16"]
+            .iter()
+            .enumerate()
+        {
             let c = t.insert(route(s, i as u16)).unwrap();
             assert_eq!(c.moves, 0, "unrelated insert must not move anything");
         }
@@ -300,8 +307,11 @@ mod tests {
         // first: every insert lands above its ancestors.
         let mut t = CaoTcam::new(8);
         for len in 1..=8u8 {
-            t.insert(Route::new(Prefix::new(0xFF00_0000, len), NextHop(u16::from(len))))
-                .unwrap();
+            t.insert(Route::new(
+                Prefix::new(0xFF00_0000, len),
+                NextHop(u16::from(len)),
+            ))
+            .unwrap();
         }
         assert!(t.chain_order_holds());
         assert_eq!(t.lookup(0xFF00_0001), Some(NextHop(8)));

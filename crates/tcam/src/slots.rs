@@ -203,16 +203,13 @@ impl SlotArray {
     pub fn mirror_consistent(&self) -> bool {
         let stored = self.slots.iter().flatten().count();
         stored == self.mirror.len()
-            && self.mirror.iter().all(|(&p, &slot)| {
-                self.slots[slot].is_some_and(|e| e.prefix() == Some(p))
-            })
+            && self
+                .mirror
+                .iter()
+                .all(|(&p, &slot)| self.slots[slot].is_some_and(|e| e.prefix() == Some(p)))
             && (0..=32).all(|l| {
                 self.len_histogram[l] as usize
-                    == self
-                        .mirror
-                        .keys()
-                        .filter(|p| p.len() as usize == l)
-                        .count()
+                    == self.mirror.keys().filter(|p| p.len() as usize == l).count()
             })
     }
 }
@@ -236,7 +233,14 @@ mod tests {
         assert_eq!(e.action, NextHop(1));
         assert!(arr.is_empty());
         assert_eq!(arr.lookup(0x0A00_0001), None);
-        assert_eq!(arr.stats(), TcamStats { writes: 1, moves: 0, erases: 1 });
+        assert_eq!(
+            arr.stats(),
+            TcamStats {
+                writes: 1,
+                moves: 0,
+                erases: 1
+            }
+        );
         assert!(arr.mirror_consistent());
     }
 

@@ -131,7 +131,9 @@ pub trait TcamTable {
 /// Panics if the table cannot hold all routes.
 pub fn load<T: TcamTable>(table: &mut T, routes: impl IntoIterator<Item = Route>) {
     for r in routes {
-        table.insert(r).expect("table capacity exceeded during load");
+        table
+            .insert(r)
+            .expect("table capacity exceeded during load");
     }
 }
 
@@ -452,7 +454,10 @@ mod tests {
     #[test]
     fn unordered_insert_and_delete_are_o1() {
         let mut t = UnorderedTcam::new(8);
-        for (i, s) in ["10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/8"].iter().enumerate() {
+        for (i, s) in ["10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/8"]
+            .iter()
+            .enumerate()
+        {
             let c = t.insert(route(s, i as u16)).unwrap();
             assert_eq!(c.total_ops(), 1, "insert is one write");
             assert_eq!(c.moves, 0);
@@ -486,8 +491,11 @@ mod tests {
         let mut t = PrefixLengthOrderedTcam::new(64);
         // Populate one entry in each of 10 length groups.
         for len in 10..20u8 {
-            t.insert(Route::new(Prefix::new(0x0A00_0000, len), NextHop(len as u16)))
-                .unwrap();
+            t.insert(Route::new(
+                Prefix::new(0x0A00_0000, len),
+                NextHop(len as u16),
+            ))
+            .unwrap();
         }
         assert!(t.layout_consistent());
         // Inserting at /32 (above all groups) cascades one move per
@@ -581,8 +589,16 @@ mod tests {
 
     #[test]
     fn update_cost_arithmetic() {
-        let a = UpdateCost { writes: 1, moves: 2, erases: 3 };
-        let b = UpdateCost { writes: 10, moves: 20, erases: 30 };
+        let a = UpdateCost {
+            writes: 1,
+            moves: 2,
+            erases: 3,
+        };
+        let b = UpdateCost {
+            writes: 10,
+            moves: 20,
+            erases: 30,
+        };
         let c = a + b;
         assert_eq!(c.total_ops(), 66);
         let mut d = UpdateCost::default();

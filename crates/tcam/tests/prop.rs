@@ -4,9 +4,7 @@
 use std::collections::BTreeMap;
 
 use clue_fib::{NextHop, Prefix, Route};
-use clue_tcam::{
-    CaoTcam, FullyOrderedTcam, PrefixLengthOrderedTcam, TcamTable, UnorderedTcam,
-};
+use clue_tcam::{CaoTcam, FullyOrderedTcam, PrefixLengthOrderedTcam, TcamTable, UnorderedTcam};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -16,22 +14,20 @@ enum Op {
 }
 
 fn arb_ops(max_len: u8) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        (any::<u32>(), 0u8..=max_len, 0u16..4, any::<bool>()),
-        1..80,
+    prop::collection::vec((any::<u32>(), 0u8..=max_len, 0u16..4, any::<bool>()), 1..80).prop_map(
+        |v| {
+            v.into_iter()
+                .map(|(bits, len, nh, ins)| {
+                    let p = Prefix::new(bits, len);
+                    if ins {
+                        Op::Insert(Route::new(p, NextHop(nh)))
+                    } else {
+                        Op::Delete(p)
+                    }
+                })
+                .collect()
+        },
     )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(bits, len, nh, ins)| {
-                let p = Prefix::new(bits, len);
-                if ins {
-                    Op::Insert(Route::new(p, NextHop(nh)))
-                } else {
-                    Op::Delete(p)
-                }
-            })
-            .collect()
-    })
 }
 
 fn reference_lpm(model: &BTreeMap<Prefix, NextHop>, addr: u32) -> Option<NextHop> {
@@ -77,10 +73,7 @@ fn check_policy<T: TcamTable>(
     // Stored routes match the model exactly.
     let mut got: Vec<Route> = table.routes();
     got.sort();
-    let want: Vec<Route> = model
-        .iter()
-        .map(|(&p, &nh)| Route::new(p, nh))
-        .collect();
+    let want: Vec<Route> = model.iter().map(|(&p, &nh)| Route::new(p, nh)).collect();
     prop_assert_eq!(got, want);
     // LPM lookups agree with the reference.
     for &addr in probes {

@@ -148,7 +148,7 @@ impl UpdateGen {
             let zipf = Zipf::new(present.len().max(1), self.churn_skew);
             // Regenerating the sampler each iteration would be O(n²);
             // sample a batch per epoch instead.
-            let batch = (count - out.len()).min(present.len().max(64).min(4096));
+            let batch = (count - out.len()).min(present.len().clamp(64, 4096));
             for _ in 0..batch {
                 if out.len() >= count {
                     break;
@@ -172,8 +172,7 @@ impl UpdateGen {
                     let base = present[rng.random_range(0..present.len().max(1)) % present.len()];
                     let len = rng.random_range(20..=24u8).max(base.len());
                     let span = base.size();
-                    let prefix =
-                        Prefix::new(base.low() + (rng.random_range(0..span) as u32), len);
+                    let prefix = Prefix::new(base.low() + (rng.random_range(0..span) as u32), len);
                     if current.contains(prefix) {
                         continue;
                     }

@@ -43,7 +43,7 @@ pub fn shares(counts: &[u64]) -> Vec<f64> {
 pub fn adversarial_mapping(counts: &[u64], chips: usize) -> Vec<usize> {
     assert!(chips > 0, "need at least one chip");
     assert!(
-        counts.len() % chips == 0,
+        counts.len().is_multiple_of(chips),
         "chips ({chips}) must divide bucket count ({})",
         counts.len()
     );

@@ -23,7 +23,9 @@ use clue::traffic::PacketGen;
 fn main() {
     println!("== bursty traffic under the adversarial mapping ==\n");
     let fib = onrtc(&FibGen::new(77).routes(100_000).generate());
-    let trace = PacketGen::new(78).zipf_exponent(1.1).generate(&fib, 500_000);
+    let trace = PacketGen::new(78)
+        .zipf_exponent(1.1)
+        .generate(&fib, 500_000);
 
     // 32 even partitions; profile the trace; stack the hottest on chip 0.
     let parts = EvenRangePartition::split(&fib, 32);
@@ -69,7 +71,10 @@ fn main() {
     );
 
     // Sweep DRed size: hit rate and speedup (Figures 16–17 in one table).
-    println!("{:>10} {:>10} {:>10} {:>12}", "DRed size", "hit rate", "speedup", "(N-1)h+1");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12}",
+        "DRed size", "hit rate", "speedup", "(N-1)h+1"
+    );
     for dred in [64usize, 128, 256, 512, 1024, 2048, 4096] {
         let idx = index.clone();
         let mut engine = Engine::from_buckets(

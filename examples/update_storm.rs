@@ -9,7 +9,7 @@
 //! cargo run --release --example update_storm
 //! ```
 
-use clue::core::update_pipeline::{mean_ttf, CluePipeline, ClplPipeline, TtfSample};
+use clue::core::update_pipeline::{mean_ttf, ClplPipeline, CluePipeline, TtfSample};
 use clue::fib::gen::FibGen;
 use clue::traffic::{windows, PacketGen, UpdateGen};
 
@@ -26,7 +26,13 @@ fn main() {
 
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12}",
-        "window", "CLUE ttf1", "CLUE ttf2+3", "CLPL ttf1", "CLPL ttf2+3", "CLUE total", "CLPL total"
+        "window",
+        "CLUE ttf1",
+        "CLUE ttf2+3",
+        "CLPL ttf1",
+        "CLPL ttf2+3",
+        "CLUE total",
+        "CLPL total"
     );
 
     let mut clue_all: Vec<TtfSample> = Vec::new();

@@ -9,6 +9,9 @@
 //! clue simulate     --fib fib.txt --packets trace.txt [--chips N] [--dred N]
 //!                   [--fifo N] [--service N] [--scheme clue|clpl] [--adversarial true]
 //! clue replay       --fib fib.txt --updates updates.txt [--pipeline clue|clpl] [--window N]
+//! clue serve        --fib fib.txt --packets trace.txt --updates updates.txt [--workers N]
+//!                   [--dred N] [--fifo N] [--batch K] [--queue N] [--overflow block|drop]
+//!                   [--stats-ms N]
 //! ```
 //!
 //! All file formats are plain text: FIBs are `a.b.c.d/len nh` lines,
@@ -21,15 +24,16 @@ use std::process::ExitCode;
 
 use args::{ArgError, Args};
 
-use clue::compress::{compress_with_stats, leaf_push, ortc, onrtc};
+use clue::compress::{compress_with_stats, leaf_push, onrtc, ortc};
 use clue::core::engine::{Engine, EngineConfig};
-use clue::core::update_pipeline::{mean_ttf, CluePipeline, ClplPipeline, TtfSample};
+use clue::core::update_pipeline::{mean_ttf, ClplPipeline, CluePipeline, TtfSample};
 use clue::core::DredConfig;
 use clue::fib::gen::FibGen;
 use clue::fib::{RouteTable, Update};
 use clue::partition::{
     EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition,
 };
+use clue::router::{OverflowPolicy, RouterConfig};
 use clue::traffic::workload::{adversarial_mapping, profile};
 use clue::traffic::{PacketGen, UpdateGen};
 
@@ -45,6 +49,9 @@ commands:
   simulate      run the parallel lookup engine      (--fib --packets; --chips --dred
                                                      --fifo --service --scheme --adversarial)
   replay        replay updates through a pipeline   (--fib --updates; --pipeline --window)
+  serve         run the live concurrent router      (--fib --packets --updates; --workers
+                                                     --dred --fifo --batch --queue
+                                                     --overflow --stats-ms)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -75,6 +82,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), ArgError> {
         "partition" => partition(args),
         "simulate" => simulate(args),
         "replay" => replay(args),
+        "serve" => serve(args),
         other => Err(ArgError(format!("unknown command {other:?}"))),
     }
 }
@@ -114,7 +122,9 @@ fn gen_packets(args: &Args) -> Result<(), ArgError> {
     let count: usize = args.get_or("count", 1_000_000)?;
     let seed: u64 = args.get_or("seed", 2)?;
     let zipf: f64 = args.get_or("zipf", 1.1)?;
-    let trace = PacketGen::new(seed).zipf_exponent(zipf).generate(&fib, count);
+    let trace = PacketGen::new(seed)
+        .zipf_exponent(zipf)
+        .generate(&fib, count);
     let mut text = String::with_capacity(count * 16);
     for addr in trace {
         let o = addr.to_be_bytes();
@@ -245,7 +255,12 @@ fn partition(args: &Args) -> Result<(), ArgError> {
     };
     println!(
         "{scheme}: {} buckets | max {} min {} | total {} | redundancy {} | imbalance {:.3}",
-        stats.buckets, stats.max, stats.min, stats.total, stats.redundancy, stats.imbalance()
+        stats.buckets,
+        stats.max,
+        stats.min,
+        stats.total,
+        stats.redundancy,
+        stats.imbalance()
     );
     Ok(())
 }
@@ -277,7 +292,15 @@ fn load_packets(path: &str) -> Result<Vec<u32>, ArgError> {
 
 fn simulate(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
-        "fib", "packets", "chips", "dred", "fifo", "service", "scheme", "adversarial", "buckets",
+        "fib",
+        "packets",
+        "chips",
+        "dred",
+        "fifo",
+        "service",
+        "scheme",
+        "adversarial",
+        "buckets",
     ])?;
     let fib = load_fib(args.required("fib")?)?;
     let trace = load_packets(args.required("packets")?)?;
@@ -355,10 +378,7 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn replay(args: &Args) -> Result<(), ArgError> {
-    args.check_known(&["fib", "updates", "pipeline", "window", "chips", "dred"])?;
-    let fib = load_fib(args.required("fib")?)?;
-    let path = args.required("updates")?;
+fn load_updates(path: &str) -> Result<Vec<Update>, ArgError> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
     let mut updates = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -371,6 +391,13 @@ fn replay(args: &Args) -> Result<(), ArgError> {
             .map_err(|_| ArgError(format!("{path}:{}: bad update", lineno + 1)))?;
         updates.push(u);
     }
+    Ok(updates)
+}
+
+fn replay(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["fib", "updates", "pipeline", "window", "chips", "dred"])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let updates = load_updates(args.required("updates")?)?;
     let window: usize = args.get_or("window", 1_000)?;
     if window == 0 {
         return Err(ArgError("--window must be positive".into()));
@@ -384,7 +411,10 @@ fn replay(args: &Args) -> Result<(), ArgError> {
         updates.len(),
         updates.len().div_ceil(window)
     );
-    println!("{:>7} {:>12} {:>12} {:>12} {:>12}", "window", "ttf1(us)", "ttf2(us)", "ttf3(us)", "total(us)");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12}",
+        "window", "ttf1(us)", "ttf2(us)", "ttf3(us)", "total(us)"
+    );
     let mut all: Vec<TtfSample> = Vec::new();
     let mut apply: Box<dyn FnMut(Update) -> TtfSample> = match pipeline {
         "clue" => {
@@ -419,5 +449,70 @@ fn replay(args: &Args) -> Result<(), ArgError> {
         m.ttf3_ns / 1e3,
         all.len()
     );
+    Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "fib", "packets", "updates", "workers", "dred", "fifo", "batch", "queue", "overflow",
+        "stats-ms",
+    ])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let packets = load_packets(args.required("packets")?)?;
+    let updates = load_updates(args.required("updates")?)?;
+    let overflow = match args.optional("overflow").unwrap_or("block") {
+        "block" => OverflowPolicy::Block,
+        "drop" => OverflowPolicy::DropNewest,
+        other => return Err(ArgError(format!("unknown overflow {other:?} (block|drop)"))),
+    };
+    let stats_ms: u64 = args.get_or("stats-ms", 0)?;
+    let cfg = RouterConfig {
+        workers: args.get_or("workers", 4)?,
+        fifo_capacity: args.get_or("fifo", 256)?,
+        dred_capacity: args.get_or("dred", 1024)?,
+        batch_size: args.get_or("batch", 64)?,
+        update_queue: args.get_or("queue", 1024)?,
+        overflow,
+        snapshot_every: (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms)),
+    };
+    if cfg.workers == 0
+        || cfg.fifo_capacity == 0
+        || cfg.dred_capacity == 0
+        || cfg.batch_size == 0
+        || cfg.update_queue == 0
+    {
+        return Err(ArgError("all sizes must be positive".into()));
+    }
+
+    println!(
+        "serving {} packets + {} updates over {} workers (batch {}, queue {}, {:?})",
+        packets.len(),
+        updates.len(),
+        cfg.workers,
+        cfg.batch_size,
+        cfg.update_queue,
+        cfg.overflow,
+    );
+    let report = clue::router::run(&fib, &packets, &updates, &cfg);
+    let s = &report.snapshot;
+    println!(
+        "completed {}/{} lookups in {:.1} ms ({:.0} pps) | epochs {} | dynamic redundancy {}",
+        s.completions,
+        s.arrivals,
+        report.elapsed.as_secs_f64() * 1e3,
+        s.completions as f64 / report.elapsed.as_secs_f64().max(1e-9),
+        s.epochs,
+        report.dynamic_redundancy,
+    );
+    println!(
+        "updates: {} received, {} applied, {:.1}% coalesced away, {} dropped | final table {} -> {} compressed",
+        s.updates_received,
+        s.updates_applied,
+        s.coalesce_ratio * 100.0,
+        s.update_drops,
+        report.final_table.len(),
+        report.final_compressed.len(),
+    );
+    println!("{}", s.to_json());
     Ok(())
 }

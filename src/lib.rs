@@ -49,5 +49,6 @@ pub use clue_compress as compress;
 pub use clue_core as core;
 pub use clue_fib as fib;
 pub use clue_partition as partition;
+pub use clue_router as router;
 pub use clue_tcam as tcam;
 pub use clue_traffic as traffic;

@@ -52,8 +52,7 @@ fn full_workflow_through_the_cli() {
     assert!(out.contains("onrtc:"), "{out}");
 
     // The exported compressed table must parse and be non-overlapping.
-    let table =
-        clue::fib::RouteTable::from_text(&std::fs::read_to_string(&comp).unwrap()).unwrap();
+    let table = clue::fib::RouteTable::from_text(&std::fs::read_to_string(&comp).unwrap()).unwrap();
     assert!(table.is_non_overlapping());
     assert!(!table.is_empty());
 
@@ -112,6 +111,88 @@ fn full_workflow_through_the_cli() {
 }
 
 #[test]
+fn serve_runs_a_live_workload_and_prints_json_stats() {
+    let fib = tmp("serve_fib.txt");
+    let trace = tmp("serve_trace.txt");
+    let updates = tmp("serve_updates.txt");
+
+    run_ok(clue().args([
+        "gen-fib",
+        "--out",
+        fib.to_str().unwrap(),
+        "--routes",
+        "3000",
+        "--seed",
+        "88",
+    ]));
+    run_ok(clue().args([
+        "gen-packets",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--out",
+        trace.to_str().unwrap(),
+        "--count",
+        "20000",
+        "--seed",
+        "89",
+    ]));
+    run_ok(clue().args([
+        "gen-updates",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--out",
+        updates.to_str().unwrap(),
+        "--count",
+        "1500",
+        "--seed",
+        "90",
+    ]));
+
+    let out = run_ok(clue().args([
+        "serve",
+        "--fib",
+        fib.to_str().unwrap(),
+        "--packets",
+        trace.to_str().unwrap(),
+        "--updates",
+        updates.to_str().unwrap(),
+        "--workers",
+        "4",
+        "--batch",
+        "32",
+    ]));
+    assert!(out.contains("completed 20000/20000 lookups"), "{out}");
+    assert!(out.contains("1500 received"), "{out}");
+    // The JSON snapshot line carries quantiles and the drop account.
+    for key in [
+        "\"p99\":",
+        "\"ttf_batch_ns\":",
+        "\"coalesce_ratio\":",
+        "\"dropped\":0",
+    ] {
+        assert!(out.contains(key), "missing {key} in {out}");
+    }
+
+    let out = clue()
+        .args([
+            "serve",
+            "--fib",
+            fib.to_str().unwrap(),
+            "--packets",
+            trace.to_str().unwrap(),
+            "--updates",
+            updates.to_str().unwrap(),
+            "--overflow",
+            "sideways",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown overflow"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = clue().arg("frobnicate").output().expect("spawn");
     assert!(!out.status.success());
@@ -143,7 +224,14 @@ fn unknown_flag_is_rejected() {
 fn help_prints_usage() {
     let out = run_ok(clue().arg("--help"));
     assert!(out.contains("usage: clue"), "{out}");
-    for cmd in ["gen-fib", "compress", "partition", "simulate", "replay"] {
+    for cmd in [
+        "gen-fib",
+        "compress",
+        "partition",
+        "simulate",
+        "replay",
+        "serve",
+    ] {
         assert!(out.contains(cmd), "usage missing {cmd}");
     }
 }

@@ -100,7 +100,8 @@ fn clpl_scheme_forwards_correctly_too() {
 fn threaded_and_clocked_engines_agree_with_reference() {
     let (rib, compressed, trace) = build();
     let reference = rib.to_trie();
-    let (treport, tresults) = run_threaded(&compressed, &trace[..50_000], ThreadedConfig::default());
+    let (treport, tresults) =
+        run_threaded(&compressed, &trace[..50_000], ThreadedConfig::default());
     assert_eq!(treport.completions, 50_000);
     for (&addr, nh) in trace[..50_000].iter().zip(&tresults) {
         assert_eq!(*nh, reference.lookup(addr).map(|(_, &v)| v));

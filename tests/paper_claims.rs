@@ -7,10 +7,12 @@
 use clue::compress::{compress_with_stats, onrtc};
 use clue::core::engine::{Engine, EngineConfig};
 use clue::core::theory::{required_hit_rate, worst_case_speedup};
-use clue::core::update_pipeline::{CluePipeline, ClplPipeline};
+use clue::core::update_pipeline::{ClplPipeline, CluePipeline};
 use clue::core::DredConfig;
 use clue::fib::gen::FibGen;
-use clue::partition::{EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition};
+use clue::partition::{
+    EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition,
+};
 use clue::traffic::{PacketGen, UpdateGen};
 
 /// "CLUE only needs about 71% TCAM entries" — the ONRTC compression
@@ -42,7 +44,10 @@ fn claim_even_split_without_redundancy() {
     // below the legacy coverers (the paper's Figure 9 shows redundancy
     // growing with the partition count).
     let clpl = SubTreePartition::split(&rib, rib.len().div_ceil(64));
-    assert!(clpl.total_redundancy() > 0, "sub-tree partition must replicate");
+    assert!(
+        clpl.total_redundancy() > 0,
+        "sub-tree partition must replicate"
+    );
 
     let slpl = IdBitPartition::split(&rib, 3, 16);
     let s2 = PartitionStats::measure(slpl.buckets(), rib.len());

@@ -18,15 +18,15 @@ fn arb_table() -> impl Strategy<Value = RouteTable> {
 }
 
 fn arb_cfg() -> impl Strategy<Value = EngineConfig> {
-    (1usize..=6, 1usize..=32, 1u32..=6, 1u32..=3).prop_map(
-        |(chips, fifo, service, period)| EngineConfig {
+    (1usize..=6, 1usize..=32, 1u32..=6, 1u32..=3).prop_map(|(chips, fifo, service, period)| {
+        EngineConfig {
             chips,
             fifo_capacity: fifo,
             service_clocks: service,
             arrival_period: period,
             update_stall: None,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -1,0 +1,233 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the micro
+//! benchmarks link against this minimal harness instead: same macro and
+//! builder surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `iter`, `iter_batched_ref`),
+//! but measurement is a single warmup-plus-timed loop printing mean
+//! ns/iter — no statistics engine, plots, or HTML reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (recorded for display).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target time for each measurement loop.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measure_for, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure_for = t.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.measure_for, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup, then time a burst.
+        for _ in 0..8 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < 1_000_000 {
+            black_box(routine());
+            n += 1;
+            if n.is_multiple_of(64) && start.elapsed() >= Duration::from_millis(100) {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` over inputs produced by `setup`, timing only
+    /// the routine.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        let budget = Duration::from_millis(100);
+        while total < budget && n < 10_000 {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+            n += 1;
+        }
+        self.iters = n;
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    _measure_for: Duration,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let iters = b.iters.max(1);
+    let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    match tp {
+        Some(Throughput::Elements(e)) => {
+            let per_sec = e as f64 * iters as f64 / b.elapsed.as_secs_f64().max(1e-12);
+            println!("{label}: {ns:.1} ns/iter ({per_sec:.0} elem/s, {iters} iters)");
+        }
+        Some(Throughput::Bytes(by)) => {
+            let per_sec = by as f64 * iters as f64 / b.elapsed.as_secs_f64().max(1e-12);
+            println!("{label}: {ns:.1} ns/iter ({per_sec:.0} B/s, {iters} iters)");
+        }
+        None => println!("{label}: {ns:.1} ns/iter ({iters} iters)"),
+    }
+}
+
+/// Declares a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::default();
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters > 0);
+        assert_eq!(count, b.iters + 8); // warmup + timed
+    }
+
+    #[test]
+    fn iter_batched_ref_runs_setup_per_iteration() {
+        let mut b = Bencher::default();
+        b.iter_batched_ref(|| vec![1u8; 8], |v| v.push(2), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,475 @@
+//! Cloneable MPMC channels over `std::sync::{Mutex, Condvar}`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+pub use crate::select;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel. Cloneable (multi-producer).
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (multi-consumer).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Error for [`Sender::send`]: every receiver is gone.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> SendError<T> {
+    /// Recovers the unsent message.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error for [`Sender::try_send`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the unsent message.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+        }
+    }
+
+    /// True if the failure was a full channel.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error for [`Receiver::recv`]: the channel is empty and every sender
+/// is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with nothing queued.
+    Timeout,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+/// Builds the `Err(RecvError)` a disconnected `select!` arm yields,
+/// with the value type pinned to the receiver's (inference helper for
+/// the macro expansion).
+pub fn disconnected<T>(_rx: &Receiver<T>) -> Result<T, RecvError> {
+    Err(RecvError)
+}
+
+/// Creates a bounded channel with space for `capacity` messages.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0` (rendezvous channels are not supported by
+/// this stand-in; nothing in the workspace uses them).
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "zero-capacity channels are not supported");
+    with_capacity(Some(capacity))
+}
+
+/// Creates an unbounded channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
+            if !full {
+                state.queue.push_back(msg);
+                drop(state);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .inner
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Sends without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] if at capacity, [`TrySendError::Disconnected`]
+    /// if every receiver has been dropped. Both return the message.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.inner.lock();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.capacity.is_some_and(|cap| state.queue.len() >= cap) {
+            return Err(TrySendError::Full(msg));
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and every sender
+    /// has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when additionally every sender is
+    /// gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.lock();
+        if let Some(msg) = state.queue.pop_front() {
+            drop(state);
+            self.inner.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receives, blocking for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if the deadline passes,
+    /// [`RecvTimeoutError::Disconnected`] once empty with every sender
+    /// gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .inner
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake blocked receivers so they observe the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.lock();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // Wake blocked senders so they observe the disconnect.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_applies_backpressure_and_delivers_in_order() {
+        let (tx, rx) = bounded::<u32>(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_send_reports_full_then_disconnected() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.try_send(1).unwrap();
+        let err = tx.try_send(2).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+    }
+
+    #[test]
+    fn mpmc_conserves_messages() {
+        let (tx, rx) = unbounded::<u64>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        drop(rx);
+        let n = 10_000u64;
+        for i in 1..=n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn select_prefers_ready_arm_and_sees_disconnect() {
+        let (tx_a, rx_a) = unbounded::<u8>();
+        let (tx_b, rx_b) = unbounded::<u8>();
+        tx_b.send(7).unwrap();
+        let got = crate::select! {
+            recv(rx_a) -> msg => msg.map(|v| (0u8, v)),
+            recv(rx_b) -> msg => msg.map(|v| (1u8, v)),
+        };
+        assert_eq!(got, Ok((1, 7)));
+        drop(tx_a);
+        let got = crate::select! {
+            recv(rx_a) -> msg => msg.is_err(),
+            recv(rx_b) -> _msg => false,
+        };
+        assert!(got);
+        drop(tx_b);
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for the subset of the `crossbeam` API this
+//! workspace uses: MPMC `channel`s (bounded and unbounded) and a
+//! polling `select!` macro.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a dependency-free implementation over `std::sync` primitives
+//! (`Mutex` + `Condvar`). Semantics match upstream where the workspace
+//! relies on them: cloneable multi-producer multi-consumer endpoints,
+//! blocking `send`/`recv` with backpressure on bounded channels, and
+//! disconnect errors once the other side is fully dropped. `select!` is
+//! implemented by polling with a short park instead of a waker graph —
+//! identical observable behaviour, slightly higher idle latency.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+
+/// Waits until one of several `recv` operations is ready.
+///
+/// Supports the `recv($rx) -> $pattern => $body` arm form used in this
+/// workspace. A disconnected channel counts as ready with `Err`.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $res:pat => $body:expr),+ $(,)?) => {{
+        loop {
+            $(
+                match $rx.try_recv() {
+                    ::core::result::Result::Ok(value) => {
+                        let $res: ::core::result::Result<_, $crate::channel::RecvError> =
+                            ::core::result::Result::Ok(value);
+                        break $body;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        let $res = $crate::channel::disconnected(&$rx);
+                        break $body;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+            )+
+            ::std::thread::sleep(::std::time::Duration::from_micros(20));
+        }
+    }};
+}

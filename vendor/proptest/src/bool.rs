@@ -1,0 +1,31 @@
+//! Boolean strategies (`prop::bool::weighted`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy returning `true` with a fixed probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    probability: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_f64() < self.probability
+    }
+}
+
+/// Generates `true` with probability `probability`.
+///
+/// # Panics
+///
+/// Panics unless `probability ∈ [0, 1]`.
+#[must_use]
+pub fn weighted(probability: f64) -> Weighted {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability {probability} out of [0, 1]"
+    );
+    Weighted { probability }
+}

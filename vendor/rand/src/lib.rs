@@ -1,0 +1,217 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free implementation of the handful of
+//! items the crates actually call: [`rngs::StdRng`], [`SeedableRng`],
+//! and the [`Rng`] methods `random`, `random_range`, and `random_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the
+//! ChaCha12 the real `StdRng` uses, so *absolute* sequences differ from
+//! upstream `rand`, but every property the workspace relies on holds:
+//! deterministic per seed, distinct across seeds, and statistically
+//! uniform for simulation purposes.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// Core random-number source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full value domain
+/// (the stand-in for `rand`'s `StandardUniform` distribution).
+pub trait Random: Sized {
+    /// Samples one value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integers the range sampler understands, via a two's-complement
+/// round-trip through `u128` (so signed spans wrap correctly).
+pub trait UniformInt: Copy + PartialOrd {
+    /// Sign-extending widen.
+    fn to_u128(self) -> u128;
+    /// Truncating narrow (inverse of [`UniformInt::to_u128`] modulo
+    /// the type's width).
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $via:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u128(self) -> u128 {
+                self as $via as u128
+            }
+            fn from_u128(v: u128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.to_u128().wrapping_sub(self.start.to_u128());
+        T::from_u128(
+            self.start
+                .to_u128()
+                .wrapping_add(u128::from(rng.next_u64()) % span),
+        )
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (s, e) = (*self.start(), *self.end());
+        assert!(s <= e, "cannot sample empty range");
+        let span = e.to_u128().wrapping_sub(s.to_u128()).wrapping_add(1);
+        let offset = if span == 0 {
+            // Full-width range: every 64-bit draw is already uniform.
+            u128::from(rng.next_u64())
+        } else {
+            u128::from(rng.next_u64()) % span
+        };
+        T::from_u128(s.to_u128().wrapping_add(offset))
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over its whole domain (`f64` in
+    /// `[0, 1)`).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u16 = rng.random_range(3..17u16);
+            assert!((3..17).contains(&x));
+            let y: usize = rng.random_range(0..=5usize);
+            assert!(y <= 5);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&frac), "frac = {frac}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn range_covers_both_endpoints_inclusive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..=3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
