@@ -1,0 +1,242 @@
+//! Edge-case coverage for the cache crate: LRU eviction order,
+//! degenerate capacities, policy behavior at capacity 1, and RRC-ME
+//! consistency across route withdrawals (the case where a cached
+//! minimal expansion would silently go stale if the owner did not
+//! invalidate).
+
+use clue_cache::{rrc_me, Eviction, Lru, LruPrefixCache, PolicyPrefixCache};
+use clue_fib::{NextHop, Prefix, Route, Trie, Update};
+
+fn route(s: &str, nh: u16) -> Route {
+    Route::new(s.parse().unwrap(), NextHop(nh))
+}
+
+// ---------------------------------------------------------------- Lru
+
+#[test]
+fn lru_eviction_follows_access_order_exactly() {
+    let mut lru: Lru<u32, u32> = Lru::new(3);
+    for k in [1, 2, 3] {
+        assert!(lru.insert(k, k * 10).is_none());
+    }
+    // Recency now (front→back): 3, 2, 1. Touch 1, then 2.
+    assert_eq!(lru.get(&1), Some(&10));
+    assert_eq!(lru.get(&2), Some(&20));
+    // Victim order must now be 3, then 1, then 2.
+    assert_eq!(lru.lru_key(), Some(&3));
+    assert_eq!(lru.insert(4, 40), Some((3, 30)));
+    assert_eq!(lru.insert(5, 50), Some((1, 10)));
+    assert_eq!(lru.insert(6, 60), Some((2, 20)));
+    assert_eq!(lru.len(), 3);
+}
+
+#[test]
+fn lru_peek_does_not_refresh_recency() {
+    let mut lru: Lru<u32, u32> = Lru::new(2);
+    lru.insert(1, 10);
+    lru.insert(2, 20);
+    assert_eq!(lru.peek(&1), Some(&10));
+    // 1 is still the LRU victim despite the peek.
+    assert_eq!(lru.insert(3, 30), Some((1, 10)));
+}
+
+#[test]
+fn lru_remove_then_reinsert_reuses_capacity() {
+    let mut lru: Lru<u32, u32> = Lru::new(2);
+    lru.insert(1, 10);
+    lru.insert(2, 20);
+    assert_eq!(lru.remove(&1), Some(10));
+    assert_eq!(lru.len(), 1);
+    assert!(lru.insert(3, 30).is_none(), "freed slot must absorb 3");
+    assert_eq!(lru.insert(4, 40), Some((2, 20)));
+}
+
+#[test]
+fn lru_capacity_one_cycles_every_insert() {
+    let mut lru: Lru<u32, u32> = Lru::new(1);
+    assert!(lru.insert(1, 10).is_none());
+    for k in 2..10u32 {
+        assert_eq!(
+            lru.insert(k, k),
+            Some((k - 1, if k == 2 { 10 } else { k - 1 }))
+        );
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.lru_key(), Some(&k));
+    }
+}
+
+// ------------------------------------------------- degenerate capacity
+
+#[test]
+#[should_panic(expected = "positive")]
+fn lru_rejects_capacity_zero() {
+    let _ = Lru::<u32, u32>::new(0);
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn lru_prefix_cache_rejects_capacity_zero() {
+    let _ = LruPrefixCache::new(0);
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn policy_cache_rejects_capacity_zero() {
+    let _ = PolicyPrefixCache::new(0, Eviction::Fifo);
+}
+
+#[test]
+fn prefix_cache_capacity_one_keeps_lpm_correct_while_cycling() {
+    let mut c = LruPrefixCache::new(1);
+    assert!(c.insert(route("10.0.0.0/8", 1)).is_none());
+    assert_eq!(c.lookup(0x0A00_0001), Some(NextHop(1)));
+    // Inserting a second route evicts the first; the old prefix must
+    // stop matching (its length-histogram slot is released).
+    let evicted = c.insert(route("11.0.0.0/8", 2)).expect("full cache evicts");
+    assert_eq!(evicted, route("10.0.0.0/8", 1));
+    assert_eq!(c.lookup(0x0A00_0001), None);
+    assert_eq!(c.lookup(0x0B00_0001), Some(NextHop(2)));
+    assert_eq!(c.len(), 1);
+    assert_eq!(c.stats().evictions, 1);
+}
+
+#[test]
+fn policy_caches_at_capacity_one_agree_on_the_victim() {
+    for policy in [
+        Eviction::Lru,
+        Eviction::Fifo,
+        Eviction::Lfu,
+        Eviction::Random { seed: 3 },
+    ] {
+        let mut c = PolicyPrefixCache::new(1, policy);
+        c.insert(route("10.0.0.0/8", 1));
+        // With one slot there is only one possible victim.
+        let evicted = c.insert(route("11.0.0.0/8", 2)).expect("must evict");
+        assert_eq!(evicted.to_string(), "10.0.0.0/8", "{policy:?}");
+        assert_eq!(c.len(), 1, "{policy:?}");
+        assert_eq!(c.lookup(0x0B00_0001), Some(NextHop(2)), "{policy:?}");
+    }
+}
+
+// ----------------------------------------------------------- RRC-ME
+
+/// Applies a withdraw to a trie the way a control plane would.
+fn withdraw(trie: &mut Trie<NextHop>, prefix: &str) {
+    let p: Prefix = prefix.parse().unwrap();
+    trie.remove(p);
+}
+
+#[test]
+fn rrc_me_expansion_widens_after_conflicting_withdraw() {
+    // p = 128.0.0.0/1 with q = 160.0.0.0/3 inside it: the expansion for
+    // 128.0.0.1 must dodge q (yielding 128.0.0.0/3).
+    let mut trie: Trie<NextHop> = [
+        ("128.0.0.0/1".parse::<Prefix>().unwrap(), NextHop(1)),
+        ("160.0.0.0/3".parse::<Prefix>().unwrap(), NextHop(2)),
+    ]
+    .into_iter()
+    .collect();
+    let before = rrc_me(&trie, 0x8000_0001).unwrap();
+    assert_eq!(before.route.prefix.to_string(), "128.0.0.0/3");
+
+    // Withdraw q: the conflict disappears, so the minimal expansion for
+    // the same address is now p itself — the stale /3 answer would
+    // under-cover the region a fresh computation can claim.
+    withdraw(&mut trie, "160.0.0.0/3");
+    let after = rrc_me(&trie, 0x8000_0001).unwrap();
+    assert_eq!(after.route.prefix.to_string(), "128.0.0.0/1");
+    assert_eq!(after.route.next_hop, NextHop(1));
+}
+
+#[test]
+fn rrc_me_result_goes_stale_on_withdraw_of_the_matched_route() {
+    let mut trie: Trie<NextHop> = [("10.0.0.0/8".parse::<Prefix>().unwrap(), NextHop(1))]
+        .into_iter()
+        .collect();
+    let me = rrc_me(&trie, 0x0A00_0001).unwrap();
+    assert_eq!(me.route.next_hop, NextHop(1));
+    withdraw(&mut trie, "10.0.0.0/8");
+    assert!(
+        rrc_me(&trie, 0x0A00_0001).is_none(),
+        "after the withdraw there is nothing to cache"
+    );
+}
+
+#[test]
+fn cache_invalidation_keeps_rrc_me_entries_consistent_after_withdraw() {
+    // The CLPL discipline: cache minimal expansions, and on a table
+    // change conservatively invalidate every cached prefix overlapping
+    // the updated one. After that, re-filled entries must agree with
+    // fresh RRC-ME computations — no stale next hops survive.
+    let mut trie: Trie<NextHop> = [
+        ("0.0.0.0/0".parse::<Prefix>().unwrap(), NextHop(9)),
+        ("128.0.0.0/2".parse::<Prefix>().unwrap(), NextHop(1)),
+        ("144.0.0.0/4".parse::<Prefix>().unwrap(), NextHop(2)),
+    ]
+    .into_iter()
+    .collect();
+    let mut cache = LruPrefixCache::new(16);
+    let addrs = [0x8000_0001u32, 0x9000_0001, 0xC000_0001, 0x4000_0001];
+    for &a in &addrs {
+        let me = rrc_me(&trie, a).expect("default route always matches");
+        cache.insert(me.route);
+        assert_eq!(cache.lookup(a), Some(me.route.next_hop));
+    }
+
+    // Withdraw 144.0.0.0/4 and invalidate overlapping cache state.
+    let withdrawn: Prefix = "144.0.0.0/4".parse().unwrap();
+    withdraw(&mut trie, "144.0.0.0/4");
+    let removed = cache.invalidate_overlapping(withdrawn);
+    assert!(removed >= 1, "the expansion covering 0x90... must go");
+
+    // Every address now resolves (via cache + refill) exactly as a
+    // fresh RRC-ME against the updated trie says.
+    for &a in &addrs {
+        let expect = rrc_me(&trie, a).expect("still matched by the default");
+        let got = match cache.lookup(a) {
+            Some(nh) => nh,
+            None => {
+                cache.insert(expect.route);
+                expect.route.next_hop
+            }
+        };
+        assert_eq!(got, expect.route.next_hop, "addr {a:#010x}");
+    }
+
+    // And no cached entry contradicts the trie's LPM over its region.
+    for r in cache.iter().collect::<Vec<_>>() {
+        let lo = r.prefix.low();
+        let hi = r.prefix.high();
+        for probe in [lo, hi, lo + (hi - lo) / 2] {
+            assert_eq!(
+                trie.lookup(probe).map(|(_, &nh)| nh),
+                Some(r.next_hop),
+                "cached region {} disagrees at {probe:#010x}",
+                r.prefix
+            );
+        }
+    }
+}
+
+#[test]
+fn invalidate_overlapping_removes_both_directions_of_overlap() {
+    let mut cache = LruPrefixCache::new(8);
+    cache.insert(route("10.0.0.0/8", 1)); // contains the update
+    cache.insert(route("10.1.0.0/16", 2)); // contained by the update
+    cache.insert(route("11.0.0.0/8", 3)); // disjoint
+    let removed = cache.invalidate_overlapping("10.0.0.0/12".parse().unwrap());
+    assert_eq!(removed, 2);
+    assert!(!cache.contains("10.0.0.0/8".parse().unwrap()));
+    assert!(!cache.contains("10.1.0.0/16".parse().unwrap()));
+    assert!(cache.contains("11.0.0.0/8".parse().unwrap()));
+}
+
+#[test]
+fn update_enum_withdraw_matches_trie_removal_semantics() {
+    // Belt-and-braces: the Update type used across the stack and the
+    // raw trie removal agree on what a withdraw means for caching.
+    let p: Prefix = "10.0.0.0/8".parse().unwrap();
+    let u = Update::Withdraw { prefix: p };
+    assert_eq!(u.prefix(), p);
+    assert!(!u.is_announce());
+}

@@ -3,14 +3,17 @@
 //! Over the top 3 bits of the address space (prefixes of length ≤ 3,
 //! next hops {0,1}) every possible routing table is enumerable. For all
 //! of them we check the full ONRTC contract — semantic equivalence on
-//! every address class, non-overlap, idempotence — and for a large
-//! systematic slice we additionally apply *every possible single update*
-//! and check the incremental engine against recompression from scratch.
+//! every address class (judged by the flat-scan `clue-oracle` reference
+//! model, which shares no code with the trie), non-overlap, idempotence
+//! — and for a large systematic slice we additionally apply *every
+//! possible single update* and check the incremental engine against
+//! recompression of the oracle's sequentially-updated state.
 //!
 //! Property tests sample this space; this test *covers* it.
 
 use clue_compress::{onrtc, CompressedFib};
 use clue_fib::{NextHop, Prefix, RouteTable, Update};
+use clue_oracle::Oracle;
 
 /// All prefixes of length ≤ 3 (1 + 2 + 4 + 8 = 15).
 fn universe() -> Vec<Prefix> {
@@ -27,10 +30,6 @@ fn universe() -> Vec<Prefix> {
 /// distinct forwarding behaviour of a ≤ /3 table).
 fn probes() -> Vec<u32> {
     (0..8u32).map(|i| (i << 29) | 0x0001_0000).collect()
-}
-
-fn lookup(t: &RouteTable, addr: u32) -> Option<NextHop> {
-    t.to_trie().lookup(addr).map(|(_, &nh)| nh)
 }
 
 /// Decodes table index `code` (base-3 digit per prefix: absent / nh0 /
@@ -64,10 +63,15 @@ fn every_small_table_compresses_correctly() {
         let t = table_from_code(code, &universe);
         let c = onrtc(&t);
         assert!(c.is_non_overlapping(), "overlap for code {code}");
+        // Both sides go through the flat-scan oracle, so agreement does
+        // not depend on the trie implementation both tables would
+        // otherwise share.
+        let want = Oracle::new(&t);
+        let got = Oracle::new(&c);
         for &addr in &probes {
             assert_eq!(
-                lookup(&c, addr),
-                lookup(&t, addr),
+                got.lookup(addr),
+                want.lookup(addr),
                 "code {code}, addr {addr:#x}"
             );
         }
@@ -107,11 +111,11 @@ fn every_single_update_matches_recompression() {
             ] {
                 let mut cf = CompressedFib::new(&initial);
                 cf.apply(update);
-                let mut replayed = initial.clone();
-                replayed.apply(update);
+                let mut oracle = Oracle::new(&initial);
+                oracle.apply(update);
                 assert_eq!(
                     cf.compressed_table(),
-                    onrtc(&replayed),
+                    onrtc(&oracle.table()),
                     "divergence: code {code}, update {update}"
                 );
                 checked_updates += 1;
@@ -131,7 +135,7 @@ fn consecutive_update_chains_stay_synced() {
     // update alphabet: all (prefix, action) pairs applied in sequence.
     let universe = universe();
     let mut cf = CompressedFib::new(&RouteTable::new());
-    let mut reference = RouteTable::new();
+    let mut oracle = Oracle::new(&RouteTable::new());
     for round in 0..3 {
         for (i, &p) in universe.iter().enumerate() {
             let update = match (i + round) % 3 {
@@ -146,10 +150,10 @@ fn consecutive_update_chains_stay_synced() {
                 _ => Update::Withdraw { prefix: p },
             };
             cf.apply(update);
-            reference.apply(update);
+            oracle.apply(update);
             assert_eq!(
                 cf.compressed_table(),
-                onrtc(&reference),
+                onrtc(&oracle.table()),
                 "round {round}, update {update}"
             );
         }

@@ -57,11 +57,14 @@ impl Histogram {
         (64 - value.leading_zeros()).saturating_sub(1) as usize
     }
 
-    /// Records one sample.
+    /// Records one sample. Counters saturate instead of overflowing,
+    /// so a histogram fed for arbitrarily long degrades (mean becomes a
+    /// lower bound) rather than panicking or wrapping.
     pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_of(value)] += 1;
-        self.count += 1;
-        self.sum += value;
+        let b = &mut self.buckets[Self::bucket_of(value)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
         self.min = self.min.min(value);
     }
@@ -125,13 +128,14 @@ impl Histogram {
         self.max
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Like [`Histogram::record`],
+    /// all counters saturate.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         if other.count > 0 {
             self.max = self.max.max(other.max);
             self.min = self.min.min(other.min);
@@ -377,6 +381,113 @@ mod tests {
         let count = a.count();
         a.merge(&Summary::new());
         assert_eq!(a.count(), count);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        for v in [3u64, 17, 4_096] {
+            a.record(v);
+        }
+        let reference = a.clone();
+        // Non-empty ← empty: nothing changes, min/max untouched.
+        a.merge(&Histogram::new());
+        assert_eq!(a, reference);
+        // Empty ← non-empty: becomes an exact copy, including the
+        // empty side's sentinel min (u64::MAX) being replaced.
+        let mut e = Histogram::new();
+        e.merge(&reference);
+        assert_eq!(e, reference);
+        assert_eq!(e.min(), 3);
+        assert_eq!(e.max(), 4_096);
+        // Empty ← empty stays empty and well-defined.
+        let mut ee = Histogram::new();
+        ee.merge(&Histogram::new());
+        assert_eq!(ee.count(), 0);
+        assert_eq!(ee.min(), 0);
+        assert_eq!(ee.max(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_single_sample_each_side() {
+        let mut a = Histogram::new();
+        a.record(7);
+        let mut b = Histogram::new();
+        b.record(9_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 9_000_000);
+        assert_eq!(a.mean(), (7.0 + 9_000_000.0) / 2.0);
+        // Rank-1 quantile lands in 7's bucket [4, 8).
+        assert_eq!(a.quantile(0.01), 4);
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_overflowing() {
+        // Sum saturation: two near-max samples cannot wrap.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // The sum pegged at u64::MAX; the mean degrades to a lower
+        // bound rather than going negative-ish garbage.
+        assert!(h.mean() <= u64::MAX as f64);
+        assert!(h.mean() >= (u64::MAX / 2) as f64);
+
+        // Count saturation: doubling via self-merge 64+ times pegs the
+        // counters at u64::MAX without panicking in debug builds.
+        let mut d = Histogram::new();
+        d.record(1);
+        for _ in 0..70 {
+            let snapshot = d.clone();
+            d.merge(&snapshot);
+        }
+        assert_eq!(d.count(), u64::MAX);
+        assert_eq!(d.quantile(0.5), 0, "bucket 0 lower bound");
+        assert_eq!(d.min(), 1);
+        assert_eq!(d.max(), 1);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_and_single_sample() {
+        // Empty ← empty.
+        let mut e = Summary::new();
+        e.merge(&Summary::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.digest(), (0.0, 0.0, 0.0, 0.0, 0.0));
+        // Empty ← single.
+        let mut one = Summary::new();
+        one.record(42.0);
+        let mut s = Summary::new();
+        s.merge(&one);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.digest(), (42.0, 42.0, 42.0, 42.0, 42.0));
+        // Single ← single keeps exact quantiles at every rank.
+        let mut other = Summary::new();
+        other.record(-1.5);
+        s.merge(&other);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.quantile(0.0), -1.5);
+        assert_eq!(s.quantile(0.5), -1.5);
+        assert_eq!(s.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn summary_merge_after_sort_resets_sorted_state() {
+        // Querying a quantile sorts in place; a merge after that must
+        // not leave the summary believing it is still sorted.
+        let mut a = Summary::new();
+        for v in [5.0, 1.0, 3.0] {
+            a.record(v);
+        }
+        assert_eq!(a.quantile(1.0), 5.0); // forces the sort
+        let mut b = Summary::new();
+        b.record(0.5);
+        a.merge(&b);
+        assert_eq!(a.quantile(0.0), 0.5, "new minimum must be visible");
+        assert_eq!(a.count(), 4);
     }
 
     #[test]

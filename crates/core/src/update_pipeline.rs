@@ -199,6 +199,14 @@ impl CluePipeline {
     pub fn fib(&self) -> &CompressedFib {
         &self.fib
     }
+
+    /// The per-chip DRed caches (for verification: the conformance
+    /// harness checks every cached entry is still live in the
+    /// compressed table after each batch).
+    #[must_use]
+    pub fn dreds(&self) -> &[LruPrefixCache] {
+        &self.dreds
+    }
 }
 
 /// CLPL's end-to-end update pipeline (the comparison baseline).

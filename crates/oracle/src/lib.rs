@@ -1,0 +1,41 @@
+//! `clue-oracle` — an independent reference model and differential
+//! conformance harness for the whole CLUE pipeline.
+//!
+//! Every correctness claim the rest of the workspace makes — ONRTC
+//! semantic equivalence, O(1) non-overlapping TCAM update,
+//! zero-redundancy even partitioning, data-plane DRed insertion, the
+//! router runtime's epoch handoff — is a claim *about* a compressed,
+//! partitioned, concurrent structure. The only trustworthy way to
+//! falsify such claims end-to-end is to compare against a model too
+//! simple to share any bugs with the thing under test. This crate
+//! provides exactly that:
+//!
+//! * [`model::Oracle`] — a deliberately naive longest-prefix-match
+//!   model: a flat route list, linear scans, sequential update
+//!   application, no compression, no partitioning, no tries;
+//! * [`probes`] — adversarial probe-set construction (prefix boundary
+//!   addresses ±1, region midpoints, covered/uncovered gap edges,
+//!   seeded random fill);
+//! * [`harness`] — [`harness::run_check`], which drives the real stack
+//!   (trie → ONRTC → partition → TCAM → DRed → router runtime) and the
+//!   oracle with one seeded workload, asserting lookup-for-lookup
+//!   agreement and structural invariants after every update batch, with
+//!   optional fault injection ([`clue_router::FaultPlan`]) in the
+//!   router phase;
+//! * [`shrink`] — greedy update-trace minimization and the reproducer
+//!   file format a failing `clue check` run emits.
+//!
+//! The CLI front end is `clue check`; the `tests/` directory of this
+//! crate holds the `#[test]` entry points.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod harness;
+pub mod model;
+pub mod probes;
+pub mod shrink;
+
+pub use harness::{run_check, CheckConfig, CheckFailure, CheckReport, Divergence, Stage};
+pub use model::Oracle;
+pub use shrink::{shrink_trace, Reproducer};

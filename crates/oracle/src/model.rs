@@ -1,0 +1,196 @@
+//! The naive reference model: flat longest-prefix match.
+//!
+//! This is the anchor of the differential harness, so it must be too
+//! simple to be wrong in the same way as anything it checks: a plain
+//! `Vec<Route>`, linear scans for lookup, and sequential update
+//! application. No trie, no compression, no partitioning, no sharing
+//! of code with the structures under test beyond the `Prefix`
+//! arithmetic itself.
+
+use clue_fib::{NextHop, Prefix, Route, RouteTable, Update};
+
+/// A flat-scan LPM model of a routing table.
+///
+/// # Examples
+///
+/// ```
+/// use clue_fib::{NextHop, RouteTable, Update};
+/// use clue_oracle::Oracle;
+///
+/// let mut table = RouteTable::new();
+/// table.insert("10.0.0.0/8".parse()?, NextHop(1));
+/// table.insert("10.1.0.0/16".parse()?, NextHop(2));
+///
+/// let mut oracle = Oracle::new(&table);
+/// assert_eq!(oracle.lookup(0x0A01_0000), Some(NextHop(2)));
+/// oracle.apply(Update::Withdraw { prefix: "10.1.0.0/16".parse()? });
+/// assert_eq!(oracle.lookup(0x0A01_0000), Some(NextHop(1)));
+/// # Ok::<(), clue_fib::ParsePrefixError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    routes: Vec<Route>,
+}
+
+impl Oracle {
+    /// Builds the model from a routing table.
+    #[must_use]
+    pub fn new(table: &RouteTable) -> Self {
+        Oracle {
+            routes: table.iter().collect(),
+        }
+    }
+
+    /// Number of routes held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the model holds no routes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Longest-prefix match by linear scan over every route.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<NextHop> {
+        let mut best: Option<Route> = None;
+        for &r in &self.routes {
+            if r.prefix.contains_addr(addr) && best.is_none_or(|b| r.prefix.len() > b.prefix.len())
+            {
+                best = Some(r);
+            }
+        }
+        best.map(|r| r.next_hop)
+    }
+
+    /// Applies one update sequentially: an announce replaces or appends
+    /// the route for its prefix; a withdraw removes it.
+    pub fn apply(&mut self, update: Update) {
+        match update {
+            Update::Announce { prefix, next_hop } => {
+                for r in &mut self.routes {
+                    if r.prefix == prefix {
+                        r.next_hop = next_hop;
+                        return;
+                    }
+                }
+                self.routes.push(Route::new(prefix, next_hop));
+            }
+            Update::Withdraw { prefix } => {
+                self.routes.retain(|r| r.prefix != prefix);
+            }
+        }
+    }
+
+    /// The prefixes currently held (unordered).
+    #[must_use]
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        self.routes.iter().map(|r| r.prefix).collect()
+    }
+
+    /// Exports the model's state as a [`RouteTable`].
+    #[must_use]
+    pub fn table(&self) -> RouteTable {
+        self.routes.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(s: &str, nh: u16) -> (Prefix, NextHop) {
+        (s.parse().unwrap(), NextHop(nh))
+    }
+
+    fn table(routes: &[(&str, u16)]) -> RouteTable {
+        routes.iter().map(|&(p, nh)| route(p, nh)).collect()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let o = Oracle::new(&table(&[
+            ("0.0.0.0/0", 9),
+            ("10.0.0.0/8", 1),
+            ("10.1.0.0/16", 2),
+            ("10.1.2.0/24", 3),
+        ]));
+        assert_eq!(o.lookup(0x0A01_0200), Some(NextHop(3)));
+        assert_eq!(o.lookup(0x0A01_0300), Some(NextHop(2)));
+        assert_eq!(o.lookup(0x0A02_0000), Some(NextHop(1)));
+        assert_eq!(o.lookup(0x0B00_0000), Some(NextHop(9)));
+    }
+
+    #[test]
+    fn empty_model_matches_nothing() {
+        let o = Oracle::new(&RouteTable::new());
+        assert!(o.is_empty());
+        assert_eq!(o.lookup(0), None);
+        assert_eq!(o.lookup(u32::MAX), None);
+    }
+
+    #[test]
+    fn no_default_route_means_misses_exist() {
+        let o = Oracle::new(&table(&[("10.0.0.0/8", 1)]));
+        assert_eq!(o.lookup(0x0B00_0000), None);
+        assert_eq!(o.lookup(0x09FF_FFFF), None);
+        assert_eq!(o.lookup(0x0A00_0000), Some(NextHop(1)));
+        assert_eq!(o.lookup(0x0AFF_FFFF), Some(NextHop(1)));
+    }
+
+    #[test]
+    fn announce_replaces_and_withdraw_removes() {
+        let mut o = Oracle::new(&table(&[("10.0.0.0/8", 1)]));
+        o.apply(Update::Announce {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            next_hop: NextHop(7),
+        });
+        assert_eq!(o.len(), 1, "re-announce must not duplicate");
+        assert_eq!(o.lookup(0x0A00_0001), Some(NextHop(7)));
+        o.apply(Update::Withdraw {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+        });
+        assert!(o.is_empty());
+        assert_eq!(o.lookup(0x0A00_0001), None);
+        // Withdrawing an absent prefix is a no-op.
+        o.apply(Update::Withdraw {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+        });
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let t = table(&[("10.0.0.0/8", 1), ("192.168.0.0/16", 2)]);
+        let o = Oracle::new(&t);
+        assert_eq!(o.table(), t);
+    }
+
+    #[test]
+    fn sequential_apply_equals_route_table_apply() {
+        let t = table(&[("10.0.0.0/8", 1), ("10.128.0.0/9", 2)]);
+        let updates = [
+            Update::Announce {
+                prefix: "10.64.0.0/10".parse().unwrap(),
+                next_hop: NextHop(3),
+            },
+            Update::Withdraw {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+            },
+            Update::Announce {
+                prefix: "10.128.0.0/9".parse().unwrap(),
+                next_hop: NextHop(4),
+            },
+        ];
+        let mut o = Oracle::new(&t);
+        let mut reference = t.clone();
+        for &u in &updates {
+            o.apply(u);
+            reference.apply(u);
+        }
+        assert_eq!(o.table(), reference);
+    }
+}

@@ -1,0 +1,158 @@
+//! Adversarial probe-set construction.
+//!
+//! Random addresses almost never land on the boundaries where
+//! compression and partitioning bugs live: the first/last address of a
+//! prefix, the address one step *outside* it (a covered/uncovered gap
+//! edge, where an off-by-one in a region computation flips the match),
+//! and the cut points between partitions. A probe set therefore
+//! combines:
+//!
+//! * the five boundary probes of every *recently touched* prefix
+//!   (low, high, low − 1, high + 1, midpoint — wrapping at the address
+//!   space edges);
+//! * the same probes for a seeded rotating sample of the standing
+//!   table, so old regions keep being re-checked as the table churns;
+//! * a seeded uniform-random fill for everything in between.
+
+use clue_fib::Prefix;
+
+/// Deterministic xorshift64* used for probe sampling — deliberately
+/// not shared with any workload generator so probe choice and workload
+/// stay independent.
+#[derive(Debug, Clone)]
+pub struct ProbeRng {
+    state: u64,
+}
+
+impl ProbeRng {
+    /// Creates the RNG from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ProbeRng {
+            state: seed ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform index in `[0, bound)`; 0 when `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// The five adversarial addresses of one prefix: first, last, one
+/// below, one above (wrapping), and the midpoint.
+#[must_use]
+pub fn boundary_probes(prefix: Prefix) -> [u32; 5] {
+    let lo = prefix.low();
+    let hi = prefix.high();
+    [
+        lo,
+        hi,
+        lo.wrapping_sub(1),
+        hi.wrapping_add(1),
+        lo + (hi - lo) / 2,
+    ]
+}
+
+/// Builds one batch's probe set: boundary probes for every touched
+/// prefix, boundary probes for a seeded `sample`-sized rotation of the
+/// standing prefixes, and `random` uniform addresses. Sorted and
+/// deduplicated.
+#[must_use]
+pub fn probe_set(
+    standing: &[Prefix],
+    touched: &[Prefix],
+    seed: u64,
+    sample: usize,
+    random: usize,
+) -> Vec<u32> {
+    let mut rng = ProbeRng::new(seed);
+    let mut out: Vec<u32> = Vec::with_capacity((touched.len() + sample) * 5 + random);
+    for &p in touched {
+        out.extend_from_slice(&boundary_probes(p));
+    }
+    if !standing.is_empty() {
+        // A random starting point plus a stride coprime to most sizes
+        // rotates through the whole table across batches.
+        let start = rng.below(standing.len());
+        for i in 0..sample.min(standing.len()) {
+            let p = standing[(start + i * 7 + i) % standing.len()];
+            out.extend_from_slice(&boundary_probes(p));
+        }
+    }
+    for _ in 0..random {
+        out.push(rng.next_u64() as u32);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_probes_bracket_the_prefix() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let probes = boundary_probes(p);
+        assert!(probes.contains(&0x0A00_0000), "low");
+        assert!(probes.contains(&0x0AFF_FFFF), "high");
+        assert!(probes.contains(&0x09FF_FFFF), "low - 1 (uncovered side)");
+        assert!(probes.contains(&0x0B00_0000), "high + 1 (uncovered side)");
+        assert_eq!(probes.iter().filter(|a| p.contains_addr(**a)).count(), 3);
+    }
+
+    #[test]
+    fn boundary_probes_wrap_at_address_space_edges() {
+        let root = Prefix::root();
+        let probes = boundary_probes(root);
+        assert!(probes.contains(&0));
+        assert!(probes.contains(&u32::MAX));
+        // low-1 and high+1 wrap instead of under/overflowing.
+        assert_eq!(probes[2], u32::MAX);
+        assert_eq!(probes[3], 0);
+    }
+
+    #[test]
+    fn probe_set_is_deterministic_and_deduped() {
+        let standing: Vec<Prefix> = (0..50u32).map(|i| Prefix::new(i << 20, 12)).collect();
+        let touched = [standing[3], standing[7]];
+        let a = probe_set(&standing, &touched, 11, 16, 64);
+        let b = probe_set(&standing, &touched, 11, 16, 64);
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.dedup();
+        assert_eq!(a, c, "already deduplicated");
+        assert!(a.len() >= 2 * 5, "at least the touched boundaries survive");
+    }
+
+    #[test]
+    fn probe_set_covers_touched_boundaries() {
+        let touched = ["10.0.0.0/8".parse::<Prefix>().unwrap()];
+        let set = probe_set(&[], &touched, 1, 8, 0);
+        for a in boundary_probes(touched[0]) {
+            assert!(set.contains(&a), "missing probe {a:#x}");
+        }
+    }
+
+    #[test]
+    fn empty_everything_is_fine() {
+        assert!(probe_set(&[], &[], 5, 10, 0).is_empty());
+        assert_eq!(probe_set(&[], &[], 5, 0, 3).len(), 3);
+    }
+}

@@ -1,0 +1,238 @@
+//! Greedy update-trace minimization and the reproducer file format.
+//!
+//! When a conformance check diverges on a 5 000-update trace, the
+//! interesting part is usually 1–3 updates. [`shrink_trace`] is a
+//! ddmin-style greedy minimizer: it repeatedly tries dropping chunks
+//! (halving the chunk size down to single updates) and keeps any
+//! removal after which the check *still fails*. The result together
+//! with the initial table is serialized as a [`Reproducer`] — a plain
+//! text file that `clue check --replay` (or a unit test) can load and
+//! re-run deterministically.
+
+use std::fmt::Write as _;
+
+use clue_fib::{RouteTable, Update};
+
+/// Minimizes `trace` while `still_fails` keeps returning `true`.
+///
+/// `still_fails` must be deterministic and must return `true` for the
+/// full input trace; the returned trace is 1-minimal with respect to
+/// removing contiguous chunks (removing any single remaining update
+/// makes the failure disappear).
+pub fn shrink_trace(
+    trace: &[Update],
+    mut still_fails: impl FnMut(&[Update]) -> bool,
+) -> Vec<Update> {
+    let mut current: Vec<Update> = trace.to_vec();
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.drain(i..(i + chunk).min(candidate.len()));
+            if still_fails(&candidate) {
+                current = candidate;
+                // Keep `i`: the next chunk slid into this position.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            return current;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// A self-contained failing case: the initial table plus the
+/// (minimized) update trace that makes a check diverge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reproducer {
+    /// Human-oriented context (divergence message, seed, config); kept
+    /// in `#` comments in the file.
+    pub note: String,
+    /// The initial routing table.
+    pub table: RouteTable,
+    /// The update trace to replay on it.
+    pub trace: Vec<Update>,
+}
+
+impl Reproducer {
+    /// Serializes to the reproducer text format:
+    ///
+    /// ```text
+    /// # clue reproducer
+    /// # <note lines>
+    /// [table]
+    /// 10.0.0.0/8 1
+    /// [trace]
+    /// A 10.1.0.0/16 2
+    /// W 10.0.0.0/8
+    /// ```
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# clue reproducer\n");
+        for line in self.note.lines() {
+            let _ = writeln!(out, "# {line}");
+        }
+        out.push_str("[table]\n");
+        out.push_str(&self.table.to_text());
+        out.push_str("[trace]\n");
+        for u in &self.trace {
+            let _ = writeln!(out, "{u}");
+        }
+        out
+    }
+
+    /// Parses the text format written by [`Reproducer::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        #[derive(PartialEq)]
+        enum Section {
+            Preamble,
+            Table,
+            Trace,
+        }
+        let mut section = Section::Preamble;
+        let mut note = String::new();
+        let mut table_text = String::new();
+        let mut trace = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let comment = comment.trim();
+                if section == Section::Preamble && comment != "clue reproducer" {
+                    if !note.is_empty() {
+                        note.push('\n');
+                    }
+                    note.push_str(comment);
+                }
+                continue;
+            }
+            match line {
+                "[table]" => section = Section::Table,
+                "[trace]" => section = Section::Trace,
+                _ => match section {
+                    Section::Preamble => {
+                        return Err(format!("line {}: expected [table]", lineno + 1));
+                    }
+                    Section::Table => {
+                        table_text.push_str(line);
+                        table_text.push('\n');
+                    }
+                    Section::Trace => {
+                        let u: Update = line
+                            .parse()
+                            .map_err(|_| format!("line {}: bad update {line:?}", lineno + 1))?;
+                        trace.push(u);
+                    }
+                },
+            }
+        }
+        let table = RouteTable::from_text(&table_text).map_err(|e| format!("table: {e}"))?;
+        Ok(Reproducer { note, table, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::{NextHop, Prefix};
+
+    fn upd(i: u32) -> Update {
+        Update::Announce {
+            prefix: Prefix::new(i << 16, 16),
+            next_hop: NextHop((i % 5) as u16),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let trace: Vec<Update> = (0..100).map(upd).collect();
+        let culprit = upd(42);
+        let minimized = shrink_trace(&trace, |t| t.contains(&culprit));
+        assert_eq!(minimized, vec![culprit]);
+    }
+
+    #[test]
+    fn shrinks_scattered_pair_to_exactly_two() {
+        let trace: Vec<Update> = (0..64).map(upd).collect();
+        let (a, b) = (upd(3), upd(57));
+        let minimized = shrink_trace(&trace, |t| t.contains(&a) && t.contains(&b));
+        assert_eq!(minimized, vec![a, b]);
+    }
+
+    #[test]
+    fn order_dependent_failure_keeps_order() {
+        // Fails only when a withdraw follows the announce of the same
+        // prefix — shrinking must preserve the relative order.
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let announce = Update::Announce {
+            prefix: p,
+            next_hop: NextHop(1),
+        };
+        let withdraw = Update::Withdraw { prefix: p };
+        let mut trace: Vec<Update> = (0..20).map(upd).collect();
+        trace.insert(5, announce);
+        trace.insert(15, withdraw);
+        let fails = |t: &[Update]| {
+            let ia = t.iter().position(|&u| u == announce);
+            let iw = t.iter().position(|&u| u == withdraw);
+            matches!((ia, iw), (Some(a), Some(w)) if a < w)
+        };
+        let minimized = shrink_trace(&trace, fails);
+        assert_eq!(minimized, vec![announce, withdraw]);
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert!(shrink_trace(&[], |_| true).is_empty());
+    }
+
+    #[test]
+    fn reproducer_round_trips() {
+        let mut table = RouteTable::new();
+        table.insert("10.0.0.0/8".parse().unwrap(), NextHop(1));
+        table.insert("192.168.0.0/16".parse().unwrap(), NextHop(2));
+        let repro = Reproducer {
+            note: "seed=7 updates=5000\nlookup divergence at 10.0.0.0".to_owned(),
+            table,
+            trace: vec![
+                Update::Announce {
+                    prefix: "10.1.0.0/16".parse().unwrap(),
+                    next_hop: NextHop(3),
+                },
+                Update::Withdraw {
+                    prefix: "10.0.0.0/8".parse().unwrap(),
+                },
+            ],
+        };
+        let text = repro.to_text();
+        let parsed = Reproducer::from_text(&text).expect("round trip parses");
+        assert_eq!(parsed, repro);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Reproducer::from_text("not a section\n").is_err());
+        assert!(Reproducer::from_text("[table]\n10.0.0.0/8 1\n[trace]\nX nope\n").is_err());
+    }
+
+    #[test]
+    fn empty_reproducer_round_trips() {
+        let repro = Reproducer {
+            note: String::new(),
+            table: RouteTable::new(),
+            trace: Vec::new(),
+        };
+        let parsed = Reproducer::from_text(&repro.to_text()).unwrap();
+        assert_eq!(parsed, repro);
+    }
+}

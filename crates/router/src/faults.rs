@@ -1,0 +1,373 @@
+//! Seeded fault injection for the router runtime.
+//!
+//! The conformance harness (`clue-oracle`, `clue check --faults`) needs
+//! to shake the concurrent seams of [`runtime::run`](crate::runtime::run)
+//! — channel hand-off timing, update-batch boundaries, TCAM write
+//! latency — while still being able to assert that the final FIB equals
+//! the sequential application of the update trace. A [`FaultPlan`]
+//! therefore only injects perturbations that a correct runtime must
+//! absorb:
+//!
+//! * **delay** — the feeder sleeps a bounded random time before handing
+//!   an update to the ingress queue (shifts batch boundaries);
+//! * **reorder** — an update is held back and re-injected up to a
+//!   bounded number of sends later;
+//! * **drop (with retransmit)** — an update is held back until the end
+//!   of the stream and re-injected there, modeling a lost-then-resent
+//!   control message rather than a silent loss (a true silent drop
+//!   would legitimately change the final table and make convergence
+//!   unfalsifiable);
+//! * **TCAM write stall** — the update plane sleeps after every N
+//!   entry operations, stretching the window in which workers serve
+//!   lookups from the previous epoch.
+//!
+//! Reordering is safe to inject because updates on *distinct* prefixes
+//! commute on the final table state (see [`crate::coalesce`]); the
+//! [`IngressPerturber`] guarantees it never lets a held-back update be
+//! overtaken by a later update on the **same** prefix, so the per-prefix
+//! subsequences — the only order that matters — are preserved exactly.
+//!
+//! All randomness is a seeded xorshift: the same plan replays the same
+//! perturbation, which is what lets a failing `clue check` run shrink
+//! its trace into a deterministic reproducer.
+
+use std::time::Duration;
+
+use clue_fib::Update;
+
+/// A seeded fault-injection plan for one router run.
+///
+/// Probabilities are expressed in per-mille (0–1000) so the plan stays
+/// `Eq`/`Hash`-able and trivially parseable from CLI flags. A field set
+/// to zero disables that fault class entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed for the perturbation RNG (independent of workload seeds).
+    pub seed: u64,
+    /// Per-update probability (‰) of sleeping before the ingress send.
+    pub delay_per_mille: u32,
+    /// Upper bound for one injected feeder delay, microseconds.
+    pub max_delay_us: u64,
+    /// Per-update probability (‰) of holding the update back so later
+    /// (distinct-prefix) updates overtake it.
+    pub reorder_per_mille: u32,
+    /// How many subsequent sends a held-back update may lag behind.
+    pub reorder_horizon: u32,
+    /// Per-update probability (‰) of "dropping" the update: it is held
+    /// until the end of the stream and retransmitted there.
+    pub drop_per_mille: u32,
+    /// Stall the update plane after this many TCAM entry operations
+    /// (0 disables the write-stall mode).
+    pub write_stall_every: u64,
+    /// Length of one TCAM write stall, microseconds.
+    pub write_stall_us: u64,
+}
+
+impl FaultPlan {
+    /// A plan exercising every fault class at once with bounds small
+    /// enough for CI: the default behind `clue check --faults on`.
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_per_mille: 50,
+            max_delay_us: 200,
+            reorder_per_mille: 150,
+            reorder_horizon: 32,
+            drop_per_mille: 30,
+            write_stall_every: 64,
+            write_stall_us: 100,
+        }
+    }
+
+    /// Whether the plan injects nothing (all classes disabled).
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.delay_per_mille == 0
+            && self.reorder_per_mille == 0
+            && self.drop_per_mille == 0
+            && self.write_stall_every == 0
+    }
+}
+
+/// Deterministic xorshift64* RNG for fault decisions.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        // A zero state would be a fixed point; fold in a constant.
+        FaultRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// True with probability `per_mille` / 1000.
+    pub(crate) fn chance(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.next_u64() % 1000 < u64::from(per_mille)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound == 0`.
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// One held-back update: `None` horizon means "retransmit at end of
+/// stream" (the drop class), `Some(n)` means "re-inject after at most
+/// `n` more sends" (the reorder class).
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    update: Update,
+    horizon: Option<u32>,
+}
+
+/// The feeder-side perturbation state: delays, reorders, and
+/// drop-with-retransmit, preserving per-prefix order.
+#[derive(Debug)]
+pub struct IngressPerturber {
+    plan: FaultPlan,
+    rng: FaultRng,
+    held: Vec<Held>,
+}
+
+impl IngressPerturber {
+    /// Creates the perturber for one run.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        IngressPerturber {
+            rng: FaultRng::new(plan.seed),
+            plan,
+            held: Vec::new(),
+        }
+    }
+
+    /// A bounded random sleep before the next ingress send, if the plan
+    /// rolled one.
+    pub fn feeder_delay(&mut self) -> Option<Duration> {
+        (self.rng.chance(self.plan.delay_per_mille) && self.plan.max_delay_us > 0)
+            .then(|| Duration::from_micros(1 + self.rng.below(self.plan.max_delay_us)))
+    }
+
+    /// Feeds one update through the perturber; everything pushed onto
+    /// `out` must be sent to the ingress queue, in order.
+    pub fn push(&mut self, update: Update, out: &mut Vec<Update>) {
+        // Per-prefix order guard: a later update on the same prefix may
+        // never overtake a held-back one, so flush those first.
+        let prefix = update.prefix();
+        if self.held.iter().any(|h| h.update.prefix() == prefix) {
+            let mut kept = Vec::with_capacity(self.held.len());
+            for h in self.held.drain(..) {
+                if h.update.prefix() == prefix {
+                    out.push(h.update);
+                } else {
+                    kept.push(h);
+                }
+            }
+            self.held = kept;
+        }
+
+        if self.rng.chance(self.plan.drop_per_mille) {
+            self.held.push(Held {
+                update,
+                horizon: None,
+            });
+            return;
+        }
+        if self.rng.chance(self.plan.reorder_per_mille) {
+            self.held.push(Held {
+                update,
+                horizon: Some(self.plan.reorder_horizon.max(1)),
+            });
+            return;
+        }
+        self.emit(update, out);
+    }
+
+    /// Emits one update and ages every reorder-held entry by one send,
+    /// re-injecting the expired ones.
+    fn emit(&mut self, update: Update, out: &mut Vec<Update>) {
+        out.push(update);
+        let mut kept = Vec::with_capacity(self.held.len());
+        for mut h in self.held.drain(..) {
+            match h.horizon {
+                Some(1) => out.push(h.update),
+                Some(n) => {
+                    h.horizon = Some(n - 1);
+                    kept.push(h);
+                }
+                None => kept.push(h),
+            }
+        }
+        self.held = kept;
+    }
+
+    /// Flushes every still-held update (stream end: retransmissions and
+    /// unexpired reorders), in hold order.
+    pub fn finish(mut self, out: &mut Vec<Update>) {
+        for h in self.held.drain(..) {
+            out.push(h.update);
+        }
+    }
+}
+
+/// The TCAM-write-stall state for the update plane.
+#[derive(Debug)]
+pub struct WriteStall {
+    every: u64,
+    stall: Duration,
+    ops_since_stall: u64,
+}
+
+impl WriteStall {
+    /// Creates the stall tracker from a plan (no-op if disabled).
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        WriteStall {
+            every: plan.write_stall_every,
+            stall: Duration::from_micros(plan.write_stall_us),
+            ops_since_stall: 0,
+        }
+    }
+
+    /// Accounts `ops` TCAM entry operations and sleeps once per
+    /// configured quota crossed.
+    pub fn on_ops(&mut self, ops: u64) {
+        if self.every == 0 || self.stall.is_zero() {
+            return;
+        }
+        self.ops_since_stall += ops;
+        while self.ops_since_stall >= self.every {
+            self.ops_since_stall -= self.every;
+            std::thread::sleep(self.stall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::{NextHop, Prefix};
+
+    fn upd(i: u32, announce: bool) -> Update {
+        let prefix = Prefix::new(i << 16, 16);
+        if announce {
+            Update::Announce {
+                prefix,
+                next_hop: NextHop((i % 7) as u16),
+            }
+        } else {
+            Update::Withdraw { prefix }
+        }
+    }
+
+    /// Runs a trace through the perturber and returns the emitted order.
+    fn perturb(plan: FaultPlan, trace: &[Update]) -> Vec<Update> {
+        let mut p = IngressPerturber::new(plan);
+        let mut out = Vec::new();
+        for &u in trace {
+            p.push(u, &mut out);
+        }
+        p.finish(&mut out);
+        out
+    }
+
+    fn mixed_trace(n: u32) -> Vec<Update> {
+        // Several updates per prefix so per-prefix order is non-trivial.
+        (0..n).map(|i| upd(i % 17, i % 3 != 2)).collect()
+    }
+
+    #[test]
+    fn noop_plan_is_identity() {
+        let plan = FaultPlan {
+            seed: 1,
+            delay_per_mille: 0,
+            max_delay_us: 0,
+            reorder_per_mille: 0,
+            reorder_horizon: 0,
+            drop_per_mille: 0,
+            write_stall_every: 0,
+            write_stall_us: 0,
+        };
+        assert!(plan.is_noop());
+        let trace = mixed_trace(200);
+        assert_eq!(perturb(plan, &trace), trace);
+    }
+
+    #[test]
+    fn chaos_output_is_a_permutation() {
+        let trace = mixed_trace(500);
+        let out = perturb(FaultPlan::chaos(42), &trace);
+        assert_eq!(out.len(), trace.len(), "nothing lost or duplicated");
+        let mut a = trace.clone();
+        let mut b = out.clone();
+        a.sort_by_key(|u| (u.prefix(), u.is_announce(), format!("{u}")));
+        b.sort_by_key(|u| (u.prefix(), u.is_announce(), format!("{u}")));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_preserves_per_prefix_order() {
+        let trace = mixed_trace(800);
+        for seed in [1u64, 7, 99, 1234] {
+            let out = perturb(FaultPlan::chaos(seed), &trace);
+            for i in 0..17u32 {
+                let p = Prefix::new(i << 16, 16);
+                let want: Vec<Update> = trace.iter().copied().filter(|u| u.prefix() == p).collect();
+                let got: Vec<Update> = out.iter().copied().filter(|u| u.prefix() == p).collect();
+                assert_eq!(got, want, "seed {seed}, prefix {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_actually_reorders_something() {
+        let trace: Vec<Update> = (0..400).map(|i| upd(i, true)).collect(); // distinct prefixes
+        let out = perturb(FaultPlan::chaos(3), &trace);
+        assert_ne!(out, trace, "chaos plan must perturb the global order");
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let trace = mixed_trace(300);
+        assert_eq!(
+            perturb(FaultPlan::chaos(9), &trace),
+            perturb(FaultPlan::chaos(9), &trace)
+        );
+    }
+
+    #[test]
+    fn write_stall_disabled_never_sleeps() {
+        let mut ws = WriteStall::new(FaultPlan {
+            write_stall_every: 0,
+            ..FaultPlan::chaos(1)
+        });
+        let t0 = std::time::Instant::now();
+        ws.on_ops(1_000_000);
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn rng_chance_bounds() {
+        let mut rng = FaultRng::new(5);
+        assert!(!(0..100).any(|_| rng.chance(0)));
+        assert!((0..100).all(|_| rng.chance(1000)));
+        assert!((0..100).all(|_| rng.below(10) < 10));
+        assert_eq!(rng.below(0), 0);
+    }
+}

@@ -24,10 +24,12 @@
 
 pub mod coalesce;
 pub mod epoch;
+pub mod faults;
 pub mod runtime;
 pub mod stats;
 
 pub use coalesce::{coalesce, CoalescedBatch};
 pub use epoch::{EpochCell, EpochState};
+pub use faults::{FaultPlan, IngressPerturber, WriteStall};
 pub use runtime::{run, OverflowPolicy, RouterConfig, RouterReport};
 pub use stats::{RouterStats, StatsSnapshot};

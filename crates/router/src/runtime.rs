@@ -49,6 +49,7 @@ use clue_partition::{EvenRangePartition, Indexer, RangeIndex};
 
 use crate::coalesce::coalesce;
 use crate::epoch::{EpochCell, EpochState};
+use crate::faults::{FaultPlan, IngressPerturber, WriteStall};
 use crate::stats::{RouterStats, StatsSnapshot};
 
 /// What to do when the bounded update ingress queue is full.
@@ -79,6 +80,9 @@ pub struct RouterConfig {
     pub overflow: OverflowPolicy,
     /// Emit a JSON stats snapshot to stdout this often (None = never).
     pub snapshot_every: Option<Duration>,
+    /// Seeded fault injection at the channel and TCAM-write seams
+    /// (None = run clean). See [`FaultPlan`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RouterConfig {
@@ -91,6 +95,7 @@ impl Default for RouterConfig {
             update_queue: 1024,
             overflow: OverflowPolicy::Block,
             snapshot_every: None,
+            faults: None,
         }
     }
 }
@@ -233,23 +238,34 @@ pub fn run(
 
         // Update feeder: the bounded ingress enforces the overflow
         // policy — block (backpressure) or count-and-drop the newest.
+        // An optional fault plan perturbs timing and global order here,
+        // but never the per-prefix order (see `faults`).
         {
             let shared = Arc::clone(&shared);
             let overflow = cfg.overflow;
+            let faults = cfg.faults;
             scope.spawn(move || {
+                let mut perturber = faults.map(IngressPerturber::new);
+                let mut staged: Vec<Update> = Vec::new();
                 for &u in updates {
-                    match overflow {
-                        OverflowPolicy::Block => {
-                            if ingress_tx.send(u).is_err() {
-                                break; // update thread gone
+                    staged.clear();
+                    match &mut perturber {
+                        Some(p) => {
+                            if let Some(d) = p.feeder_delay() {
+                                std::thread::sleep(d);
                             }
+                            p.push(u, &mut staged);
                         }
-                        OverflowPolicy::DropNewest => match ingress_tx.try_send(u) {
-                            Ok(()) => {}
-                            Err(TrySendError::Full(_)) => shared.stats.count_update_drop(),
-                            Err(TrySendError::Disconnected(_)) => break,
-                        },
+                        None => staged.push(u),
                     }
+                    if !feed(&ingress_tx, overflow, &shared, &staged) {
+                        return; // update thread gone
+                    }
+                }
+                if let Some(p) = perturber {
+                    staged.clear();
+                    p.finish(&mut staged);
+                    let _ = feed(&ingress_tx, overflow, &shared, &staged);
                 }
                 // ingress_tx drops here; the update thread drains and exits.
             });
@@ -259,8 +275,7 @@ pub fn run(
         let update_thread = {
             let shared = Arc::clone(&shared);
             let index = index.clone();
-            let batch_size = cfg.batch_size;
-            let workers = cfg.workers;
+            let cfg = *cfg;
             let mut mirror = table.clone();
             scope.spawn(move || {
                 update_loop(
@@ -269,8 +284,7 @@ pub fn run(
                     &ingress_rx,
                     &shared,
                     &index,
-                    batch_size,
-                    workers,
+                    &cfg,
                 );
                 UpdateOutcome {
                     final_table: mirror,
@@ -358,6 +372,32 @@ struct UpdateOutcome {
     dynamic_redundancy: u64,
 }
 
+/// Sends a staged run of updates into the ingress queue under the
+/// configured overflow policy; returns false when the update thread is
+/// gone and the feeder should stop.
+fn feed(
+    ingress_tx: &Sender<Update>,
+    overflow: OverflowPolicy,
+    shared: &Shared,
+    staged: &[Update],
+) -> bool {
+    for &u in staged {
+        match overflow {
+            OverflowPolicy::Block => {
+                if ingress_tx.send(u).is_err() {
+                    return false;
+                }
+            }
+            OverflowPolicy::DropNewest => match ingress_tx.try_send(u) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => shared.stats.count_update_drop(),
+                Err(TrySendError::Disconnected(_)) => return false,
+            },
+        }
+    }
+    true
+}
+
 /// The update plane: drain → coalesce → apply → flush DReds → publish.
 fn update_loop(
     pipeline: &mut CluePipeline,
@@ -365,9 +405,11 @@ fn update_loop(
     ingress: &Receiver<Update>,
     shared: &Shared,
     index: &RangeIndex,
-    batch_size: usize,
-    workers: usize,
+    cfg: &RouterConfig,
 ) {
+    let batch_size = cfg.batch_size;
+    let workers = cfg.workers;
+    let mut stall = cfg.faults.map(WriteStall::new);
     let mut epoch = 0u64;
     while let Ok(first) = ingress.recv() {
         // One quiescent window: whatever is already queued, up to the cap.
@@ -386,6 +428,11 @@ fn update_loop(
         for &op in &coalesced.ops {
             mirror.apply(op);
             let (sample, diff) = pipeline.apply_with_diff(op);
+            if let Some(ws) = &mut stall {
+                // The TCAM-write-stall seam: stretch the window between
+                // entry writes and the epoch publish below.
+                ws.on_ops(diff.op_count() as u64);
+            }
             batch_ttf_ns += sample.total_ns();
             shared
                 .stats
@@ -605,6 +652,31 @@ mod tests {
             updates.len() as u64,
             "ingress accounting must conserve updates"
         );
+    }
+
+    #[test]
+    fn faulty_run_still_converges_to_the_sequential_fib() {
+        let (fib, packets, updates) = setup(1_500, 5_000, 1_000);
+        let cfg = RouterConfig {
+            faults: Some(FaultPlan::chaos(99)),
+            ..RouterConfig::default()
+        };
+        let report = run(&fib, &packets, &updates, &cfg);
+        assert!(report.packets_conserved());
+        assert_eq!(
+            report.snapshot.updates_received,
+            updates.len() as u64,
+            "drop faults retransmit; Block policy still loses nothing"
+        );
+        let mut expect = fib.clone();
+        for &u in &updates {
+            expect.apply(u);
+        }
+        assert_eq!(
+            report.final_table, expect,
+            "per-prefix order preservation makes the final FIB fault-invariant"
+        );
+        assert_eq!(report.final_compressed, onrtc(&expect));
     }
 
     #[test]

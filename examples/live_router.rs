@@ -36,6 +36,7 @@ fn main() {
         update_queue: 1024,
         overflow: OverflowPolicy::Block,
         snapshot_every: None,
+        faults: None,
     };
     let report = run(&rib, &packets, &updates, &cfg);
 

@@ -12,6 +12,9 @@
 //! clue serve        --fib fib.txt --packets trace.txt --updates updates.txt [--workers N]
 //!                   [--dred N] [--fifo N] [--batch K] [--queue N] [--overflow block|drop]
 //!                   [--stats-ms N]
+//! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
+//!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
+//!                   [--out repro.txt] [--replay repro.txt]
 //! ```
 //!
 //! All file formats are plain text: FIBs are `a.b.c.d/len nh` lines,
@@ -30,10 +33,12 @@ use clue::core::update_pipeline::{mean_ttf, ClplPipeline, CluePipeline, TtfSampl
 use clue::core::DredConfig;
 use clue::fib::gen::FibGen;
 use clue::fib::{RouteTable, Update};
+use clue::oracle::harness;
+use clue::oracle::{run_check, CheckConfig, Reproducer};
 use clue::partition::{
     EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition,
 };
-use clue::router::{OverflowPolicy, RouterConfig};
+use clue::router::{FaultPlan, OverflowPolicy, RouterConfig};
 use clue::traffic::workload::{adversarial_mapping, profile};
 use clue::traffic::{PacketGen, UpdateGen};
 
@@ -52,6 +57,9 @@ commands:
   serve         run the live concurrent router      (--fib --packets --updates; --workers
                                                      --dred --fifo --batch --queue
                                                      --overflow --stats-ms)
+  check         differential conformance check      (--seed --updates --routes --batch
+                against the naive oracle             --chips --dred --packets --faults
+                                                     --fault-seed --out --replay)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -83,6 +91,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), ArgError> {
         "simulate" => simulate(args),
         "replay" => replay(args),
         "serve" => serve(args),
+        "check" => check(args),
         other => Err(ArgError(format!("unknown command {other:?}"))),
     }
 }
@@ -474,6 +483,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         update_queue: args.get_or("queue", 1024)?,
         overflow,
         snapshot_every: (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms)),
+        faults: None,
     };
     if cfg.workers == 0
         || cfg.fifo_capacity == 0
@@ -515,4 +525,97 @@ fn serve(args: &Args) -> Result<(), ArgError> {
     );
     println!("{}", s.to_json());
     Ok(())
+}
+
+fn check(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "seed",
+        "updates",
+        "routes",
+        "batch",
+        "chips",
+        "dred",
+        "packets",
+        "probe-sample",
+        "probe-random",
+        "faults",
+        "fault-seed",
+        "out",
+        "replay",
+    ])?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let updates: usize = args.get_or("updates", 5_000)?;
+    let mut cfg = CheckConfig::new(seed, updates);
+    cfg.routes = args.get_or("routes", cfg.routes)?;
+    cfg.batch = args.get_or("batch", cfg.batch)?;
+    cfg.chips = args.get_or("chips", cfg.chips)?;
+    cfg.dred_capacity = args.get_or("dred", cfg.dred_capacity)?;
+    cfg.packets = args.get_or("packets", cfg.packets)?;
+    cfg.probe_sample = args.get_or("probe-sample", cfg.probe_sample)?;
+    cfg.probe_random = args.get_or("probe-random", cfg.probe_random)?;
+    cfg.faults = match args.optional("faults").unwrap_or("off") {
+        "on" => Some(FaultPlan::chaos(args.get_or("fault-seed", seed)?)),
+        "off" => None,
+        other => return Err(ArgError(format!("unknown faults mode {other:?} (on|off)"))),
+    };
+
+    if let Some(path) = args.optional("replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+        let repro = Reproducer::from_text(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        for line in repro.note.lines() {
+            println!("# {line}");
+        }
+        println!(
+            "replaying {} updates on a {}-route table",
+            repro.trace.len(),
+            repro.table.len()
+        );
+        return match harness::replay(&repro, &cfg) {
+            Ok(()) => {
+                println!("reproducer replayed clean — the divergence no longer triggers");
+                Ok(())
+            }
+            Err(d) => Err(ArgError(format!("reproducer still diverges: {d}"))),
+        };
+    }
+
+    println!(
+        "conformance check: seed {seed}, {} routes, {updates} updates (batch {}), \
+         {} chips, {} packets, faults {}",
+        cfg.routes,
+        cfg.batch,
+        cfg.chips,
+        cfg.packets,
+        if cfg.faults.is_some() { "on" } else { "off" },
+    );
+    match run_check(&cfg) {
+        Ok(report) => {
+            println!(
+                "PASS: {} batches checked, {} oracle probes agreed, router converged \
+                 over {} epochs ({} packet lookups)",
+                report.batches, report.probes, report.router_epochs, report.router_lookups,
+            );
+            Ok(())
+        }
+        Err(failure) => {
+            eprintln!("FAIL: {}", failure.divergence);
+            eprintln!(
+                "minimizing a {}-update trace (this re-runs the failing phase)...",
+                failure.trace.len()
+            );
+            let repro = harness::minimize_failure(&failure, &cfg);
+            let out = args.optional("out").unwrap_or("clue-reproducer.txt");
+            write_file(out, &repro.to_text())?;
+            eprintln!(
+                "wrote minimized reproducer ({} routes, {} updates) to {out}; \
+                 replay it with `clue check --replay {out}`",
+                repro.table.len(),
+                repro.trace.len()
+            );
+            Err(ArgError(format!(
+                "conformance divergence: {}",
+                failure.divergence
+            )))
+        }
+    }
 }
