@@ -1,0 +1,126 @@
+//! Machine-readable baseline: one run of the headline experiments,
+//! emitted as `BENCH_baseline.json` for CI artifacts and regression
+//! diffing (schema documented in DESIGN.md).
+//!
+//! Captures, at the current `CLUE_BENCH_SCALE`:
+//!
+//! * ONRTC compression ratio over the standard RIB;
+//! * router-runtime lookup throughput with a racing update stream,
+//!   plus the coalesce ratio and overflow drops of that run;
+//! * per-batch TTF1/TTF2/TTF3 means from the CLUE update pipeline.
+//!
+//! The artifact path defaults to `BENCH_baseline.json` in the working
+//! directory; override it with `CLUE_BENCH_JSON=/path/to/file.json`.
+
+use clue_bench::{banner, scale, standard_rib, ttf_series};
+use clue_compress::compress_with_stats;
+use clue_router::RouterConfig;
+use clue_traffic::{PacketGen, UpdateGen};
+
+fn main() {
+    banner(
+        "Baseline — machine-readable snapshot of the headline numbers",
+        "writes BENCH_baseline.json (override with CLUE_BENCH_JSON)",
+    );
+    let s = scale();
+
+    // 1. Compression: the paper's ~71 % ONRTC ratio (Figure 8 headline).
+    let rib = standard_rib();
+    let (_, cstats) = compress_with_stats(&rib);
+    println!(
+        "compression: {} -> {} entries ({:.2}%) in {:.1} ms",
+        cstats.original,
+        cstats.compressed,
+        cstats.ratio() * 100.0,
+        cstats.millis
+    );
+
+    // 2. Lookup throughput under a racing update stream, through the
+    //    live router runtime (workers, epochs, coalescing, DRed).
+    let packets = PacketGen::new(0xCAFE).generate(&rib, ((400_000.0 * s) as usize).max(10_000));
+    let updates = UpdateGen::new(0xBEEF).generate(&rib, ((8_000.0 * s) as usize).max(500));
+    let cfg = RouterConfig::default();
+    let report = clue_router::run(&rib, &packets, &updates, &cfg);
+    let snap = &report.snapshot;
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    let throughput = snap.completions as f64 / secs;
+    println!(
+        "router: {} lookups in {:.1} ms ({:.0} pps) | {} epochs | coalesce {:.2}% | {} drops",
+        snap.completions,
+        secs * 1e3,
+        throughput,
+        snap.epochs,
+        snap.coalesce_ratio * 100.0,
+        snap.update_drops,
+    );
+
+    // 3. Per-batch TTF through the CLUE pipeline (Figures 10-14 data,
+    //    batch-granular so regressions localize to a pipeline stage).
+    let per_window = ((1_000.0 * s) as usize).max(100);
+    let series = ttf_series(8, per_window);
+    let mut batches = String::new();
+    let (mut t1, mut t2, mut t3) = (0.0f64, 0.0, 0.0);
+    for p in &series.points {
+        if !batches.is_empty() {
+            batches.push(',');
+        }
+        batches.push_str(&format!(
+            "{{\"batch\":{},\"ttf1_us\":{:.4},\"ttf2_us\":{:.4},\"ttf3_us\":{:.4},\
+             \"total_us\":{:.4}}}",
+            p.window,
+            p.clue.ttf1_ns / 1e3,
+            p.clue.ttf2_ns / 1e3,
+            p.clue.ttf3_ns / 1e3,
+            p.clue.total_ns() / 1e3,
+        ));
+        t1 += p.clue.ttf1_ns;
+        t2 += p.clue.ttf2_ns;
+        t3 += p.clue.ttf3_ns;
+    }
+    let n = series.points.len().max(1) as f64;
+    println!(
+        "ttf: mean {:.4} us over {} batches (trie {:.4} + tcam {:.4} + dred {:.4})",
+        (t1 + t2 + t3) / n / 1e3,
+        series.points.len(),
+        t1 / n / 1e3,
+        t2 / n / 1e3,
+        t3 / n / 1e3,
+    );
+
+    let json = format!(
+        "{{\"schema\":\"clue-bench-baseline/1\",\"scale\":{s},\
+         \"compression\":{{\"original\":{},\"compressed\":{},\"ratio\":{:.6},\
+         \"millis\":{:.3}}},\
+         \"lookup\":{{\"packets\":{},\"updates\":{},\"elapsed_ms\":{:.3},\
+         \"throughput_pps\":{:.1},\"epochs\":{},\"coalesce_ratio\":{:.6},\
+         \"update_drops\":{},\"dynamic_redundancy\":{}}},\
+         \"ttf\":{{\"per_batch\":[{batches}],\
+         \"mean\":{{\"ttf1_us\":{:.4},\"ttf2_us\":{:.4},\"ttf3_us\":{:.4},\
+         \"total_us\":{:.4}}}}}}}",
+        cstats.original,
+        cstats.compressed,
+        cstats.ratio(),
+        cstats.millis,
+        packets.len(),
+        updates.len(),
+        secs * 1e3,
+        throughput,
+        snap.epochs,
+        snap.coalesce_ratio,
+        snap.update_drops,
+        report.dynamic_redundancy,
+        t1 / n / 1e3,
+        t2 / n / 1e3,
+        t3 / n / 1e3,
+        (t1 + t2 + t3) / n / 1e3,
+    );
+    let path =
+        std::env::var("CLUE_BENCH_JSON").unwrap_or_else(|_| "BENCH_baseline.json".to_owned());
+    match std::fs::write(&path, format!("{json}\n")) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => {
+            eprintln!("baseline write to {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

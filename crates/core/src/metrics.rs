@@ -128,6 +128,23 @@ impl Histogram {
         self.max
     }
 
+    /// Renders the histogram as a one-line JSON object with the digest
+    /// every consumer (router stats, net stats, bench baselines) prints:
+    /// `{"count":…,"min":…,"mean":…,"p50":…,"p90":…,"p99":…,"max":…}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            self.count(),
+            self.min(),
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+
     /// Merges another histogram into this one. Like [`Histogram::record`],
     /// all counters saturate.
     pub fn merge(&mut self, other: &Histogram) {
@@ -274,6 +291,19 @@ mod tests {
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_json_digest() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(1_000);
+        let json = h.to_json();
+        for key in ["\"count\":2", "\"min\":100", "\"max\":1000", "\"p99\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!Histogram::new().to_json().contains("NaN"));
     }
 
     #[test]

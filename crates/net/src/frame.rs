@@ -1,0 +1,272 @@
+//! The length-prefixed, CRC-checked frame that carries every message.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic    0x434C5545 ("CLUE")
+//!      4     1  version  1
+//!      5     1  type     FrameType discriminant
+//!      6     8  seq      sender-assigned sequence / correlation id
+//!     14     4  len      payload length in bytes
+//!     18   len  payload  type-specific encoding (see `wire`)
+//!  18+len     4  crc      CRC-32 over bytes [0, 18+len)
+//! ```
+//!
+//! The CRC covers the header *and* payload, so a corrupted length field
+//! cannot silently resynchronize the stream on garbage: either the
+//! oversized read fails or the checksum does. Decoding errors surface as
+//! [`std::io::ErrorKind::InvalidData`], which receivers treat as fatal
+//! for the connection (the stream has lost framing).
+
+use std::io::{self, Read, Write};
+
+use crate::crc::crc32;
+
+/// Frame magic: `"CLUE"` as a big-endian u32.
+pub const MAGIC: u32 = 0x434C_5545;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size (magic + version + type + seq + len).
+pub const HEADER_LEN: usize = 18;
+/// Refuse payloads beyond this (a corrupt length would otherwise ask us
+/// to allocate gigabytes before the CRC gets a chance to object).
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Every message kind the protocol carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → server greeting; payload = client's last acked seq.
+    Hello = 1,
+    /// Server → client; payload = server's high-water accepted seq.
+    HelloAck = 2,
+    /// Client → server batch of route updates; seq identifies the batch.
+    Update = 3,
+    /// Server → client; echoes the update seq, payload = accepted/dropped.
+    UpdateAck = 4,
+    /// Client → server batch of lookup addresses; seq correlates.
+    Lookup = 5,
+    /// Server → client lookup answers, in request order.
+    LookupResult = 6,
+    /// Client → server stats request (empty payload).
+    StatsQuery = 7,
+    /// Server → client; payload = stats JSON (UTF-8).
+    StatsReply = 8,
+    /// Liveness probe; seq is a nonce.
+    Heartbeat = 9,
+    /// Echoes the heartbeat nonce.
+    HeartbeatAck = 10,
+    /// Orderly close (either direction); no further frames follow.
+    Shutdown = 11,
+    /// Fatal protocol error; payload = UTF-8 message.
+    Error = 12,
+}
+
+impl FrameType {
+    /// Decodes a wire discriminant.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<FrameType> {
+        use FrameType::*;
+        Some(match v {
+            1 => Hello,
+            2 => HelloAck,
+            3 => Update,
+            4 => UpdateAck,
+            5 => Lookup,
+            6 => LookupResult,
+            7 => StatsQuery,
+            8 => StatsReply,
+            9 => Heartbeat,
+            10 => HeartbeatAck,
+            11 => Shutdown,
+            12 => Error,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind.
+    pub kind: FrameType,
+    /// Sequence / correlation id (meaning depends on `kind`).
+    pub seq: u64,
+    /// Type-specific payload bytes (see [`crate::wire`]).
+    pub payload: Vec<u8>,
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Frame {
+    /// A frame with an empty payload.
+    #[must_use]
+    pub fn empty(kind: FrameType, seq: u64) -> Frame {
+        Frame {
+            kind,
+            seq,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serializes header + payload + CRC into one buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.payload.len() <= MAX_PAYLOAD as usize,
+            "payload of {} bytes exceeds MAX_PAYLOAD",
+            self.payload.len()
+        );
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len() + 4);
+        buf.extend_from_slice(&MAGIC.to_be_bytes());
+        buf.push(VERSION);
+        buf.push(self.kind as u8);
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        buf
+    }
+
+    /// Writes the encoded frame to `w` (single `write_all`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Reads and validates one frame from `r`.
+    ///
+    /// Returns `ErrorKind::UnexpectedEof` on a clean close at a frame
+    /// boundary and `ErrorKind::InvalidData` on bad magic/version/type,
+    /// an oversized length, or a CRC mismatch.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Frame> {
+        let mut first = [0u8; 1];
+        r.read_exact(&mut first)?;
+        Frame::read_after_lead(first[0], r)
+    }
+
+    /// Reads the remainder of a frame whose first byte was already
+    /// consumed (the server's idle-poll reads one byte with a short
+    /// timeout, then finishes the frame with a longer one).
+    pub fn read_after_lead<R: Read>(lead: u8, r: &mut R) -> io::Result<Frame> {
+        let mut header = [0u8; HEADER_LEN];
+        header[0] = lead;
+        r.read_exact(&mut header[1..])?;
+
+        let magic = u32::from_be_bytes(header[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(bad(format!("bad magic {magic:#010x}")));
+        }
+        let version = header[4];
+        if version != VERSION {
+            return Err(bad(format!("unsupported protocol version {version}")));
+        }
+        let kind = FrameType::from_u8(header[5])
+            .ok_or_else(|| bad(format!("unknown frame type {}", header[5])))?;
+        let seq = u64::from_be_bytes(header[6..14].try_into().unwrap());
+        let len = u32::from_be_bytes(header[14..18].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Err(bad(format!("payload length {len} exceeds {MAX_PAYLOAD}")));
+        }
+
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        let mut crc_bytes = [0u8; 4];
+        r.read_exact(&mut crc_bytes)?;
+        let got = u32::from_be_bytes(crc_bytes);
+
+        let expect = {
+            let state = crate::crc::update(0xFFFF_FFFF, &header);
+            crate::crc::update(state, &payload) ^ 0xFFFF_FFFF
+        };
+        if got != expect {
+            return Err(bad(format!(
+                "crc mismatch: got {got:#010x}, want {expect:#010x}"
+            )));
+        }
+        Ok(Frame { kind, seq, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_a_byte_stream() {
+        let frames = [
+            Frame::empty(FrameType::Heartbeat, 7),
+            Frame {
+                kind: FrameType::Update,
+                seq: u64::MAX,
+                payload: (0..=255u8).collect(),
+            },
+            Frame {
+                kind: FrameType::Error,
+                seq: 0,
+                payload: b"boom".to_vec(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+        }
+        let mut r = &stream[..];
+        for f in &frames {
+            assert_eq!(&Frame::read_from(&mut r).unwrap(), f);
+        }
+        assert_eq!(
+            Frame::read_from(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let frame = Frame {
+            kind: FrameType::Lookup,
+            seq: 42,
+            payload: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        let bytes = frame.encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let err = Frame::read_from(&mut &bad[..]).expect_err("corruption must not decode");
+            // Either framing rejects it outright or the CRC catches it;
+            // a corrupted length can also truncate into EOF.
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                ),
+                "byte {i}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let frame = Frame::empty(FrameType::StatsQuery, 1);
+        let mut bytes = frame.encode();
+        // Forge the length field to 1 GiB; CRC would also fail, but the
+        // length guard must fire first (no 1 GiB allocation attempt).
+        bytes[14..18].copy_from_slice(&(1u32 << 30).to_be_bytes());
+        let err = Frame::read_from(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn every_type_round_trips_its_discriminant() {
+        for v in 1..=12u8 {
+            let t = FrameType::from_u8(v).unwrap();
+            assert_eq!(t as u8, v);
+        }
+        assert_eq!(FrameType::from_u8(0), None);
+        assert_eq!(FrameType::from_u8(13), None);
+    }
+}

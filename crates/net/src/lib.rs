@@ -1,0 +1,46 @@
+//! `clue-net` — the networked face of the CLUE router: a binary wire
+//! protocol, a TCP server bridging it into [`clue_router`], a
+//! reconnecting client, and a load generator.
+//!
+//! The design goal is that *backpressure propagates to the wire*: the
+//! router's bounded ingress already chooses between blocking and
+//! counted drops ([`clue_router::OverflowPolicy`]); the server maps that
+//! seam onto TCP by doing router calls on the connection's own reader
+//! thread, so a full ingress stalls the socket and the peer's TCP
+//! window closes (see [`server`]). Every frame is length-prefixed and
+//! CRC-checked ([`frame`]), updates are sequenced and acknowledged, and
+//! the client resumes a broken line from the last acked seq
+//! ([`client`]) — safe because route updates are last-op-wins per
+//! prefix.
+//!
+//! Modules:
+//!
+//! * [`crc`] — hand-rolled CRC-32 (IEEE) with a compile-time table;
+//! * [`frame`] — the `magic/version/type/seq/len/payload/crc` frame;
+//! * [`wire`] — payload codecs for updates, lookups, acks, stats;
+//! * [`stats`] — network-plane counters with a per-connection ledger;
+//! * [`server`] — accept loop + per-connection threads over one
+//!   [`clue_router::RouterService`], graceful drain;
+//! * [`client`] — heartbeats, timeouts, capped-exponential reconnect
+//!   with seq/ack resume;
+//! * [`loadgen`] — multi-threaded paced replay of `clue-traffic`
+//!   workloads;
+//! * [`signal`] — SIGINT/SIGTERM to a pollable flag, dependency-free.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod crc;
+pub mod frame;
+pub mod loadgen;
+pub mod server;
+pub mod signal;
+pub mod stats;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientReport, Connection};
+pub use frame::{Frame, FrameType};
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use server::{Server, ServerConfig};
+pub use stats::NetStats;
+pub use wire::UpdateAck;

@@ -1,0 +1,426 @@
+//! The TCP frontend: accepts connections and bridges decoded frames into
+//! a live [`RouterService`].
+//!
+//! Backpressure mapping — the load-bearing design point: each connection
+//! is served by one thread that decodes a frame, performs the router
+//! call, writes the reply, and only then reads the next frame. Under
+//! [`OverflowPolicy::Block`](clue_router::OverflowPolicy::Block) the
+//! router call `submit_update` *blocks* when the bounded ingress is
+//! full, which stops this thread from draining the socket, which fills
+//! the kernel receive buffer, which closes the peer's TCP window — so a
+//! fast client is throttled by the update plane's real capacity instead
+//! of an unbounded queue. Under `DropNewest` the call returns
+//! immediately and the per-batch [`UpdateAck`](crate::wire::UpdateAck)
+//! carries the drop count back to the sender.
+//!
+//! Shutdown is a graceful drain: [`Server::drain`] stops the accept
+//! loop, tells every connection thread to stop taking new work (a
+//! `Shutdown` frame is sent to the peer), joins them, and then drains
+//! the router — applying every queued update and publishing the final
+//! epoch — before returning the final [`RouterReport`].
+
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use clue_fib::RouteTable;
+use clue_router::{RouterConfig, RouterReport, RouterService, SubmitOutcome};
+
+use crate::frame::{Frame, FrameType};
+use crate::stats::NetStats;
+use crate::wire;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Configuration for the backing [`RouterService`].
+    pub router: RouterConfig,
+    /// How often idle connection threads and the accept loop re-check
+    /// the shutdown flag.
+    pub idle_poll: Duration,
+    /// Timeout for finishing a frame whose first byte arrived, and for
+    /// socket writes.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            router: RouterConfig::default(),
+            idle_poll: Duration::from_millis(50),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running server: accept loop + per-connection threads over one
+/// [`RouterService`]. Call [`Server::drain`] for the graceful shutdown
+/// path; a plain drop also shuts everything down (discarding the
+/// report).
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    svc: Option<Arc<RouterService>>,
+    net: Arc<NetStats>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds `cfg.listen`, boots the router over `table`, and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen address cannot be bound.
+    pub fn start(table: &RouteTable, cfg: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let svc = Arc::new(RouterService::start(table, &cfg.router));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let net = Arc::new(NetStats::new());
+        let last_acked = Arc::new(AtomicU64::new(0));
+
+        let started = Instant::now();
+        let accept = {
+            let svc = Arc::clone(&svc);
+            let shutdown = Arc::clone(&shutdown);
+            let net = Arc::clone(&net);
+            let last_acked = Arc::clone(&last_acked);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                accept_loop(&listener, &cfg, &svc, &net, &last_acked, &shutdown, started)
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            svc: Some(svc),
+            net,
+            accept: Some(accept),
+            started,
+        })
+    }
+
+    /// The bound address (useful with `:0` ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shutdown flag; setting it (e.g. from a signal handler's
+    /// watcher) starts the graceful drain on the accept and connection
+    /// threads. Pair with [`Server::drain`] to collect the report.
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests shutdown without blocking.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The network-plane stats registry.
+    #[must_use]
+    pub fn net_stats(&self) -> &NetStats {
+        &self.net
+    }
+
+    /// The combined stats document served to `StatsQuery` clients:
+    /// `{"uptime_ms":…,"router":{…},"net":{…}}`.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        let svc = self.svc.as_ref().expect("server not drained");
+        format!(
+            "{{\"uptime_ms\":{},\"router\":{},\"net\":{}}}",
+            self.started.elapsed().as_millis(),
+            svc.stats().to_json(),
+            self.net.to_json(),
+        )
+    }
+
+    /// Gracefully drains: stops accepting, closes every connection
+    /// (after a `Shutdown` frame), joins all threads, then drains the
+    /// router — flushing queued updates and publishing the final epoch.
+    #[must_use]
+    pub fn drain(mut self) -> RouterReport {
+        self.stop_and_join();
+        let svc = self.svc.take().expect("drained once");
+        let svc = Arc::into_inner(svc).expect("connection threads joined");
+        svc.drain()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let handlers = accept.join().expect("accept loop exits cleanly");
+            for h in handlers {
+                h.join().expect("connection thread exits cleanly");
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // An undrained server still stops its threads; the backing
+        // RouterService then cleans up via its own Drop.
+        self.stop_and_join();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: &TcpListener,
+    cfg: &ServerConfig,
+    svc: &Arc<RouterService>,
+    net: &Arc<NetStats>,
+    last_acked: &Arc<AtomicU64>,
+    shutdown: &Arc<AtomicBool>,
+    started: Instant,
+) -> Vec<JoinHandle<()>> {
+    let mut handlers = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let conn_id = net.register(peer.to_string());
+                let svc = Arc::clone(svc);
+                let net = Arc::clone(net);
+                let last_acked = Arc::clone(last_acked);
+                let shutdown = Arc::clone(shutdown);
+                let cfg = cfg.clone();
+                handlers.push(std::thread::spawn(move || {
+                    serve_conn(
+                        stream,
+                        conn_id,
+                        &cfg,
+                        &svc,
+                        &net,
+                        &last_acked,
+                        &shutdown,
+                        started,
+                    );
+                    net.close(conn_id);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(cfg.idle_poll);
+            }
+            Err(_) => {
+                // Transient accept failure; count it against no
+                // particular connection and keep listening.
+                net.count_io_error(u64::MAX);
+                std::thread::sleep(cfg.idle_poll);
+            }
+        }
+    }
+    handlers
+}
+
+/// What one idle-aware poll of the socket produced.
+enum Polled {
+    Frame(Frame),
+    Idle,
+    Eof,
+    ProtocolError(io::Error),
+    /// Socket-level failure; the error itself is uninteresting beyond
+    /// the per-connection counter it bumps.
+    IoError,
+}
+
+/// Reads one frame, but blocks at most `idle_poll` while the line is
+/// quiet: the first byte is read under the short timeout (so the thread
+/// can re-check the shutdown flag), and the remainder of the frame under
+/// the longer `io_timeout`. A timeout *mid-frame* is a real error — the
+/// stream has lost framing.
+fn poll_frame(stream: &TcpStream, cfg: &ServerConfig) -> Polled {
+    if stream.set_read_timeout(Some(cfg.idle_poll)).is_err() {
+        return Polled::IoError;
+    }
+    let mut lead = [0u8; 1];
+    match (&mut &*stream).read(&mut lead) {
+        Ok(0) => Polled::Eof,
+        Ok(_) => {
+            if stream.set_read_timeout(Some(cfg.io_timeout)).is_err() {
+                return Polled::IoError;
+            }
+            match Frame::read_after_lead(lead[0], &mut &*stream) {
+                Ok(frame) => Polled::Frame(frame),
+                Err(e) if e.kind() == ErrorKind::InvalidData => Polled::ProtocolError(e),
+                Err(_) => Polled::IoError,
+            }
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => Polled::Idle,
+        Err(e) if e.kind() == ErrorKind::Interrupted => Polled::Idle,
+        Err(_) => Polled::IoError,
+    }
+}
+
+fn send(stream: &TcpStream, net: &NetStats, conn_id: u64, frame: &Frame) -> io::Result<()> {
+    frame.write_to(&mut &*stream)?;
+    net.count_frame_out(conn_id);
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn serve_conn(
+    stream: TcpStream,
+    conn_id: u64,
+    cfg: &ServerConfig,
+    svc: &RouterService,
+    net: &NetStats,
+    last_acked: &AtomicU64,
+    shutdown: &AtomicBool,
+    started: Instant,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            // Stop taking new work; tell the peer why the line closes.
+            let _ = send(&stream, net, conn_id, &Frame::empty(FrameType::Shutdown, 0));
+            return;
+        }
+        let frame = match poll_frame(&stream, cfg) {
+            Polled::Frame(f) => f,
+            Polled::Idle => continue,
+            Polled::Eof => return,
+            Polled::ProtocolError(e) => {
+                net.count_protocol_error(conn_id);
+                let _ = send(
+                    &stream,
+                    net,
+                    conn_id,
+                    &Frame {
+                        kind: FrameType::Error,
+                        seq: 0,
+                        payload: e.to_string().into_bytes(),
+                    },
+                );
+                return;
+            }
+            Polled::IoError => {
+                net.count_io_error(conn_id);
+                return;
+            }
+        };
+        net.count_frame_in(conn_id);
+
+        let reply = match frame.kind {
+            FrameType::Hello => Frame {
+                kind: FrameType::HelloAck,
+                seq: frame.seq,
+                payload: wire::encode_u64(last_acked.load(Ordering::SeqCst)),
+            },
+            FrameType::Update => match wire::decode_updates(&frame.payload) {
+                Ok(batch) => {
+                    let mut accepted = 0u32;
+                    let mut dropped = 0u32;
+                    for u in batch {
+                        // Under Block this is where wire backpressure is
+                        // born: the send blocks, this thread stops
+                        // reading, and TCP throttles the peer.
+                        match svc.submit_update(u) {
+                            SubmitOutcome::Accepted => accepted += 1,
+                            SubmitOutcome::Dropped => dropped += 1,
+                        }
+                    }
+                    net.with_conn(conn_id, |c| {
+                        c.updates += u64::from(accepted);
+                        c.update_drops += u64::from(dropped);
+                    });
+                    last_acked.fetch_max(frame.seq, Ordering::SeqCst);
+                    Frame {
+                        kind: FrameType::UpdateAck,
+                        seq: frame.seq,
+                        payload: wire::encode_ack(wire::UpdateAck { accepted, dropped }),
+                    }
+                }
+                Err(e) => {
+                    net.count_protocol_error(conn_id);
+                    Frame {
+                        kind: FrameType::Error,
+                        seq: frame.seq,
+                        payload: e.to_string().into_bytes(),
+                    }
+                }
+            },
+            FrameType::Lookup => match wire::decode_lookup(&frame.payload) {
+                Ok(addrs) => {
+                    net.with_conn(conn_id, |c| c.lookups += addrs.len() as u64);
+                    let results = svc.lookup_batch(addrs);
+                    Frame {
+                        kind: FrameType::LookupResult,
+                        seq: frame.seq,
+                        payload: wire::encode_results(&results),
+                    }
+                }
+                Err(e) => {
+                    net.count_protocol_error(conn_id);
+                    Frame {
+                        kind: FrameType::Error,
+                        seq: frame.seq,
+                        payload: e.to_string().into_bytes(),
+                    }
+                }
+            },
+            FrameType::StatsQuery => Frame {
+                kind: FrameType::StatsReply,
+                seq: frame.seq,
+                payload: format!(
+                    "{{\"uptime_ms\":{},\"router\":{},\"net\":{}}}",
+                    started.elapsed().as_millis(),
+                    svc.stats().to_json(),
+                    net.to_json()
+                )
+                .into_bytes(),
+            },
+            FrameType::Heartbeat => Frame::empty(FrameType::HeartbeatAck, frame.seq),
+            FrameType::Shutdown => return,
+            // Server-to-client types arriving here mean a confused peer.
+            FrameType::HelloAck
+            | FrameType::UpdateAck
+            | FrameType::LookupResult
+            | FrameType::StatsReply
+            | FrameType::HeartbeatAck
+            | FrameType::Error => {
+                net.count_protocol_error(conn_id);
+                let _ = send(
+                    &stream,
+                    net,
+                    conn_id,
+                    &Frame {
+                        kind: FrameType::Error,
+                        seq: frame.seq,
+                        payload: format!("unexpected client frame {:?}", frame.kind).into_bytes(),
+                    },
+                );
+                return;
+            }
+        };
+        let fatal = reply.kind == FrameType::Error;
+        if send(&stream, net, conn_id, &reply).is_err() {
+            net.count_io_error(conn_id);
+            return;
+        }
+        if fatal {
+            return;
+        }
+    }
+}

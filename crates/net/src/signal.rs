@@ -1,0 +1,89 @@
+//! SIGINT/SIGTERM → graceful drain, with no dependency on a signal
+//! crate: a `libc::signal` FFI declaration installs a handler that does
+//! the only async-signal-safe thing worth doing — set an atomic flag.
+//! `clue serve` polls [`triggered`] and starts the server drain when it
+//! flips.
+//!
+//! On non-Unix targets the module compiles to no-ops ([`install`] does
+//! nothing and [`triggered`] is always false), keeping callers
+//! platform-agnostic.
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    /// Idempotent; later installs just re-point to the same handler.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// True once SIGINT or SIGTERM has been delivered since the last
+    /// [`reset`].
+    #[must_use]
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+
+    /// Clears the flag (tests; a server restarting its accept loop).
+    pub fn reset() {
+        TRIGGERED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op off Unix.
+    pub fn install() {}
+
+    /// Always false off Unix.
+    #[must_use]
+    pub fn triggered() -> bool {
+        false
+    }
+
+    /// No-op off Unix.
+    pub fn reset() {}
+}
+
+pub use imp::{install, reset, triggered};
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigterm_sets_the_flag() {
+        install();
+        reset();
+        assert!(!triggered());
+        // With the handler installed, raising SIGTERM at ourselves is
+        // harmless: it sets the flag instead of killing the process.
+        unsafe {
+            raise(15);
+        }
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+}

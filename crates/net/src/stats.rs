@@ -1,0 +1,199 @@
+//! Network-plane observability: aggregate frame/connection counters plus
+//! a per-connection error ledger, rendered as hand-rolled JSON alongside
+//! the router's [`StatsSnapshot`](clue_router::StatsSnapshot).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Counters for one accepted connection (kept after it closes, so the
+/// stats reply is a full session ledger, not just the live set).
+#[derive(Debug, Clone)]
+pub struct ConnStats {
+    /// Server-assigned connection id (accept order, from 0).
+    pub id: u64,
+    /// Peer address as reported by accept.
+    pub peer: String,
+    /// Frames decoded from this peer.
+    pub frames_in: u64,
+    /// Frames written to this peer.
+    pub frames_out: u64,
+    /// Route updates submitted to the router on behalf of this peer.
+    pub updates: u64,
+    /// Updates rejected by `DropNewest` for this peer.
+    pub update_drops: u64,
+    /// Lookup addresses answered for this peer.
+    pub lookups: u64,
+    /// Undecodable frames (bad magic/version/CRC/payload) from this peer.
+    pub protocol_errors: u64,
+    /// Socket-level failures on this connection.
+    pub io_errors: u64,
+    /// Still connected?
+    pub open: bool,
+}
+
+impl ConnStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"peer\":{:?},\"frames_in\":{},\"frames_out\":{},\
+             \"updates\":{},\"update_drops\":{},\"lookups\":{},\
+             \"protocol_errors\":{},\"io_errors\":{},\"open\":{}}}",
+            self.id,
+            self.peer,
+            self.frames_in,
+            self.frames_out,
+            self.updates,
+            self.update_drops,
+            self.lookups,
+            self.protocol_errors,
+            self.io_errors,
+            self.open,
+        )
+    }
+}
+
+/// The server's network-plane registry.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    io_errors: AtomicU64,
+    conns: Mutex<Vec<ConnStats>>,
+}
+
+impl NetStats {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Registers a freshly accepted connection; returns its id.
+    pub fn register(&self, peer: String) -> u64 {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+        let mut conns = self.conns.lock();
+        let id = conns.len() as u64;
+        conns.push(ConnStats {
+            id,
+            peer,
+            frames_in: 0,
+            frames_out: 0,
+            updates: 0,
+            update_drops: 0,
+            lookups: 0,
+            protocol_errors: 0,
+            io_errors: 0,
+            open: true,
+        });
+        id
+    }
+
+    /// Mutates connection `id`'s ledger under the registry lock.
+    pub fn with_conn(&self, id: u64, f: impl FnOnce(&mut ConnStats)) {
+        let mut conns = self.conns.lock();
+        if let Some(c) = conns.get_mut(id as usize) {
+            f(c);
+        }
+    }
+
+    /// Counts one decoded inbound frame on connection `id`.
+    pub fn count_frame_in(&self, id: u64) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.with_conn(id, |c| c.frames_in += 1);
+    }
+
+    /// Counts one written outbound frame on connection `id`.
+    pub fn count_frame_out(&self, id: u64) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.with_conn(id, |c| c.frames_out += 1);
+    }
+
+    /// Counts a protocol (framing/decoding) error on connection `id`.
+    pub fn count_protocol_error(&self, id: u64) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.with_conn(id, |c| c.protocol_errors += 1);
+    }
+
+    /// Counts a socket error on connection `id`.
+    pub fn count_io_error(&self, id: u64) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        self.with_conn(id, |c| c.io_errors += 1);
+    }
+
+    /// Marks connection `id` closed.
+    pub fn close(&self, id: u64) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.with_conn(id, |c| c.open = false);
+    }
+
+    /// Connections accepted so far.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    #[must_use]
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Total protocol errors across all connections.
+    #[must_use]
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Renders the registry as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let conns = self.conns.lock();
+        let entries = conns
+            .iter()
+            .map(ConnStats::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"accepted\":{},\"active\":{},\"frames_in\":{},\"frames_out\":{},\
+             \"protocol_errors\":{},\"io_errors\":{},\"connections\":[{}]}}",
+            self.accepted.load(Ordering::Relaxed),
+            self.active.load(Ordering::Relaxed),
+            self.frames_in.load(Ordering::Relaxed),
+            self.frames_out.load(Ordering::Relaxed),
+            self.protocol_errors.load(Ordering::Relaxed),
+            self.io_errors.load(Ordering::Relaxed),
+            entries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_per_connection_counts() {
+        let stats = NetStats::new();
+        let a = stats.register("127.0.0.1:1111".into());
+        let b = stats.register("127.0.0.1:2222".into());
+        assert_eq!((a, b), (0, 1));
+        stats.count_frame_in(a);
+        stats.count_frame_in(a);
+        stats.count_frame_out(a);
+        stats.count_protocol_error(b);
+        stats.close(b);
+        assert_eq!(stats.accepted(), 2);
+        assert_eq!(stats.active(), 1);
+        assert_eq!(stats.protocol_errors(), 1);
+
+        let json = stats.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"accepted\":2"), "{json}");
+        assert!(json.contains("\"frames_in\":2,\"frames_out\":1"), "{json}");
+        assert!(json.contains("\"protocol_errors\":1,\"io_errors\":0,\"open\":false"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Payload encodings for each [`FrameType`](crate::frame::FrameType).
+//!
+//! All integers are big-endian. Updates encode as a count followed by
+//! tagged records (`1` announce: bits/len/next-hop, `2` withdraw:
+//! bits/len); lookups as a count followed by raw `u32` addresses;
+//! results as a count followed by `u32` values where `0xFFFF_FFFF`
+//! means "no matching route". Decoders reject trailing garbage so a
+//! mis-framed payload cannot half-parse.
+
+use std::io::{self, ErrorKind};
+
+use clue_fib::{NextHop, Prefix, Update};
+
+const ANNOUNCE: u8 = 1;
+const WITHDRAW: u8 = 2;
+/// "No route" sentinel in lookup results.
+const MISS: u32 = 0xFFFF_FFFF;
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// A strict little cursor: every read is bounds-checked and the caller
+/// asserts emptiness at the end.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad(format!("payload truncated at byte {}", self.at)))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Encodes a `u64` (Hello / HelloAck seq payloads).
+#[must_use]
+pub fn encode_u64(v: u64) -> Vec<u8> {
+    v.to_be_bytes().to_vec()
+}
+
+/// Decodes a `u64` payload.
+pub fn decode_u64(payload: &[u8]) -> io::Result<u64> {
+    let mut c = Cursor::new(payload);
+    let v = c.u64()?;
+    c.finish()?;
+    Ok(v)
+}
+
+/// Encodes a batch of route updates.
+#[must_use]
+pub fn encode_updates(batch: &[Update]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + batch.len() * 8);
+    buf.extend_from_slice(&(batch.len() as u32).to_be_bytes());
+    for u in batch {
+        match *u {
+            Update::Announce { prefix, next_hop } => {
+                buf.push(ANNOUNCE);
+                buf.extend_from_slice(&prefix.bits().to_be_bytes());
+                buf.push(prefix.len());
+                buf.extend_from_slice(&next_hop.0.to_be_bytes());
+            }
+            Update::Withdraw { prefix } => {
+                buf.push(WITHDRAW);
+                buf.extend_from_slice(&prefix.bits().to_be_bytes());
+                buf.push(prefix.len());
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a batch of route updates.
+pub fn decode_updates(payload: &[u8]) -> io::Result<Vec<Update>> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(payload.len()));
+    for i in 0..count {
+        let tag = c.u8()?;
+        let bits = c.u32()?;
+        let len = c.u8()?;
+        if len > 32 {
+            return Err(bad(format!("update {i}: prefix length {len} > 32")));
+        }
+        let prefix = Prefix::new(bits, len);
+        out.push(match tag {
+            ANNOUNCE => Update::Announce {
+                prefix,
+                next_hop: NextHop(c.u16()?),
+            },
+            WITHDRAW => Update::Withdraw { prefix },
+            other => return Err(bad(format!("update {i}: unknown tag {other}"))),
+        });
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+/// Encodes a lookup batch (raw addresses).
+#[must_use]
+pub fn encode_lookup(addrs: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + addrs.len() * 4);
+    buf.extend_from_slice(&(addrs.len() as u32).to_be_bytes());
+    for &a in addrs {
+        buf.extend_from_slice(&a.to_be_bytes());
+    }
+    buf
+}
+
+/// Decodes a lookup batch.
+pub fn decode_lookup(payload: &[u8]) -> io::Result<Vec<u32>> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(payload.len()));
+    for _ in 0..count {
+        out.push(c.u32()?);
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+/// Encodes lookup results (`0xFFFF_FFFF` = no route).
+#[must_use]
+pub fn encode_results(results: &[Option<NextHop>]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + results.len() * 4);
+    buf.extend_from_slice(&(results.len() as u32).to_be_bytes());
+    for r in results {
+        let v = r.map_or(MISS, |nh| u32::from(nh.0));
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+    buf
+}
+
+/// Decodes lookup results.
+pub fn decode_results(payload: &[u8]) -> io::Result<Vec<Option<NextHop>>> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(payload.len()));
+    for i in 0..count {
+        out.push(match c.u32()? {
+            MISS => None,
+            v if v <= u32::from(u16::MAX) => Some(NextHop(v as u16)),
+            v => return Err(bad(format!("result {i}: next hop {v} out of range"))),
+        });
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+/// Per-batch acknowledgement (the payload of `UpdateAck`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// Updates that entered the router's ingress.
+    pub accepted: u32,
+    /// Updates rejected by `OverflowPolicy::DropNewest`.
+    pub dropped: u32,
+}
+
+/// Encodes an [`UpdateAck`].
+#[must_use]
+pub fn encode_ack(ack: UpdateAck) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8);
+    buf.extend_from_slice(&ack.accepted.to_be_bytes());
+    buf.extend_from_slice(&ack.dropped.to_be_bytes());
+    buf
+}
+
+/// Decodes an [`UpdateAck`].
+pub fn decode_ack(payload: &[u8]) -> io::Result<UpdateAck> {
+    let mut c = Cursor::new(payload);
+    let ack = UpdateAck {
+        accepted: c.u32()?,
+        dropped: c.u32()?,
+    };
+    c.finish()?;
+    Ok(ack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32, len: u8) -> Prefix {
+        Prefix::new(bits, len)
+    }
+
+    #[test]
+    fn updates_round_trip() {
+        let batch = vec![
+            Update::Announce {
+                prefix: p(0x0A00_0000, 8),
+                next_hop: NextHop(7),
+            },
+            Update::Withdraw {
+                prefix: p(0xC0A8_0000, 16),
+            },
+            Update::Announce {
+                prefix: p(0, 0),
+                next_hop: NextHop(u16::MAX),
+            },
+        ];
+        assert_eq!(decode_updates(&encode_updates(&batch)).unwrap(), batch);
+        assert_eq!(decode_updates(&encode_updates(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn lookups_and_results_round_trip() {
+        let addrs = vec![0, 1, 0xDEAD_BEEF, u32::MAX];
+        assert_eq!(decode_lookup(&encode_lookup(&addrs)).unwrap(), addrs);
+        let results = vec![Some(NextHop(0)), None, Some(NextHop(u16::MAX))];
+        assert_eq!(decode_results(&encode_results(&results)).unwrap(), results);
+    }
+
+    #[test]
+    fn acks_and_u64s_round_trip() {
+        let ack = UpdateAck {
+            accepted: 31,
+            dropped: 2,
+        };
+        assert_eq!(decode_ack(&encode_ack(ack)).unwrap(), ack);
+        assert_eq!(decode_u64(&encode_u64(u64::MAX)).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let good = encode_updates(&[Update::Withdraw {
+            prefix: p(0x0A00_0000, 8),
+        }]);
+        assert!(decode_updates(&good[..good.len() - 1]).is_err());
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_updates(&padded).is_err());
+        // A count promising more records than the payload holds.
+        let mut forged = good;
+        forged[3] = 200;
+        assert!(decode_updates(&forged).is_err());
+    }
+
+    #[test]
+    fn bad_tags_and_lengths_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(9); // unknown tag
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.push(8);
+        assert!(decode_updates(&buf).is_err());
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(WITHDRAW);
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.push(33); // prefix length out of range
+        assert!(decode_updates(&buf).is_err());
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&0x0001_0000u32.to_be_bytes()); // hop > u16
+        assert!(decode_results(&buf).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! End-to-end loopback tests: real sockets, real threads, one process.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use clue_fib::gen::FibGen;
+use clue_fib::RouteTable;
+use clue_net::frame::{Frame, FrameType};
+use clue_net::{ClientConfig, Connection, LoadConfig, Server, ServerConfig};
+use clue_router::{OverflowPolicy, RouterConfig};
+use clue_traffic::{PacketGen, UpdateGen};
+
+fn small_fib(seed: u64, routes: usize) -> RouteTable {
+    FibGen::new(seed).routes(routes).generate()
+}
+
+fn local_server(table: &RouteTable, router: RouterConfig) -> Server {
+    let cfg = ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        router,
+        idle_poll: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    Server::start(table, &cfg).expect("bind loopback")
+}
+
+fn client_for(server: &Server) -> Connection {
+    let mut cfg = ClientConfig::to_addr(server.local_addr().to_string());
+    cfg.initial_backoff = Duration::from_millis(10);
+    cfg.max_backoff = Duration::from_millis(200);
+    Connection::connect(cfg).expect("connect loopback")
+}
+
+#[test]
+fn lookups_over_tcp_match_the_reference_trie() {
+    let fib = small_fib(601, 1_200);
+    let packets = PacketGen::new(602).generate(&fib, 4_000);
+    let reference = clue_compress::onrtc(&fib).to_trie();
+
+    let server = local_server(&fib, RouterConfig::default());
+    let mut conn = client_for(&server);
+    for batch in packets.chunks(256) {
+        let got = conn.lookup(batch).expect("lookup batch");
+        assert_eq!(got.len(), batch.len());
+        for (&addr, nh) in batch.iter().zip(&got) {
+            assert_eq!(
+                *nh,
+                reference.lookup(addr).map(|(_, &v)| v),
+                "addr {addr:#x}"
+            );
+        }
+    }
+    conn.heartbeat().expect("heartbeat");
+    let report = conn.close().expect("close");
+    assert_eq!(report.reconnects, 0);
+
+    let final_report = server.drain();
+    assert_eq!(final_report.snapshot.completions, packets.len() as u64);
+}
+
+#[test]
+fn updates_over_tcp_reach_the_sequential_fib_with_zero_loss_under_block() {
+    let fib = small_fib(611, 1_000);
+    let updates = UpdateGen::new(612).generate(&fib, 2_500);
+    // A tiny ingress queue forces the Block policy to push back on the
+    // wire; every update must still arrive.
+    let router = RouterConfig {
+        update_queue: 8,
+        batch_size: 4,
+        overflow: OverflowPolicy::Block,
+        ..RouterConfig::default()
+    };
+    let server = local_server(&fib, router);
+    let mut conn = client_for(&server);
+    for batch in updates.chunks(32) {
+        conn.send_updates(batch).expect("send updates");
+    }
+    conn.flush_acks().expect("flush");
+    let client_report = conn.close().expect("close");
+    assert_eq!(client_report.accepted, updates.len() as u64);
+    assert_eq!(client_report.dropped, 0);
+
+    let report = server.drain();
+    let mut expect = fib.clone();
+    for &u in &updates {
+        expect.apply(u);
+    }
+    assert_eq!(report.final_table, expect);
+    assert_eq!(report.snapshot.update_drops, 0);
+    assert_eq!(report.snapshot.updates_received, updates.len() as u64);
+}
+
+#[test]
+fn drop_newest_over_tcp_accounts_for_every_update() {
+    let fib = small_fib(621, 800);
+    let updates = UpdateGen::new(622).generate(&fib, 3_000);
+    let router = RouterConfig {
+        update_queue: 4,
+        batch_size: 2,
+        overflow: OverflowPolicy::DropNewest,
+        ..RouterConfig::default()
+    };
+    let server = local_server(&fib, router);
+    let mut conn = client_for(&server);
+    for batch in updates.chunks(64) {
+        conn.send_updates(batch).expect("send updates");
+    }
+    conn.flush_acks().expect("flush");
+    let client_report = conn.close().expect("close");
+    // Nothing silently lost: every update is acked as either accepted
+    // or dropped, and the server's own counter agrees.
+    assert_eq!(
+        client_report.accepted + client_report.dropped,
+        updates.len() as u64
+    );
+    assert!(client_report.dropped > 0, "tiny queue must drop something");
+
+    let report = server.drain();
+    assert_eq!(report.snapshot.update_drops, client_report.dropped);
+    assert_eq!(report.snapshot.updates_received, client_report.accepted);
+}
+
+#[test]
+fn stats_query_exposes_net_ledger_and_overflow_counters() {
+    let fib = small_fib(631, 600);
+    let server = local_server(&fib, RouterConfig::default());
+    let mut conn = client_for(&server);
+    let _ = conn.lookup(&[0x0A00_0001, 0xC0A8_0101]).expect("lookup");
+    let json = conn.stats_json().expect("stats");
+    for key in [
+        "\"uptime_ms\":",
+        "\"router\":",
+        "\"overflow\":{\"update_drops\":",
+        "\"net\":",
+        "\"connections\":[",
+        "\"protocol_errors\":",
+        "\"io_errors\":",
+        "\"lookups\":2",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    let _ = conn.close().expect("close");
+    let _ = server.drain();
+}
+
+#[test]
+fn garbage_bytes_get_an_error_frame_and_a_counted_protocol_error() {
+    let fib = small_fib(641, 500);
+    let server = local_server(&fib, RouterConfig::default());
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"this is definitely not a CLUE frame....")
+        .expect("write garbage");
+    let reply = Frame::read_from(&mut raw).expect("server replies before closing");
+    assert_eq!(reply.kind, FrameType::Error);
+    // The server hangs up after a protocol error.
+    let mut rest = Vec::new();
+    let _ = raw.read_to_end(&mut rest);
+    assert!(rest.is_empty());
+
+    // The error shows up in the per-connection ledger.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.net_stats().protocol_errors() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.net_stats().protocol_errors(), 1);
+    let _ = server.drain();
+}
+
+#[test]
+fn client_reconnects_and_resumes_after_a_server_restart() {
+    let fib = small_fib(651, 900);
+    let updates = UpdateGen::new(652).generate(&fib, 600);
+    let (first, second) = updates.split_at(300);
+
+    let server1 = local_server(&fib, RouterConfig::default());
+    let addr = server1.local_addr();
+    let mut cfg = ClientConfig::to_addr(addr.to_string());
+    cfg.initial_backoff = Duration::from_millis(10);
+    cfg.max_backoff = Duration::from_millis(100);
+    cfg.max_reconnect_attempts = 50;
+    let mut conn = Connection::connect(cfg).expect("connect");
+
+    for batch in first.chunks(32) {
+        conn.send_updates(batch).expect("send to first server");
+    }
+    conn.flush_acks().expect("flush");
+    let report1 = server1.drain();
+    let mut expect = fib.clone();
+    for &u in first {
+        expect.apply(u);
+    }
+    assert_eq!(report1.final_table, expect);
+
+    // Same port, resumed table: the world the client reconnects into.
+    let cfg2 = ServerConfig {
+        listen: addr.to_string(),
+        idle_poll: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    let server2 = Server::start(&report1.final_table, &cfg2).expect("rebind same port");
+
+    for batch in second.chunks(32) {
+        conn.send_updates(batch).expect("send across restart");
+    }
+    conn.flush_acks().expect("flush after resume");
+    assert!(conn.reconnects() >= 1, "restart must force a reconnect");
+    let client_report = conn.close().expect("close");
+    assert_eq!(
+        client_report.accepted,
+        updates.len() as u64,
+        "every update acked despite the restart"
+    );
+
+    let report2 = server2.drain();
+    for &u in second {
+        expect.apply(u);
+    }
+    assert_eq!(
+        report2.final_table, expect,
+        "converges to the oracle's final table across the reconnect"
+    );
+}
+
+#[test]
+fn loadgen_sustains_a_mixed_workload_and_drains_cleanly() {
+    let fib = small_fib(661, 1_500);
+    let packets = PacketGen::new(662).generate(&fib, 6_000);
+    let updates = UpdateGen::new(663).generate(&fib, 1_200);
+
+    let server = local_server(&fib, RouterConfig::default());
+    let load = LoadConfig {
+        client: ClientConfig::to_addr(server.local_addr().to_string()),
+        lookup_threads: 3,
+        lookup_batch: 128,
+        update_batch: 32,
+        // Rate-limit the updates a little so pacing code runs; leave
+        // lookups unlimited so the test stays fast.
+        lookup_rate: 0.0,
+        update_rate: 200_000.0,
+    };
+    let report = clue_net::run_load(&packets, &updates, &load).expect("load run");
+    assert_eq!(report.lookups_sent, packets.len() as u64);
+    assert_eq!(report.lookups_answered, packets.len() as u64);
+    assert_eq!(report.updates_sent, updates.len() as u64);
+    assert_eq!(report.updates_accepted, updates.len() as u64);
+    assert_eq!(report.updates_dropped, 0);
+    let json = report.to_json();
+    assert!(json.contains("\"lookups_answered\":6000"), "{json}");
+
+    let final_report = server.drain();
+    let mut expect = fib.clone();
+    for &u in &updates {
+        expect.apply(u);
+    }
+    assert_eq!(final_report.final_table, expect);
+    assert_eq!(final_report.snapshot.completions, packets.len() as u64);
+}
+
+#[test]
+fn graceful_drain_refuses_new_work_but_keeps_its_promises() {
+    let fib = small_fib(671, 700);
+    let updates = UpdateGen::new(672).generate(&fib, 200);
+    let server = local_server(&fib, RouterConfig::default());
+    let mut cfg = ClientConfig::to_addr(server.local_addr().to_string());
+    // Short reconnect budget: once drained nothing listens, and the
+    // failure assert below should not take ten backoff rounds.
+    cfg.initial_backoff = Duration::from_millis(5);
+    cfg.max_backoff = Duration::from_millis(20);
+    cfg.max_reconnect_attempts = 2;
+    let mut conn = Connection::connect(cfg).expect("connect");
+    for batch in updates.chunks(32) {
+        conn.send_updates(batch).expect("send");
+    }
+    conn.flush_acks().expect("flush");
+
+    server.request_shutdown();
+    assert!(server.shutdown_requested());
+    let report = server.drain();
+    // Everything acked before the drain is in the final table.
+    let mut expect = fib.clone();
+    for &u in &updates {
+        expect.apply(u);
+    }
+    assert_eq!(report.final_table, expect);
+
+    // The accept loop is gone; the old connection observes the
+    // shutdown on its next operation and cannot reconnect.
+    let next = conn.lookup(&[0x0A00_0001]);
+    assert!(next.is_err(), "post-drain lookups must fail");
+}

@@ -47,7 +47,7 @@ use crate::shrink::{shrink_trace, Reproducer};
 /// Workload-independent salts so the update, packet, probe, and warm-up
 /// streams derived from one user seed stay decorrelated.
 const UPDATE_SALT: u64 = 0xA5A5_0001;
-const PACKET_SALT: u64 = 0xA5A5_0002;
+pub(crate) const PACKET_SALT: u64 = 0xA5A5_0002;
 const PROBE_SALT: u64 = 0xA5A5_0003;
 const WARM_SALT: u64 = 0xA5A5_0004;
 
@@ -75,6 +75,9 @@ pub struct CheckConfig {
     pub probe_random: usize,
     /// Fault plan for the router phase (None = clean run).
     pub faults: Option<FaultPlan>,
+    /// Also run the networked phase: the same workload over loopback
+    /// TCP through `clue-net`, faults injected client-side.
+    pub net: bool,
 }
 
 impl CheckConfig {
@@ -93,6 +96,7 @@ impl CheckConfig {
             probe_sample: 48,
             probe_random: 128,
             faults: None,
+            net: false,
         }
     }
 }
@@ -104,6 +108,8 @@ pub enum Stage {
     Compressed,
     /// The concurrent router runtime's per-packet results.
     Router,
+    /// The networked path (loopback TCP through `clue-net`).
+    Net,
 }
 
 impl fmt::Display for Stage {
@@ -111,6 +117,7 @@ impl fmt::Display for Stage {
         match self {
             Stage::Compressed => write!(f, "compressed trie"),
             Stage::Router => write!(f, "router runtime"),
+            Stage::Net => write!(f, "networked path"),
         }
     }
 }
@@ -149,15 +156,19 @@ pub enum Divergence {
 }
 
 impl Divergence {
-    /// Whether this divergence came from the concurrent router phase
-    /// (and must therefore be shrunk against that phase).
+    /// Whether this divergence came from the concurrent router phase or
+    /// the networked phase layered on it (and must therefore be shrunk
+    /// against the router phase — a net-phase divergence almost always
+    /// reproduces in-process, since the wire bridges into the same
+    /// runtime; when it does not, [`minimize_failure`] keeps the trace
+    /// at full length instead of shrinking into nothing).
     #[must_use]
     pub fn is_router_phase(&self) -> bool {
         matches!(
             self,
             Divergence::Router { .. }
                 | Divergence::Lookup {
-                    stage: Stage::Router,
+                    stage: Stage::Router | Stage::Net,
                     ..
                 }
         )
@@ -215,6 +226,11 @@ pub struct CheckReport {
     pub router_epochs: u64,
     /// Router-phase packet lookups (both runs).
     pub router_lookups: usize,
+    /// Net-phase packet lookups over loopback TCP (0 when the net phase
+    /// was not requested).
+    pub net_lookups: usize,
+    /// Net-phase client reconnects (0 on a healthy loopback).
+    pub net_reconnects: u64,
     /// Whether fault injection was active.
     pub faulted: bool,
 }
@@ -274,6 +290,19 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckReport, Box<CheckFailure>> {
             trace: trace.clone(),
         })
     })?;
+    let net = if cfg.net {
+        Some(
+            crate::netcheck::check_net_phase(&table, &trace, cfg).map_err(|divergence| {
+                Box::new(CheckFailure {
+                    divergence,
+                    table: table.clone(),
+                    trace: trace.clone(),
+                })
+            })?,
+        )
+    } else {
+        None
+    };
 
     Ok(CheckReport {
         batches: seq.batches,
@@ -281,6 +310,8 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckReport, Box<CheckFailure>> {
         applied: trace.len(),
         router_epochs: router.epochs,
         router_lookups: router.lookups,
+        net_lookups: net.map_or(0, |n| n.lookups),
+        net_reconnects: net.map_or(0, |n| n.reconnects),
         faulted: cfg.faults.is_some(),
     })
 }

@@ -33,9 +33,11 @@
 
 pub mod harness;
 pub mod model;
+pub mod netcheck;
 pub mod probes;
 pub mod shrink;
 
 pub use harness::{run_check, CheckConfig, CheckFailure, CheckReport, Divergence, Stage};
 pub use model::Oracle;
+pub use netcheck::{check_net_phase, NetOutcome};
 pub use shrink::{shrink_trace, Reproducer};

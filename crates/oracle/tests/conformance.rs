@@ -130,6 +130,46 @@ fn router_phase_rejects_lost_updates_scenario() {
 }
 
 #[test]
+fn net_check_passes_over_loopback() {
+    let cfg = CheckConfig {
+        net: true,
+        updates: 256,
+        packets: 1_500,
+        ..small(19)
+    };
+    let report = run_check(&cfg).unwrap_or_else(|f| panic!("net check diverged: {}", f.divergence));
+    assert_eq!(report.net_lookups, cfg.packets * 2);
+    assert_eq!(report.net_reconnects, 0, "loopback should not reconnect");
+}
+
+#[test]
+fn net_check_passes_under_client_side_faults() {
+    let cfg = CheckConfig {
+        net: true,
+        faults: Some(FaultPlan::chaos(131)),
+        updates: 256,
+        packets: 1_000,
+        ..small(23)
+    };
+    let report =
+        run_check(&cfg).unwrap_or_else(|f| panic!("faulted net check diverged: {}", f.divergence));
+    assert!(report.faulted);
+    assert_eq!(report.net_lookups, cfg.packets * 2);
+}
+
+#[test]
+fn net_phase_runs_standalone() {
+    let cfg = CheckConfig {
+        packets: 400,
+        ..small(29)
+    };
+    let table = clue_fib::gen::FibGen::new(cfg.seed).routes(128).generate();
+    let trace = clue_traffic::UpdateGen::new(cfg.seed ^ 2).generate(&table, 96);
+    let out = clue_oracle::check_net_phase(&table, &trace, &cfg).expect("net phase passes");
+    assert_eq!(out.lookups, cfg.packets * 2);
+}
+
+#[test]
 fn oracle_agrees_with_fib_trie_on_random_workloads() {
     // Cross-check the reference model itself against the (independent)
     // binary-trie implementation so a bug in the oracle can't silently

@@ -26,10 +26,12 @@ pub mod coalesce;
 pub mod epoch;
 pub mod faults;
 pub mod runtime;
+pub mod service;
 pub mod stats;
 
 pub use coalesce::{coalesce, CoalescedBatch};
 pub use epoch::{EpochCell, EpochState};
 pub use faults::{FaultPlan, IngressPerturber, WriteStall};
 pub use runtime::{run, OverflowPolicy, RouterConfig, RouterReport};
+pub use service::{RouterService, SubmitOutcome};
 pub use stats::{RouterStats, StatsSnapshot};

@@ -1,7 +1,8 @@
-//! The long-running router runtime: lookup workers, dispatcher, and
-//! the batching/coalescing update plane, wired over bounded channels.
+//! The batch-run entry point over the long-running router service, and
+//! the configuration/report types every frontend shares.
 //!
-//! Thread topology (see DESIGN.md §"clue-router"):
+//! Thread topology (see DESIGN.md §"clue-router"; the threads live in
+//! [`crate::service`]):
 //!
 //! ```text
 //!               packets                    updates
@@ -13,7 +14,7 @@
 //!            ▼      …       ▼              ▼ publish Arc<EpochState>
 //!         worker 0  …  worker n-1   ◄── EpochCell (atomic version)
 //!            │              │
-//!            └── done ──────┘ → collector (arrival-order accounting)
+//!            └── done ──────┘ → dispatcher (arrival-order accounting)
 //! ```
 //!
 //! * Each worker owns one partition of the compressed table (via the
@@ -25,32 +26,28 @@
 //!   `DropNewest`, never a silent loss — batches up to `batch_size`
 //!   operations per quiescent window, coalesces them (last-op-wins,
 //!   flap cancellation, no-op elision), pushes the survivors through
-//!   [`CluePipeline`], flushes affected prefixes from every worker
-//!   DRed, and publishes the rebuilt per-bucket tries as one new epoch.
+//!   [`CluePipeline`](clue_core::update_pipeline::CluePipeline), flushes
+//!   affected prefixes from every worker DRed, and publishes the rebuilt
+//!   per-bucket tries as one new epoch.
 //! * Workers observe a batch atomically: they poll the epoch version
 //!   once per packet and swap the whole `Arc<EpochState>` — never a
 //!   half-applied table. DRed entries may lag one batch (a hit can
 //!   serve the pre-batch next hop until the flush lands); this mirrors
 //!   the transient staleness any real line card exhibits between a RIB
 //!   change and data-plane convergence.
+//!
+//! [`run`] stages a fixed packet trace against a fixed update stream —
+//! the harness the integration tests and `clue serve` (file mode) use.
+//! Long-running frontends (the `clue-net` TCP server) drive
+//! [`RouterService`](crate::service::RouterService) directly.
 
-use std::sync::atomic::AtomicBool;
-use std::sync::atomic::Ordering as AtomicOrdering;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use parking_lot::Mutex;
+use clue_fib::{NextHop, RouteTable, Update};
 
-use clue_cache::LruPrefixCache;
-use clue_core::update_pipeline::CluePipeline;
-use clue_fib::{NextHop, Route, RouteTable, Update};
-use clue_partition::{EvenRangePartition, Indexer, RangeIndex};
-
-use crate::coalesce::coalesce;
-use crate::epoch::{EpochCell, EpochState};
-use crate::faults::{FaultPlan, IngressPerturber, WriteStall};
-use crate::stats::{RouterStats, StatsSnapshot};
+use crate::faults::{FaultPlan, IngressPerturber};
+use crate::service::RouterService;
+use crate::stats::StatsSnapshot;
 
 /// What to do when the bounded update ingress queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +102,8 @@ impl Default for RouterConfig {
 pub struct RouterReport {
     /// Final aggregated stats (also rendered by `snapshot.to_json()`).
     pub snapshot: StatsSnapshot,
-    /// Per-packet lookup results in arrival order.
+    /// Per-packet lookup results in arrival order ([`run`] only; a
+    /// drained [`RouterService`] returned results to its callers).
     pub results: Vec<Option<NextHop>>,
     /// The original-form routing table after every applied update.
     pub final_table: RouteTable,
@@ -128,29 +126,6 @@ impl RouterReport {
     }
 }
 
-enum Job {
-    /// Full lookup on the home chip's partition trie.
-    Home {
-        addr: u32,
-        tag: u64,
-        t0: Instant,
-        bounced: bool,
-    },
-    /// DRed-only attempt on a non-home chip (diverted packet).
-    Dred {
-        addr: u32,
-        tag: u64,
-        t0: Instant,
-    },
-    Quit,
-}
-
-struct Shared {
-    dreds: Vec<Mutex<LruPrefixCache>>,
-    epochs: EpochCell,
-    stats: RouterStats,
-}
-
 /// Runs `packets` and `updates` through a live multi-threaded router
 /// built over `table` and returns the full report.
 ///
@@ -169,406 +144,50 @@ pub fn run(
     updates: &[Update],
     cfg: &RouterConfig,
 ) -> RouterReport {
-    assert!(!table.is_empty(), "need a routing table to serve");
-    assert!(
-        cfg.workers > 0
-            && cfg.fifo_capacity > 0
-            && cfg.dred_capacity > 0
-            && cfg.batch_size > 0
-            && cfg.update_queue > 0,
-        "router config sizes must be positive"
-    );
-
-    let mut pipeline = CluePipeline::new(table, cfg.workers, cfg.dred_capacity, table.len() + 1024);
-    let compressed0 = pipeline.fib().compressed_table();
-    let index: RangeIndex = EvenRangePartition::split(&compressed0, cfg.workers)
-        .index()
-        .clone();
-    let epoch0 = EpochState::build(0, &compressed0, &index, cfg.workers);
-
-    let shared = Arc::new(Shared {
-        dreds: (0..cfg.workers)
-            .map(|_| Mutex::new(LruPrefixCache::new(cfg.dred_capacity)))
-            .collect(),
-        epochs: EpochCell::new(epoch0),
-        stats: RouterStats::new(cfg.workers),
-    });
-
-    let mut fifo_tx: Vec<Sender<Job>> = Vec::new();
-    let mut fifo_rx: Vec<Receiver<Job>> = Vec::new();
-    let mut bounce_tx: Vec<Sender<Job>> = Vec::new();
-    let mut bounce_rx: Vec<Receiver<Job>> = Vec::new();
-    for _ in 0..cfg.workers {
-        let (tx, rx) = bounded::<Job>(cfg.fifo_capacity);
-        fifo_tx.push(tx);
-        fifo_rx.push(rx);
-        let (tx, rx) = unbounded::<Job>();
-        bounce_tx.push(tx);
-        bounce_rx.push(rx);
-    }
-    let (done_tx, done_rx) = unbounded::<(u64, Option<NextHop>)>();
-    let (ingress_tx, ingress_rx) = bounded::<Update>(cfg.update_queue);
-
     let start = Instant::now();
-    let mut results: Vec<Option<NextHop>> = vec![None; packets.len()];
-    let mut update_outcome: Option<UpdateOutcome> = None;
+    let svc = RouterService::start(table, cfg);
+    let mut results: Vec<Option<NextHop>> = Vec::new();
 
     std::thread::scope(|scope| {
-        // Lookup workers.
-        for chip in 0..cfg.workers {
-            let shared = Arc::clone(&shared);
-            let my_fifo = fifo_rx[chip].clone();
-            let my_bounce = bounce_rx[chip].clone();
-            let done = done_tx.clone();
-            let home_bounce_tx: Vec<Sender<Job>> = bounce_tx.clone();
-            let index = index.clone();
-            scope.spawn(move || {
-                worker_loop(
-                    chip,
-                    &shared,
-                    &my_fifo,
-                    &my_bounce,
-                    &done,
-                    &home_bounce_tx,
-                    &index,
-                );
-            });
-        }
-        drop(done_tx);
-
-        // Update feeder: the bounded ingress enforces the overflow
-        // policy — block (backpressure) or count-and-drop the newest.
-        // An optional fault plan perturbs timing and global order here,
-        // but never the per-prefix order (see `faults`).
-        {
-            let shared = Arc::clone(&shared);
-            let overflow = cfg.overflow;
-            let faults = cfg.faults;
-            scope.spawn(move || {
-                let mut perturber = faults.map(IngressPerturber::new);
-                let mut staged: Vec<Update> = Vec::new();
-                for &u in updates {
-                    staged.clear();
-                    match &mut perturber {
-                        Some(p) => {
-                            if let Some(d) = p.feeder_delay() {
-                                std::thread::sleep(d);
-                            }
-                            p.push(u, &mut staged);
+        // Update feeder: an optional fault plan perturbs timing and
+        // global order here, but never the per-prefix order (see
+        // `faults`); the overflow policy is enforced inside the service.
+        scope.spawn(|| {
+            let mut perturber = cfg.faults.map(IngressPerturber::new);
+            let mut staged: Vec<Update> = Vec::new();
+            for &u in updates {
+                staged.clear();
+                match &mut perturber {
+                    Some(p) => {
+                        if let Some(d) = p.feeder_delay() {
+                            std::thread::sleep(d);
                         }
-                        None => staged.push(u),
+                        p.push(u, &mut staged);
                     }
-                    if !feed(&ingress_tx, overflow, &shared, &staged) {
-                        return; // update thread gone
-                    }
+                    None => staged.push(u),
                 }
-                if let Some(p) = perturber {
-                    staged.clear();
-                    p.finish(&mut staged);
-                    let _ = feed(&ingress_tx, overflow, &shared, &staged);
+                for &s in &staged {
+                    let _ = svc.submit_update(s);
                 }
-                // ingress_tx drops here; the update thread drains and exits.
-            });
-        }
-
-        // Update plane.
-        let update_thread = {
-            let shared = Arc::clone(&shared);
-            let index = index.clone();
-            let cfg = *cfg;
-            let mut mirror = table.clone();
-            scope.spawn(move || {
-                update_loop(
-                    &mut pipeline,
-                    &mut mirror,
-                    &ingress_rx,
-                    &shared,
-                    &index,
-                    &cfg,
-                );
-                UpdateOutcome {
-                    final_table: mirror,
-                    final_compressed: pipeline.fib().compressed_table(),
-                    dynamic_redundancy: shared.epochs.load().replicated,
-                }
-            })
-        };
-
-        // Optional periodic snapshot printer.
-        let stop_printer = Arc::new(AtomicBool::new(false));
-        if let Some(every) = cfg.snapshot_every {
-            let shared = Arc::clone(&shared);
-            let stop = Arc::clone(&stop_printer);
-            scope.spawn(move || {
-                while !stop.load(AtomicOrdering::Relaxed) {
-                    std::thread::sleep(every);
-                    if stop.load(AtomicOrdering::Relaxed) {
-                        break;
-                    }
-                    println!("{}", shared.stats.snapshot().to_json());
-                }
-            });
-        }
-
-        // Dispatcher (this thread): Indexing Logic + diversion.
-        for (tag, &addr) in packets.iter().enumerate() {
-            shared.stats.count_arrival();
-            let home = index.bucket_of(addr);
-            shared
-                .stats
-                .worker(home)
-                .queue_depth
-                .record(fifo_tx[home].len() as u64);
-            let job = Job::Home {
-                addr,
-                tag: tag as u64,
-                t0: Instant::now(),
-                bounced: false,
-            };
-            if let Err(err) = fifo_tx[home].try_send(job) {
-                // Home FIFO full → DRed-only attempt on the idlest chip.
-                shared.stats.count_diversion();
-                let job = match err.into_inner() {
-                    Job::Home { addr, tag, t0, .. } => Job::Dred { addr, tag, t0 },
-                    other => other,
-                };
-                let idlest = (0..cfg.workers)
-                    .min_by_key(|&c| fifo_tx[c].len())
-                    .expect("workers > 0");
-                fifo_tx[idlest].send(job).expect("worker alive");
             }
-        }
+            if let Some(p) = perturber {
+                staged.clear();
+                p.finish(&mut staged);
+                for &s in &staged {
+                    let _ = svc.submit_update(s);
+                }
+            }
+        });
 
-        // Collector: every packet must come back (no packet drops).
-        let mut completions = 0u64;
-        while completions < packets.len() as u64 {
-            let (tag, nh) = done_rx.recv().expect("workers alive until quit");
-            results[tag as usize] = nh;
-            completions += 1;
-        }
-        for tx in &fifo_tx {
-            tx.send(Job::Quit).expect("worker alive");
-        }
-
-        update_outcome = Some(update_thread.join().expect("update thread exits cleanly"));
-        stop_printer.store(true, AtomicOrdering::Relaxed);
-        // Worker and printer threads are joined implicitly by the scope.
+        // Lookup plane races the update stream, exactly like a line
+        // card: one big in-order batch through the dispatcher.
+        results = svc.lookup_batch(packets.to_vec());
     });
 
-    let outcome = update_outcome.expect("update thread joined");
-    RouterReport {
-        snapshot: shared.stats.snapshot(),
-        results,
-        final_table: outcome.final_table,
-        final_compressed: outcome.final_compressed,
-        dynamic_redundancy: outcome.dynamic_redundancy,
-        elapsed: start.elapsed(),
-    }
-}
-
-struct UpdateOutcome {
-    final_table: RouteTable,
-    final_compressed: RouteTable,
-    dynamic_redundancy: u64,
-}
-
-/// Sends a staged run of updates into the ingress queue under the
-/// configured overflow policy; returns false when the update thread is
-/// gone and the feeder should stop.
-fn feed(
-    ingress_tx: &Sender<Update>,
-    overflow: OverflowPolicy,
-    shared: &Shared,
-    staged: &[Update],
-) -> bool {
-    for &u in staged {
-        match overflow {
-            OverflowPolicy::Block => {
-                if ingress_tx.send(u).is_err() {
-                    return false;
-                }
-            }
-            OverflowPolicy::DropNewest => match ingress_tx.try_send(u) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => shared.stats.count_update_drop(),
-                Err(TrySendError::Disconnected(_)) => return false,
-            },
-        }
-    }
-    true
-}
-
-/// The update plane: drain → coalesce → apply → flush DReds → publish.
-fn update_loop(
-    pipeline: &mut CluePipeline,
-    mirror: &mut RouteTable,
-    ingress: &Receiver<Update>,
-    shared: &Shared,
-    index: &RangeIndex,
-    cfg: &RouterConfig,
-) {
-    let batch_size = cfg.batch_size;
-    let workers = cfg.workers;
-    let mut stall = cfg.faults.map(WriteStall::new);
-    let mut epoch = 0u64;
-    while let Ok(first) = ingress.recv() {
-        // One quiescent window: whatever is already queued, up to the cap.
-        let mut batch = Vec::with_capacity(batch_size);
-        batch.push(first);
-        while batch.len() < batch_size {
-            match ingress.try_recv() {
-                Ok(u) => batch.push(u),
-                Err(_) => break,
-            }
-        }
-
-        let coalesced = coalesce(&batch, mirror);
-        let mut batch_ttf_ns = 0.0f64;
-        let mut touched = false;
-        for &op in &coalesced.ops {
-            mirror.apply(op);
-            let (sample, diff) = pipeline.apply_with_diff(op);
-            if let Some(ws) = &mut stall {
-                // The TCAM-write-stall seam: stretch the window between
-                // entry writes and the epoch publish below.
-                ws.on_ops(diff.op_count() as u64);
-            }
-            batch_ttf_ns += sample.total_ns();
-            shared
-                .stats
-                .update()
-                .ttf_update_ns
-                .record(sample.total_ns() as u64);
-            touched = touched || !diff.is_empty();
-            // DRed sync, the paper's delete-if-present rule: flush every
-            // prefix the diff removed or rewrote from every chip's DRed.
-            for p in diff
-                .deletes
-                .iter()
-                .chain(diff.modifies.iter().map(|r| &r.prefix))
-            {
-                for dred in &shared.dreds {
-                    dred.lock().remove(*p);
-                }
-            }
-        }
-
-        {
-            let mut u = shared.stats.update();
-            u.received += coalesced.raw as u64;
-            u.applied += coalesced.ops.len() as u64;
-            u.superseded += coalesced.superseded as u64;
-            u.cancelled += coalesced.cancelled as u64;
-            u.elided += coalesced.elided as u64;
-            u.batches += 1;
-            u.ttf_batch_ns.record(batch_ttf_ns as u64);
-        }
-
-        // Publish the batch as one atomic epoch (skip if nothing moved).
-        if touched {
-            epoch += 1;
-            let state =
-                EpochState::build(epoch, &pipeline.fib().compressed_table(), index, workers);
-            shared.epochs.publish(state);
-            shared.stats.update().epochs += 1;
-        }
-    }
-}
-
-fn worker_loop(
-    chip: usize,
-    shared: &Shared,
-    fifo: &Receiver<Job>,
-    bounce: &Receiver<Job>,
-    done: &Sender<(u64, Option<NextHop>)>,
-    bounce_tx: &[Sender<Job>],
-    index: &RangeIndex,
-) {
-    let mut epoch = shared.epochs.load();
-    loop {
-        // Bounced jobs have waited longest; when both lanes are empty,
-        // block on either (blocking on the FIFO alone would strand a
-        // final bounce-lane job).
-        let job = match bounce.try_recv() {
-            Ok(job) => job,
-            Err(_) => {
-                crossbeam::channel::select! {
-                    recv(bounce) -> job => match job {
-                        Ok(job) => job,
-                        Err(_) => return,
-                    },
-                    recv(fifo) -> job => match job {
-                        Ok(job) => job,
-                        Err(_) => return,
-                    },
-                }
-            }
-        };
-        shared.epochs.refresh(&mut epoch);
-        match job {
-            Job::Quit => return,
-            Job::Home {
-                addr,
-                tag,
-                t0,
-                bounced,
-            } => {
-                let matched = epoch.tries[chip]
-                    .lookup(addr)
-                    .map(|(p, &nh)| Route::new(p, nh));
-                if bounced {
-                    if let Some(route) = matched {
-                        // CLUE fill: every DRed except this chip's own.
-                        for (i, dred) in shared.dreds.iter().enumerate() {
-                            if i != chip {
-                                dred.lock().insert(route);
-                            }
-                        }
-                    }
-                }
-                finish(shared, chip, tag, matched.map(|r| r.next_hop), t0, done);
-            }
-            Job::Dred { addr, tag, t0 } => {
-                let hit = shared.dreds[chip].lock().lookup(addr);
-                match hit {
-                    Some(nh) => {
-                        shared.stats.count_dred_hit();
-                        finish(shared, chip, tag, Some(nh), t0, done);
-                    }
-                    None => {
-                        shared.stats.count_dred_miss();
-                        shared.stats.worker(chip).serviced += 1;
-                        let home = index.bucket_of(addr);
-                        bounce_tx[home]
-                            .send(Job::Home {
-                                addr,
-                                tag,
-                                t0,
-                                bounced: true,
-                            })
-                            .expect("home worker alive");
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn finish(
-    shared: &Shared,
-    chip: usize,
-    tag: u64,
-    nh: Option<NextHop>,
-    t0: Instant,
-    done: &Sender<(u64, Option<NextHop>)>,
-) {
-    {
-        let mut w = shared.stats.worker(chip);
-        w.serviced += 1;
-        w.lookup_ns.record(t0.elapsed().as_nanos() as u64);
-    }
-    shared.stats.count_completion();
-    done.send((tag, nh)).expect("collector alive");
+    let mut report = svc.drain();
+    report.results = results;
+    report.elapsed = start.elapsed();
+    report
 }
 
 #[cfg(test)]
@@ -576,6 +195,7 @@ mod tests {
     use super::*;
     use clue_compress::onrtc;
     use clue_fib::gen::FibGen;
+    use clue_fib::Route;
     use clue_traffic::{PacketGen, UpdateGen};
 
     fn setup(routes: usize, pkts: usize, upds: usize) -> (RouteTable, Vec<u32>, Vec<Update>) {

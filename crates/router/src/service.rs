@@ -1,0 +1,723 @@
+//! The long-running router service: the same thread topology as
+//! [`runtime::run`](crate::runtime::run), exposed as a handle that
+//! accepts work incrementally instead of as two pre-staged slices.
+//!
+//! [`RouterService`] owns the lookup workers, the dispatcher, and the
+//! update plane. Callers — the in-process [`runtime::run`]
+//! harness as much as the `clue-net` TCP frontend — push updates one at
+//! a time through the bounded ingress (so the configured
+//! [`OverflowPolicy`] decides between blocking backpressure and counted
+//! drops at the *caller's* seam) and submit lookup batches that are
+//! dispatched per-address through the home-FIFO/diversion/DRed path and
+//! returned in order.
+//!
+//! Shutdown is a graceful drain ([`RouterService::drain`]): the lookup
+//! and ingress channels close, the dispatcher completes every pending
+//! batch and quiesces the workers, the update plane applies whatever is
+//! still queued and publishes the final epoch, and the joined outcome is
+//! returned as a [`RouterReport`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use clue_cache::LruPrefixCache;
+use clue_core::update_pipeline::CluePipeline;
+use clue_fib::{NextHop, Route, RouteTable, Update};
+use clue_partition::{EvenRangePartition, Indexer, RangeIndex};
+
+use crate::coalesce::coalesce;
+use crate::epoch::{EpochCell, EpochState};
+use crate::faults::WriteStall;
+use crate::runtime::{OverflowPolicy, RouterConfig, RouterReport};
+use crate::stats::{RouterStats, StatsSnapshot};
+
+/// One unit of worker work (a packet somewhere on its lookup path).
+enum Job {
+    /// Full lookup on the home chip's partition trie.
+    Home {
+        addr: u32,
+        tag: u64,
+        t0: Instant,
+        bounced: bool,
+    },
+    /// DRed-only attempt on a non-home chip (diverted packet).
+    Dred {
+        addr: u32,
+        tag: u64,
+        t0: Instant,
+    },
+    Quit,
+}
+
+/// State shared by every router thread.
+struct Shared {
+    dreds: Vec<Mutex<LruPrefixCache>>,
+    epochs: EpochCell,
+    stats: RouterStats,
+}
+
+/// One submitted lookup batch awaiting dispatch.
+struct LookupRequest {
+    addrs: Vec<u32>,
+    reply: Sender<Vec<Option<NextHop>>>,
+}
+
+/// What the update thread hands back when it drains out.
+pub(crate) struct UpdateOutcome {
+    pub(crate) final_table: RouteTable,
+    pub(crate) final_compressed: RouteTable,
+    pub(crate) dynamic_redundancy: u64,
+}
+
+/// Outcome of submitting one update to the bounded ingress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The update entered the ingress queue (possibly after blocking).
+    Accepted,
+    /// [`OverflowPolicy::DropNewest`] rejected it; the drop is counted
+    /// in [`StatsSnapshot::update_drops`].
+    Dropped,
+}
+
+/// A live, incrementally-fed router: workers, dispatcher, and update
+/// plane behind a handle. See the module docs for the drain contract.
+pub struct RouterService {
+    lookup_tx: Option<Sender<LookupRequest>>,
+    ingress_tx: Option<Sender<Update>>,
+    overflow: OverflowPolicy,
+    shared: Arc<Shared>,
+    started: Instant,
+    stop_printer: Arc<AtomicBool>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    update_thread: Option<JoinHandle<UpdateOutcome>>,
+    printer: Option<JoinHandle<()>>,
+}
+
+impl RouterService {
+    /// Boots the full thread topology over `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is empty or `cfg` is degenerate (any zero
+    /// size), exactly like [`runtime::run`](crate::runtime::run).
+    #[must_use]
+    pub fn start(table: &RouteTable, cfg: &RouterConfig) -> Self {
+        assert!(!table.is_empty(), "need a routing table to serve");
+        assert!(
+            cfg.workers > 0
+                && cfg.fifo_capacity > 0
+                && cfg.dred_capacity > 0
+                && cfg.batch_size > 0
+                && cfg.update_queue > 0,
+            "router config sizes must be positive"
+        );
+
+        let mut pipeline =
+            CluePipeline::new(table, cfg.workers, cfg.dred_capacity, table.len() + 1024);
+        let compressed0 = pipeline.fib().compressed_table();
+        let index: RangeIndex = EvenRangePartition::split(&compressed0, cfg.workers)
+            .index()
+            .clone();
+        let epoch0 = EpochState::build(0, &compressed0, &index, cfg.workers);
+
+        let shared = Arc::new(Shared {
+            dreds: (0..cfg.workers)
+                .map(|_| Mutex::new(LruPrefixCache::new(cfg.dred_capacity)))
+                .collect(),
+            epochs: EpochCell::new(epoch0),
+            stats: RouterStats::new(cfg.workers),
+        });
+
+        let mut fifo_tx: Vec<Sender<Job>> = Vec::new();
+        let mut fifo_rx: Vec<Receiver<Job>> = Vec::new();
+        let mut bounce_tx: Vec<Sender<Job>> = Vec::new();
+        let mut bounce_rx: Vec<Receiver<Job>> = Vec::new();
+        for _ in 0..cfg.workers {
+            let (tx, rx) = bounded::<Job>(cfg.fifo_capacity);
+            fifo_tx.push(tx);
+            fifo_rx.push(rx);
+            let (tx, rx) = unbounded::<Job>();
+            bounce_tx.push(tx);
+            bounce_rx.push(rx);
+        }
+        let (done_tx, done_rx) = unbounded::<(u64, Option<NextHop>)>();
+        let (ingress_tx, ingress_rx) = bounded::<Update>(cfg.update_queue);
+        let (lookup_tx, lookup_rx) = unbounded::<LookupRequest>();
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for chip in 0..cfg.workers {
+            let shared = Arc::clone(&shared);
+            let my_fifo = fifo_rx[chip].clone();
+            let my_bounce = bounce_rx[chip].clone();
+            let done = done_tx.clone();
+            let home_bounce_tx: Vec<Sender<Job>> = bounce_tx.clone();
+            let index = index.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(
+                    chip,
+                    &shared,
+                    &my_fifo,
+                    &my_bounce,
+                    &done,
+                    &home_bounce_tx,
+                    &index,
+                );
+            }));
+        }
+        drop(done_tx);
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let index = index.clone();
+            std::thread::spawn(move || {
+                dispatcher_loop(&shared, &lookup_rx, &done_rx, &fifo_tx, &index);
+            })
+        };
+
+        let update_thread = {
+            let shared = Arc::clone(&shared);
+            let index = index.clone();
+            let cfg = *cfg;
+            let mut mirror = table.clone();
+            std::thread::spawn(move || {
+                update_loop(
+                    &mut pipeline,
+                    &mut mirror,
+                    &ingress_rx,
+                    &shared,
+                    &index,
+                    &cfg,
+                );
+                UpdateOutcome {
+                    final_table: mirror,
+                    final_compressed: pipeline.fib().compressed_table(),
+                    dynamic_redundancy: shared.epochs.load().replicated,
+                }
+            })
+        };
+
+        let stop_printer = Arc::new(AtomicBool::new(false));
+        let printer = cfg.snapshot_every.map(|every| {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop_printer);
+            std::thread::spawn(move || {
+                while !stop.load(AtomicOrdering::Relaxed) {
+                    std::thread::sleep(every);
+                    if stop.load(AtomicOrdering::Relaxed) {
+                        break;
+                    }
+                    println!("{}", shared.stats.snapshot().to_json());
+                }
+            })
+        });
+
+        RouterService {
+            lookup_tx: Some(lookup_tx),
+            ingress_tx: Some(ingress_tx),
+            overflow: cfg.overflow,
+            shared,
+            started: Instant::now(),
+            stop_printer,
+            dispatcher: Some(dispatcher),
+            workers,
+            update_thread: Some(update_thread),
+            printer,
+        }
+    }
+
+    /// Submits one update to the bounded ingress under the configured
+    /// overflow policy: blocks until space frees up (`Block`) or rejects
+    /// and counts the drop (`DropNewest`).
+    pub fn submit_update(&self, update: Update) -> SubmitOutcome {
+        let tx = self.ingress_tx.as_ref().expect("service not drained");
+        match self.overflow {
+            OverflowPolicy::Block => {
+                // The update thread outlives every submitter (it exits
+                // only when drain() closes this channel).
+                tx.send(update).expect("update thread alive");
+                SubmitOutcome::Accepted
+            }
+            OverflowPolicy::DropNewest => match tx.try_send(update) {
+                Ok(()) => SubmitOutcome::Accepted,
+                Err(TrySendError::Full(_)) => {
+                    self.shared.stats.count_update_drop();
+                    SubmitOutcome::Dropped
+                }
+                Err(TrySendError::Disconnected(_)) => unreachable!("update thread alive"),
+            },
+        }
+    }
+
+    /// Dispatches a batch of addresses through the lookup plane and
+    /// blocks until every result is back, in submission order.
+    #[must_use]
+    pub fn lookup_batch(&self, addrs: Vec<u32>) -> Vec<Option<NextHop>> {
+        if addrs.is_empty() {
+            return Vec::new();
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.lookup_tx
+            .as_ref()
+            .expect("service not drained")
+            .send(LookupRequest {
+                addrs,
+                reply: reply_tx,
+            })
+            .expect("dispatcher alive");
+        reply_rx.recv().expect("dispatcher replies")
+    }
+
+    /// A point-in-time aggregated stats snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// The currently published epoch number.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shared.epochs.version()
+    }
+
+    /// Gracefully drains the service: stops accepting work, completes
+    /// every pending lookup, applies every queued update, publishes the
+    /// final epoch, and joins all threads.
+    #[must_use]
+    pub fn drain(mut self) -> RouterReport {
+        self.shutdown_threads()
+    }
+
+    fn shutdown_threads(&mut self) -> RouterReport {
+        // Closing the lookup channel lets the dispatcher finish pending
+        // batches and quiesce the workers; closing the ingress lets the
+        // update thread apply the backlog and exit.
+        self.lookup_tx = None;
+        self.ingress_tx = None;
+        if let Some(d) = self.dispatcher.take() {
+            d.join().expect("dispatcher exits cleanly");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker exits cleanly");
+        }
+        let outcome = self
+            .update_thread
+            .take()
+            .expect("drained once")
+            .join()
+            .expect("update thread exits cleanly");
+        self.stop_printer.store(true, AtomicOrdering::Relaxed);
+        if let Some(p) = self.printer.take() {
+            p.join().expect("printer exits cleanly");
+        }
+        RouterReport {
+            snapshot: self.shared.stats.snapshot(),
+            results: Vec::new(),
+            final_table: outcome.final_table,
+            final_compressed: outcome.final_compressed,
+            dynamic_redundancy: outcome.dynamic_redundancy,
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+impl Drop for RouterService {
+    fn drop(&mut self) {
+        // A dropped (never-drained) service still shuts down cleanly;
+        // the report is simply discarded.
+        if self.update_thread.is_some() {
+            let _ = self.shutdown_threads();
+        }
+    }
+}
+
+/// The dispatcher: pulls lookup batches, pushes per-address jobs through
+/// the home-FIFO/diversion path, and assembles completions back into
+/// in-order replies. Once the lookup channel closes and the last pending
+/// batch completes, it quiesces the workers and exits.
+fn dispatcher_loop(
+    shared: &Shared,
+    lookup_rx: &Receiver<LookupRequest>,
+    done_rx: &Receiver<(u64, Option<NextHop>)>,
+    fifo_tx: &[Sender<Job>],
+    index: &RangeIndex,
+) {
+    struct Pending {
+        results: Vec<Option<NextHop>>,
+        remaining: usize,
+        reply: Sender<Vec<Option<NextHop>>>,
+    }
+
+    let mut pending: HashMap<u32, Pending> = HashMap::new();
+    let mut next_id: u32 = 0;
+    let mut open = true;
+
+    let complete = |pending: &mut HashMap<u32, Pending>, tag: u64, nh: Option<NextHop>| {
+        let id = (tag >> 32) as u32;
+        let i = (tag & 0xFFFF_FFFF) as usize;
+        if let Some(p) = pending.get_mut(&id) {
+            p.results[i] = nh;
+            p.remaining -= 1;
+            if p.remaining == 0 {
+                let p = pending.remove(&id).expect("just seen");
+                // A caller that gave up on the reply is not an error.
+                let _ = p.reply.send(p.results);
+            }
+        }
+    };
+
+    loop {
+        if open {
+            crossbeam::channel::select! {
+                recv(lookup_rx) -> msg => match msg {
+                    Ok(req) => {
+                        if req.addrs.is_empty() {
+                            let _ = req.reply.send(Vec::new());
+                            continue;
+                        }
+                        let id = next_id;
+                        next_id = next_id.wrapping_add(1);
+                        pending.insert(id, Pending {
+                            results: vec![None; req.addrs.len()],
+                            remaining: req.addrs.len(),
+                            reply: req.reply,
+                        });
+                        for (i, &addr) in req.addrs.iter().enumerate() {
+                            let tag = (u64::from(id) << 32) | i as u64;
+                            dispatch_one(shared, fifo_tx, index, addr, tag);
+                        }
+                    }
+                    Err(_) => open = false,
+                },
+                recv(done_rx) -> msg => match msg {
+                    Ok((tag, nh)) => complete(&mut pending, tag, nh),
+                    Err(_) => break,
+                },
+            }
+        } else {
+            if pending.is_empty() {
+                break;
+            }
+            match done_rx.recv() {
+                Ok((tag, nh)) => complete(&mut pending, tag, nh),
+                Err(_) => break,
+            }
+        }
+    }
+    for tx in fifo_tx {
+        let _ = tx.send(Job::Quit);
+    }
+}
+
+/// Dispatches one address: home FIFO first, DRed-only diversion to the
+/// idlest chip when the home FIFO is full (Figure 1's Indexing Logic).
+fn dispatch_one(shared: &Shared, fifo_tx: &[Sender<Job>], index: &RangeIndex, addr: u32, tag: u64) {
+    shared.stats.count_arrival();
+    let home = index.bucket_of(addr);
+    shared
+        .stats
+        .worker(home)
+        .queue_depth
+        .record(fifo_tx[home].len() as u64);
+    let job = Job::Home {
+        addr,
+        tag,
+        t0: Instant::now(),
+        bounced: false,
+    };
+    if let Err(err) = fifo_tx[home].try_send(job) {
+        // Home FIFO full → DRed-only attempt on the idlest chip.
+        shared.stats.count_diversion();
+        let job = match err.into_inner() {
+            Job::Home { addr, tag, t0, .. } => Job::Dred { addr, tag, t0 },
+            other => other,
+        };
+        let idlest = (0..fifo_tx.len())
+            .min_by_key(|&c| fifo_tx[c].len())
+            .expect("workers > 0");
+        fifo_tx[idlest].send(job).expect("worker alive");
+    }
+}
+
+/// The update plane: drain → coalesce → apply → flush DReds → publish.
+fn update_loop(
+    pipeline: &mut CluePipeline,
+    mirror: &mut RouteTable,
+    ingress: &Receiver<Update>,
+    shared: &Shared,
+    index: &RangeIndex,
+    cfg: &RouterConfig,
+) {
+    let batch_size = cfg.batch_size;
+    let workers = cfg.workers;
+    let mut stall = cfg.faults.map(WriteStall::new);
+    let mut epoch = 0u64;
+    while let Ok(first) = ingress.recv() {
+        // One quiescent window: whatever is already queued, up to the cap.
+        let mut batch = Vec::with_capacity(batch_size);
+        batch.push(first);
+        while batch.len() < batch_size {
+            match ingress.try_recv() {
+                Ok(u) => batch.push(u),
+                Err(_) => break,
+            }
+        }
+
+        let coalesced = coalesce(&batch, mirror);
+        let mut batch_ttf_ns = 0.0f64;
+        let mut touched = false;
+        for &op in &coalesced.ops {
+            mirror.apply(op);
+            let (sample, diff) = pipeline.apply_with_diff(op);
+            if let Some(ws) = &mut stall {
+                // The TCAM-write-stall seam: stretch the window between
+                // entry writes and the epoch publish below.
+                ws.on_ops(diff.op_count() as u64);
+            }
+            batch_ttf_ns += sample.total_ns();
+            shared
+                .stats
+                .update()
+                .ttf_update_ns
+                .record(sample.total_ns() as u64);
+            touched = touched || !diff.is_empty();
+            // DRed sync, the paper's delete-if-present rule: flush every
+            // prefix the diff removed or rewrote from every chip's DRed.
+            for p in diff
+                .deletes
+                .iter()
+                .chain(diff.modifies.iter().map(|r| &r.prefix))
+            {
+                for dred in &shared.dreds {
+                    dred.lock().remove(*p);
+                }
+            }
+        }
+
+        {
+            let mut u = shared.stats.update();
+            u.received += coalesced.raw as u64;
+            u.applied += coalesced.ops.len() as u64;
+            u.superseded += coalesced.superseded as u64;
+            u.cancelled += coalesced.cancelled as u64;
+            u.elided += coalesced.elided as u64;
+            u.batches += 1;
+            u.ttf_batch_ns.record(batch_ttf_ns as u64);
+        }
+
+        // Publish the batch as one atomic epoch (skip if nothing moved).
+        if touched {
+            epoch += 1;
+            let state =
+                EpochState::build(epoch, &pipeline.fib().compressed_table(), index, workers);
+            shared.epochs.publish(state);
+            shared.stats.update().epochs += 1;
+        }
+    }
+}
+
+fn worker_loop(
+    chip: usize,
+    shared: &Shared,
+    fifo: &Receiver<Job>,
+    bounce: &Receiver<Job>,
+    done: &Sender<(u64, Option<NextHop>)>,
+    bounce_tx: &[Sender<Job>],
+    index: &RangeIndex,
+) {
+    let mut epoch = shared.epochs.load();
+    loop {
+        // Bounced jobs have waited longest; when both lanes are empty,
+        // block on either (blocking on the FIFO alone would strand a
+        // final bounce-lane job).
+        let job = match bounce.try_recv() {
+            Ok(job) => job,
+            Err(_) => {
+                crossbeam::channel::select! {
+                    recv(bounce) -> job => match job {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    },
+                    recv(fifo) -> job => match job {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    },
+                }
+            }
+        };
+        shared.epochs.refresh(&mut epoch);
+        match job {
+            Job::Quit => return,
+            Job::Home {
+                addr,
+                tag,
+                t0,
+                bounced,
+            } => {
+                let matched = epoch.tries[chip]
+                    .lookup(addr)
+                    .map(|(p, &nh)| Route::new(p, nh));
+                if bounced {
+                    if let Some(route) = matched {
+                        // CLUE fill: every DRed except this chip's own.
+                        for (i, dred) in shared.dreds.iter().enumerate() {
+                            if i != chip {
+                                dred.lock().insert(route);
+                            }
+                        }
+                    }
+                }
+                finish(shared, chip, tag, matched.map(|r| r.next_hop), t0, done);
+            }
+            Job::Dred { addr, tag, t0 } => {
+                let hit = shared.dreds[chip].lock().lookup(addr);
+                match hit {
+                    Some(nh) => {
+                        shared.stats.count_dred_hit();
+                        finish(shared, chip, tag, Some(nh), t0, done);
+                    }
+                    None => {
+                        shared.stats.count_dred_miss();
+                        shared.stats.worker(chip).serviced += 1;
+                        let home = index.bucket_of(addr);
+                        bounce_tx[home]
+                            .send(Job::Home {
+                                addr,
+                                tag,
+                                t0,
+                                bounced: true,
+                            })
+                            .expect("home worker alive");
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn finish(
+    shared: &Shared,
+    chip: usize,
+    tag: u64,
+    nh: Option<NextHop>,
+    t0: Instant,
+    done: &Sender<(u64, Option<NextHop>)>,
+) {
+    {
+        let mut w = shared.stats.worker(chip);
+        w.serviced += 1;
+        w.lookup_ns.record(t0.elapsed().as_nanos() as u64);
+    }
+    shared.stats.count_completion();
+    done.send((tag, nh)).expect("collector alive");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_compress::onrtc;
+    use clue_fib::gen::FibGen;
+    use clue_traffic::{PacketGen, UpdateGen};
+
+    #[test]
+    fn incremental_submission_reaches_sequential_fib() {
+        let fib = FibGen::new(11).routes(1_000).generate();
+        let updates = UpdateGen::new(12).generate(&fib, 800);
+        let svc = RouterService::start(&fib, &RouterConfig::default());
+        for &u in &updates {
+            assert_eq!(svc.submit_update(u), SubmitOutcome::Accepted);
+        }
+        let report = svc.drain();
+        let mut expect = fib.clone();
+        for &u in &updates {
+            expect.apply(u);
+        }
+        assert_eq!(report.final_table, expect);
+        assert_eq!(report.final_compressed, onrtc(&expect));
+        assert_eq!(report.snapshot.updates_received, updates.len() as u64);
+    }
+
+    #[test]
+    fn interleaved_lookup_batches_return_in_order() {
+        let fib = FibGen::new(21).routes(1_500).generate();
+        let packets = PacketGen::new(22).generate(&fib, 6_000);
+        let reference = onrtc(&fib).to_trie();
+        let svc = RouterService::start(&fib, &RouterConfig::default());
+        for chunk in packets.chunks(700) {
+            let got = svc.lookup_batch(chunk.to_vec());
+            assert_eq!(got.len(), chunk.len());
+            for (&addr, nh) in chunk.iter().zip(&got) {
+                assert_eq!(
+                    *nh,
+                    reference.lookup(addr).map(|(_, &v)| v),
+                    "addr {addr:#x}"
+                );
+            }
+        }
+        let report = svc.drain();
+        assert_eq!(report.snapshot.arrivals, packets.len() as u64);
+        assert_eq!(report.snapshot.completions, packets.len() as u64);
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_threads_all_complete() {
+        let fib = FibGen::new(31).routes(1_000).generate();
+        let svc = std::sync::Arc::new(RouterService::start(&fib, &RouterConfig::default()));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let svc = std::sync::Arc::clone(&svc);
+            let fib = fib.clone();
+            joins.push(std::thread::spawn(move || {
+                let packets = PacketGen::new(100 + t).generate(&fib, 2_000);
+                let got = svc.lookup_batch(packets.clone());
+                assert_eq!(got.len(), packets.len());
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let svc = std::sync::Arc::into_inner(svc).expect("all clones joined");
+        let report = svc.drain();
+        assert_eq!(report.snapshot.arrivals, 8_000);
+        assert_eq!(report.snapshot.completions, 8_000);
+    }
+
+    #[test]
+    fn drop_newest_reports_rejections() {
+        let fib = FibGen::new(41).routes(800).generate();
+        let updates = UpdateGen::new(42).generate(&fib, 3_000);
+        let cfg = RouterConfig {
+            update_queue: 4,
+            batch_size: 2,
+            overflow: OverflowPolicy::DropNewest,
+            ..RouterConfig::default()
+        };
+        let svc = RouterService::start(&fib, &cfg);
+        let mut dropped = 0u64;
+        for &u in &updates {
+            if svc.submit_update(u) == SubmitOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        let report = svc.drain();
+        assert_eq!(report.snapshot.update_drops, dropped);
+        assert_eq!(
+            report.snapshot.updates_received + report.snapshot.update_drops,
+            updates.len() as u64,
+        );
+    }
+
+    #[test]
+    fn undrained_service_shuts_down_on_drop() {
+        let fib = FibGen::new(51).routes(200).generate();
+        let svc = RouterService::start(&fib, &RouterConfig::default());
+        let _ = svc.lookup_batch(vec![0x0A00_0001]);
+        drop(svc); // must not hang or panic
+    }
+}

@@ -217,20 +217,6 @@ pub struct StatsSnapshot {
     pub update_drops: u64,
 }
 
-/// Renders one histogram as a JSON object.
-fn hist_json(h: &Histogram) -> String {
-    format!(
-        "{{\"count\":{},\"min\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
-        h.count(),
-        h.min(),
-        h.mean(),
-        h.quantile(0.5),
-        h.quantile(0.9),
-        h.quantile(0.99),
-        h.max()
-    )
-}
-
 impl StatsSnapshot {
     /// Renders the snapshot as a single JSON object (one line).
     #[must_use]
@@ -248,14 +234,15 @@ impl StatsSnapshot {
              \"updates\":{{\"received\":{},\"applied\":{},\"superseded\":{},\
              \"cancelled\":{},\"elided\":{},\"batches\":{},\"epochs\":{},\
              \"coalesce_ratio\":{:.4},\"dropped\":{}}},\
+             \"overflow\":{{\"update_drops\":{}}},\
              \"packets\":{{\"arrivals\":{},\"completions\":{},\"diversions\":{},\
              \"dred_hits\":{},\"dred_misses\":{}}}}}",
             self.workers,
-            hist_json(&self.lookup_ns),
-            hist_json(&self.queue_depth),
+            self.lookup_ns.to_json(),
+            self.queue_depth.to_json(),
             serviced,
-            hist_json(&self.ttf_update_ns),
-            hist_json(&self.ttf_batch_ns),
+            self.ttf_update_ns.to_json(),
+            self.ttf_batch_ns.to_json(),
             self.updates_received,
             self.updates_applied,
             self.updates_superseded,
@@ -264,6 +251,7 @@ impl StatsSnapshot {
             self.batches,
             self.epochs,
             self.coalesce_ratio,
+            self.update_drops,
             self.update_drops,
             self.arrivals,
             self.completions,
@@ -322,6 +310,7 @@ mod tests {
             "\"ttf_batch_ns\":",
             "\"coalesce_ratio\":",
             "\"dropped\":1",
+            "\"overflow\":{\"update_drops\":1}",
             "\"arrivals\":1",
             "\"completions\":1",
             "\"p99\":",

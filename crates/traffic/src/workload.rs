@@ -4,6 +4,71 @@
 //! Figure 15: measure the traffic share of each partition, sort the
 //! partitions by share, and map consecutive groups onto chips to build
 //! the paper's *adversarial* (maximally uneven) placement.
+//!
+//! [`Pacer`] is the replay-side complement: it turns a target offered
+//! rate into per-item deadlines so a load generator can play a trace at
+//! a configured events-per-second instead of as fast as the socket
+//! accepts them.
+
+use std::time::{Duration, Instant};
+
+/// Deadline-based pacing to a target offered rate.
+///
+/// The pacer computes, for the i-th event, the ideal send time
+/// `start + i / rate` and tells the caller how long to sleep to honor
+/// it. Deadlines are absolute, so a caller that falls behind (e.g.
+/// because backpressure blocked a send) is *not* asked to sleep — it
+/// naturally catches up, which is what "offered rate" means: the
+/// schedule does not slow down because the system under test did.
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    start: Instant,
+    interval: Option<Duration>,
+    sent: u64,
+}
+
+impl Pacer {
+    /// A pacer targeting `per_second` events per second; a rate of zero
+    /// or less means unlimited (never sleeps).
+    #[must_use]
+    pub fn new(per_second: f64) -> Self {
+        Pacer {
+            start: Instant::now(),
+            interval: (per_second > 0.0).then(|| Duration::from_secs_f64(1.0 / per_second)),
+            sent: 0,
+        }
+    }
+
+    /// Accounts one event and returns how long to sleep *before* sending
+    /// it (zero when unlimited or already behind schedule).
+    #[must_use]
+    pub fn next_delay(&mut self) -> Duration {
+        let Some(interval) = self.interval else {
+            self.sent += 1;
+            return Duration::ZERO;
+        };
+        let deadline = Duration::from_secs_f64(interval.as_secs_f64() * self.sent as f64);
+        self.sent += 1;
+        deadline.saturating_sub(self.start.elapsed())
+    }
+
+    /// Events accounted so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// The rate actually achieved since the pacer was created.
+    #[must_use]
+    pub fn achieved_per_second(&self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.sent as f64 / secs
+        }
+    }
+}
 
 /// Per-bucket traffic counts for a trace.
 ///
@@ -120,5 +185,38 @@ mod tests {
     #[should_panic(expected = "indexer returned")]
     fn profile_rejects_out_of_range_index() {
         let _ = profile(&[5], 2, |a| a as usize);
+    }
+
+    #[test]
+    fn pacer_unlimited_never_sleeps() {
+        let mut p = Pacer::new(0.0);
+        for _ in 0..100 {
+            assert_eq!(p.next_delay(), Duration::ZERO);
+        }
+        assert_eq!(p.sent(), 100);
+    }
+
+    #[test]
+    fn pacer_spreads_deadlines() {
+        // 1000/s → the 100th event's deadline is ~100 ms out, far past
+        // the microseconds this loop takes, so a sleep is requested.
+        let mut p = Pacer::new(1_000.0);
+        let mut last = Duration::ZERO;
+        for _ in 0..100 {
+            last = p.next_delay();
+        }
+        assert!(last > Duration::from_millis(50), "deadline {last:?}");
+        assert!(last <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn pacer_behind_schedule_catches_up() {
+        let mut p = Pacer::new(1_000_000.0);
+        std::thread::sleep(Duration::from_millis(5));
+        // 5 ms behind → thousands of events owe no sleep.
+        for _ in 0..1_000 {
+            assert_eq!(p.next_delay(), Duration::ZERO);
+        }
+        assert!(p.achieved_per_second() > 0.0);
     }
 }

@@ -12,9 +12,15 @@
 //! clue serve        --fib fib.txt --packets trace.txt --updates updates.txt [--workers N]
 //!                   [--dred N] [--fifo N] [--batch K] [--queue N] [--overflow block|drop]
 //!                   [--stats-ms N]
+//! clue serve        --fib fib.txt --listen ADDR [--workers N] [--dred N] [--fifo N]
+//!                   [--batch K] [--queue N] [--overflow block|drop] [--stats-ms N]
+//! clue loadgen      --addr HOST:PORT [--packets trace.txt] [--updates updates.txt]
+//!                   [--rate PPS] [--update-rate UPS] [--threads N]
+//!                   [--lookup-batch K] [--update-batch K]
+//! clue stats        --addr HOST:PORT
 //! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
 //!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
-//!                   [--out repro.txt] [--replay repro.txt]
+//!                   [--net on|off] [--out repro.txt] [--replay repro.txt]
 //! ```
 //!
 //! All file formats are plain text: FIBs are `a.b.c.d/len nh` lines,
@@ -33,6 +39,8 @@ use clue::core::update_pipeline::{mean_ttf, ClplPipeline, CluePipeline, TtfSampl
 use clue::core::DredConfig;
 use clue::fib::gen::FibGen;
 use clue::fib::{RouteTable, Update};
+use clue::net::signal;
+use clue::net::{run_load, ClientConfig, Connection, LoadConfig, Server, ServerConfig};
 use clue::oracle::harness;
 use clue::oracle::{run_check, CheckConfig, Reproducer};
 use clue::partition::{
@@ -55,11 +63,15 @@ commands:
                                                      --fifo --service --scheme --adversarial)
   replay        replay updates through a pipeline   (--fib --updates; --pipeline --window)
   serve         run the live concurrent router      (--fib --packets --updates; --workers
-                                                     --dred --fifo --batch --queue
-                                                     --overflow --stats-ms)
+                file-driven, or networked           --dred --fifo --batch --queue
+                with --listen HOST:PORT              --overflow --stats-ms --listen)
+  loadgen       offer a workload to a server        (--addr; --packets --updates --rate
+                over TCP at a target rate            --update-rate --threads
+                                                     --lookup-batch --update-batch)
+  stats         query a running server's counters   (--addr)
   check         differential conformance check      (--seed --updates --routes --batch
                 against the naive oracle             --chips --dred --packets --faults
-                                                     --fault-seed --out --replay)
+                                                     --fault-seed --net --out --replay)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -91,6 +103,8 @@ fn dispatch(command: &str, args: &Args) -> Result<(), ArgError> {
         "simulate" => simulate(args),
         "replay" => replay(args),
         "serve" => serve(args),
+        "loadgen" => loadgen(args),
+        "stats" => stats(args),
         "check" => check(args),
         other => Err(ArgError(format!("unknown command {other:?}"))),
     }
@@ -464,11 +478,9 @@ fn replay(args: &Args) -> Result<(), ArgError> {
 fn serve(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
         "fib", "packets", "updates", "workers", "dred", "fifo", "batch", "queue", "overflow",
-        "stats-ms",
+        "stats-ms", "listen",
     ])?;
     let fib = load_fib(args.required("fib")?)?;
-    let packets = load_packets(args.required("packets")?)?;
-    let updates = load_updates(args.required("updates")?)?;
     let overflow = match args.optional("overflow").unwrap_or("block") {
         "block" => OverflowPolicy::Block,
         "drop" => OverflowPolicy::DropNewest,
@@ -493,6 +505,11 @@ fn serve(args: &Args) -> Result<(), ArgError> {
     {
         return Err(ArgError("all sizes must be positive".into()));
     }
+    if let Some(listen) = args.optional("listen") {
+        return serve_net(&fib, listen, cfg, stats_ms);
+    }
+    let packets = load_packets(args.required("packets")?)?;
+    let updates = load_updates(args.required("updates")?)?;
 
     println!(
         "serving {} packets + {} updates over {} workers (batch {}, queue {}, {:?})",
@@ -527,6 +544,124 @@ fn serve(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// The networked `serve` path: bind a TCP endpoint, bridge connections
+/// into the router runtime, and drain gracefully on SIGINT/SIGTERM. The
+/// final stats snapshot is always printed, even on an interrupted run.
+fn serve_net(
+    fib: &RouteTable,
+    listen: &str,
+    mut router: RouterConfig,
+    stats_ms: u64,
+) -> Result<(), ArgError> {
+    // Periodic reporting in network mode goes through the combined
+    // uptime/router/net JSON below, not the runtime's own printer.
+    router.snapshot_every = None;
+    let scfg = ServerConfig {
+        listen: listen.to_owned(),
+        router,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(fib, &scfg).map_err(|e| io_err(listen, &e))?;
+    signal::install();
+    println!(
+        "listening on {} ({} routes, {} workers, batch {}, queue {}, {:?}); \
+         SIGINT/SIGTERM drains",
+        server.local_addr(),
+        fib.len(),
+        scfg.router.workers,
+        scfg.router.batch_size,
+        scfg.router.update_queue,
+        scfg.router.overflow,
+    );
+    let every = (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms));
+    let mut last = std::time::Instant::now();
+    while !signal::triggered() && !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        if let Some(every) = every {
+            if last.elapsed() >= every {
+                println!("{}", server.stats_json());
+                last = std::time::Instant::now();
+            }
+        }
+    }
+    eprintln!("clue serve: draining (new connections refused, update batches flushing)");
+    println!("{}", server.stats_json());
+    let report = server.drain();
+    let s = &report.snapshot;
+    println!(
+        "drained: {} lookups answered, {} updates received ({} applied, {:.1}% coalesced, \
+         {} dropped), {} epochs | final table {} -> {} compressed",
+        s.completions,
+        s.updates_received,
+        s.updates_applied,
+        s.coalesce_ratio * 100.0,
+        s.update_drops,
+        s.epochs,
+        report.final_table.len(),
+        report.final_compressed.len(),
+    );
+    println!("{}", s.to_json());
+    Ok(())
+}
+
+fn loadgen(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "addr",
+        "packets",
+        "updates",
+        "rate",
+        "update-rate",
+        "threads",
+        "lookup-batch",
+        "update-batch",
+    ])?;
+    let addr = args.required("addr")?;
+    let packets = match args.optional("packets") {
+        Some(path) => load_packets(path)?,
+        None => Vec::new(),
+    };
+    let updates = match args.optional("updates") {
+        Some(path) => load_updates(path)?,
+        None => Vec::new(),
+    };
+    if packets.is_empty() && updates.is_empty() {
+        return Err(ArgError(
+            "nothing to offer: give --packets and/or --updates".into(),
+        ));
+    }
+    let cfg = LoadConfig {
+        client: ClientConfig::to_addr(addr),
+        lookup_threads: args.get_or("threads", 2)?,
+        lookup_batch: args.get_or("lookup-batch", 64)?,
+        update_batch: args.get_or("update-batch", 32)?,
+        lookup_rate: args.get_or("rate", 0.0)?,
+        update_rate: args.get_or("update-rate", 0.0)?,
+    };
+    if cfg.lookup_threads == 0 || cfg.lookup_batch == 0 || cfg.update_batch == 0 {
+        return Err(ArgError("all sizes must be positive".into()));
+    }
+    eprintln!(
+        "offering {} lookups ({} threads) + {} updates to {addr}",
+        packets.len(),
+        cfg.lookup_threads,
+        updates.len(),
+    );
+    let report = run_load(&packets, &updates, &cfg).map_err(|e| io_err(addr, &e))?;
+    println!("{}", report.to_json());
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["addr"])?;
+    let addr = args.required("addr")?;
+    let mut conn =
+        Connection::connect(ClientConfig::to_addr(addr)).map_err(|e| io_err(addr, &e))?;
+    let json = conn.stats_json().map_err(|e| io_err(addr, &e))?;
+    println!("{json}");
+    let _ = conn.close();
+    Ok(())
+}
+
 fn check(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
         "seed",
@@ -540,6 +675,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "probe-random",
         "faults",
         "fault-seed",
+        "net",
         "out",
         "replay",
     ])?;
@@ -557,6 +693,11 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "on" => Some(FaultPlan::chaos(args.get_or("fault-seed", seed)?)),
         "off" => None,
         other => return Err(ArgError(format!("unknown faults mode {other:?} (on|off)"))),
+    };
+    cfg.net = match args.optional("net").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(ArgError(format!("unknown net mode {other:?} (on|off)"))),
     };
 
     if let Some(path) = args.optional("replay") {
@@ -595,6 +736,12 @@ fn check(args: &Args) -> Result<(), ArgError> {
                  over {} epochs ({} packet lookups)",
                 report.batches, report.probes, report.router_epochs, report.router_lookups,
             );
+            if cfg.net {
+                println!(
+                    "net phase: {} lookups over loopback TCP, {} reconnects",
+                    report.net_lookups, report.net_reconnects,
+                );
+            }
             Ok(())
         }
         Err(failure) => {

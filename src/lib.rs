@@ -16,6 +16,7 @@
 //! | [`traffic`] | `clue-traffic` | packet and BGP-update trace generators |
 //! | [`core`] | `clue-core` | the parallel lookup engine, DRed schemes, TTF pipeline |
 //! | [`router`] | `clue-router` | the live concurrent update-plane runtime |
+//! | [`net`] | `clue-net` | wire protocol, TCP server/client, load generator |
 //! | [`oracle`] | `clue-oracle` | differential conformance oracle + fault-injection harness |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub use clue_cache as cache;
 pub use clue_compress as compress;
 pub use clue_core as core;
 pub use clue_fib as fib;
+pub use clue_net as net;
 pub use clue_oracle as oracle;
 pub use clue_partition as partition;
 pub use clue_router as router;
