@@ -1,0 +1,219 @@
+//! Machine-readable durability numbers: one run of the `clue-store`
+//! experiments, emitted as `BENCH_recovery.json` for CI artifacts and
+//! regression diffing (schema documented in DESIGN.md §3).
+//!
+//! Captures, at the current `CLUE_BENCH_SCALE`:
+//!
+//! * snapshot size and write/load time for the standard RIB (the load
+//!   side includes the recompression integrity check);
+//! * journal append overhead: the same update stream through the
+//!   router runtime bare, journaled without fsync, and journaled with
+//!   per-append fsync;
+//! * recovery time as a function of the journal tail length replayed
+//!   over the snapshot.
+//!
+//! The artifact path defaults to `BENCH_recovery.json` in the working
+//! directory; override it with `CLUE_BENCH_RECOVERY_JSON=/path`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use clue_bench::{banner, scale, standard_rib};
+use clue_compress::onrtc;
+use clue_fib::{RouteTable, Update};
+use clue_partition::EvenRangePartition;
+use clue_router::{CheckpointView, JournalBatch, RouterConfig, RouterService, UpdateJournal};
+use clue_store::{encode_snapshot, load_snapshot, write_snapshot, Snapshot, Store, StoreConfig};
+use clue_traffic::UpdateGen;
+
+/// A store whose drain "crashes": appends are real but the drain-time
+/// checkpoint is skipped, so the run measures the append path alone and
+/// leaves a journal tail behind for the recovery timings.
+struct CrashStore(Store);
+
+impl UpdateJournal for CrashStore {
+    fn append(&mut self, batch: &JournalBatch<'_>) -> io::Result<()> {
+        self.0.append(batch)
+    }
+    fn wants_checkpoint(&self) -> bool {
+        self.0.wants_checkpoint()
+    }
+    fn checkpoint(&mut self, view: &CheckpointView<'_>) -> io::Result<()> {
+        self.0.checkpoint(view)
+    }
+    fn on_drain(&mut self, _view: &CheckpointView<'_>) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("clue-bench-recovery-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drives `trace` through a journaled router service in a fresh data
+/// dir without the drain checkpoint; returns (elapsed_ms, appends).
+fn journaled_run(dir: &Path, rib: &RouteTable, trace: &[Update], scfg: StoreConfig) -> (f64, u64) {
+    let (mut store, recovery) = Store::open(dir, scfg).expect("fresh bench dir opens");
+    assert!(recovery.is_none(), "bench dir must start empty");
+    let rcfg = RouterConfig::default();
+    store
+        .init_from_table(rib, rcfg.workers)
+        .expect("base snapshot writes");
+    let start = Instant::now();
+    let svc = RouterService::start_with_journal(rib, &rcfg, Box::new(CrashStore(store)));
+    for &u in trace {
+        svc.submit_update(u);
+    }
+    let report = svc.drain();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.snapshot.journal_errors, 0, "journal must stay clean");
+    (ms, report.snapshot.journal_appends)
+}
+
+fn main() {
+    banner(
+        "Recovery — snapshot size, journal append overhead, recovery time vs tail",
+        "writes BENCH_recovery.json (override with CLUE_BENCH_RECOVERY_JSON)",
+    );
+    let s = scale();
+    let rib = standard_rib();
+    let compressed = onrtc(&rib);
+
+    // 1. Snapshot size and write/load time. The load side re-runs ONRTC
+    //    over the decoded table (the semantic integrity check), so it is
+    //    the dominant term of every recovery below.
+    let cuts = EvenRangePartition::split(&compressed, 4)
+        .index()
+        .cuts()
+        .to_vec();
+    let snap = Snapshot {
+        jseq: 0,
+        epoch: 0,
+        seq_hw: 0,
+        raw_total: 0,
+        chips: 4,
+        cuts,
+        table: rib.clone(),
+        compressed: compressed.clone(),
+        dreds: vec![Vec::new(); 4],
+    };
+    let snap_bytes = encode_snapshot(&snap).len();
+    let dir = bench_dir("snap");
+    fs::create_dir_all(&dir).expect("bench dir creates");
+    let t = Instant::now();
+    let path = write_snapshot(&dir, &snap).expect("snapshot writes");
+    let write_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let loaded = load_snapshot(&path).expect("snapshot loads");
+    let load_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(loaded.table.len(), rib.len());
+    let _ = fs::remove_dir_all(&dir);
+    println!(
+        "snapshot: {} routes ({} compressed) -> {:.2} MiB | write {:.1} ms | load+verify {:.1} ms",
+        rib.len(),
+        compressed.len(),
+        snap_bytes as f64 / (1024.0 * 1024.0),
+        write_ms,
+        load_ms,
+    );
+
+    // 2. Journal append overhead: bare runtime vs journaled (fsync off,
+    //    then per-append fsync), identical update stream.
+    let n = ((40_000.0 * s) as usize).max(2_000);
+    let updates = UpdateGen::new(0xBEEF).generate(&rib, n);
+    let rcfg = RouterConfig::default();
+    let t = Instant::now();
+    let svc = RouterService::start(&rib, &rcfg);
+    for &u in &updates {
+        svc.submit_update(u);
+    }
+    let _ = svc.drain();
+    let plain_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let nosync_cfg = StoreConfig {
+        snapshot_every: u64::MAX,
+        fsync: false,
+        ..StoreConfig::default()
+    };
+    let tail_dir = bench_dir("tail-full");
+    let (nosync_ms, appends) = journaled_run(&tail_dir, &rib, &updates, nosync_cfg);
+
+    let fsync_n = (n / 8).max(500);
+    let fsync_dir = bench_dir("fsync");
+    let (fsync_ms, fsync_appends) = journaled_run(
+        &fsync_dir,
+        &rib,
+        &updates[..fsync_n],
+        StoreConfig {
+            snapshot_every: u64::MAX,
+            fsync: true,
+            ..StoreConfig::default()
+        },
+    );
+    let _ = fs::remove_dir_all(&fsync_dir);
+    let overhead_us = (nosync_ms - plain_ms) * 1e3 / n as f64;
+    println!(
+        "journal: {n} updates bare {plain_ms:.1} ms | journaled {nosync_ms:.1} ms \
+         ({appends} appends, {overhead_us:.3} us/update overhead) | \
+         {fsync_n} updates fsynced {fsync_ms:.1} ms ({fsync_appends} appends)",
+    );
+
+    // 3. Recovery time vs journal tail length: crash runs leaving tails
+    //    of increasing size, each reopened cold.
+    let mut recoveries = String::new();
+    let mut tails: Vec<(PathBuf, usize)> = vec![(tail_dir, n)];
+    for frac in [8usize, 2] {
+        let upto = n / frac;
+        let dir = bench_dir(&format!("tail-{frac}"));
+        let _ = journaled_run(&dir, &rib, &updates[..upto], nosync_cfg);
+        tails.push((dir, upto));
+    }
+    tails.sort_by_key(|&(_, upto)| upto);
+    for (dir, upto) in &tails {
+        let t = Instant::now();
+        let (_store, recovery) = Store::open(dir, nosync_cfg).expect("bench dir recovers");
+        let open_ms = t.elapsed().as_secs_f64() * 1e3;
+        let rec = recovery.expect("crash run leaves recoverable state");
+        assert_eq!(rec.raw_applied, *upto as u64, "tail must replay exactly");
+        println!(
+            "recovery: {upto} update tail ({} records) in {open_ms:.1} ms",
+            rec.replayed,
+        );
+        if !recoveries.is_empty() {
+            recoveries.push(',');
+        }
+        recoveries.push_str(&format!(
+            "{{\"tail_updates\":{upto},\"records\":{},\"open_ms\":{open_ms:.3}}}",
+            rec.replayed,
+        ));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    let json = format!(
+        "{{\"schema\":\"clue-bench-recovery/1\",\"scale\":{s},\
+         \"snapshot\":{{\"routes\":{},\"compressed\":{},\"bytes\":{snap_bytes},\
+         \"write_ms\":{write_ms:.3},\"load_ms\":{load_ms:.3}}},\
+         \"journal\":{{\"updates\":{n},\"appends\":{appends},\
+         \"plain_ms\":{plain_ms:.3},\"nosync_ms\":{nosync_ms:.3},\
+         \"append_overhead_us_per_update\":{overhead_us:.4},\
+         \"fsync_updates\":{fsync_n},\"fsync_appends\":{fsync_appends},\
+         \"fsync_ms\":{fsync_ms:.3}}},\
+         \"recovery\":[{recoveries}]}}",
+        rib.len(),
+        compressed.len(),
+    );
+    let path = std::env::var("CLUE_BENCH_RECOVERY_JSON")
+        .unwrap_or_else(|_| "BENCH_recovery.json".to_owned());
+    match std::fs::write(&path, format!("{json}\n")) {
+        Ok(()) => println!("recovery bench written to {path}"),
+        Err(e) => {
+            eprintln!("recovery bench write to {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The shared binary codec for route-update batches, plus the strict
+//! bounds-checked [`Cursor`] every decoder in the workspace builds on.
+//!
+//! Two independent byte streams carry update batches: `clue-net` frames
+//! them onto TCP, and `clue-store` journals them into the write-ahead
+//! log. Both must agree byte-for-byte (a journaled batch is the durable
+//! twin of an acknowledged wire batch), so the encoding lives here,
+//! beneath both.
+//!
+//! All integers are big-endian. A batch encodes as a `u32` count
+//! followed by tagged records (`1` announce: bits/len/next-hop, `2`
+//! withdraw: bits/len). Decoders reject unknown tags, out-of-range
+//! prefix lengths, truncation, and trailing garbage, so a mis-framed
+//! payload cannot half-parse.
+
+use std::io::{self, ErrorKind};
+
+use clue_fib::{NextHop, Prefix, Update};
+
+/// Announce record tag.
+const ANNOUNCE: u8 = 1;
+/// Withdraw record tag.
+const WITHDRAW: u8 = 2;
+
+/// An `InvalidData` error with a formatted message — the uniform
+/// rejection every strict decoder in the workspace returns.
+#[must_use]
+pub fn bad_data(msg: String) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// A strict little cursor: every read is bounds-checked and the caller
+/// asserts emptiness at the end with [`Cursor::finish`].
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts a cursor at the beginning of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad_data(format!("payload truncated at byte {}", self.at)))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on exhaustion.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on exhaustion.
+    pub fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on exhaustion.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on exhaustion.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Bytes consumed so far.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.at
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` if bytes remain.
+    pub fn finish(self) -> io::Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad_data(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Encodes a batch of route updates.
+#[must_use]
+pub fn encode_updates(batch: &[Update]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + batch.len() * 8);
+    buf.extend_from_slice(&(batch.len() as u32).to_be_bytes());
+    for u in batch {
+        match *u {
+            Update::Announce { prefix, next_hop } => {
+                buf.push(ANNOUNCE);
+                buf.extend_from_slice(&prefix.bits().to_be_bytes());
+                buf.push(prefix.len());
+                buf.extend_from_slice(&next_hop.0.to_be_bytes());
+            }
+            Update::Withdraw { prefix } => {
+                buf.push(WITHDRAW);
+                buf.extend_from_slice(&prefix.bits().to_be_bytes());
+                buf.push(prefix.len());
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a batch of route updates.
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on truncation, trailing garbage, unknown
+/// record tags, or a prefix length beyond 32.
+pub fn decode_updates(payload: &[u8]) -> io::Result<Vec<Update>> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(payload.len()));
+    for i in 0..count {
+        let tag = c.u8()?;
+        let bits = c.u32()?;
+        let len = c.u8()?;
+        if len > 32 {
+            return Err(bad_data(format!("update {i}: prefix length {len} > 32")));
+        }
+        let prefix = Prefix::new(bits, len);
+        out.push(match tag {
+            ANNOUNCE => Update::Announce {
+                prefix,
+                next_hop: NextHop(c.u16()?),
+            },
+            WITHDRAW => Update::Withdraw { prefix },
+            other => return Err(bad_data(format!("update {i}: unknown tag {other}"))),
+        });
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32, len: u8) -> Prefix {
+        Prefix::new(bits, len)
+    }
+
+    #[test]
+    fn updates_round_trip() {
+        let batch = vec![
+            Update::Announce {
+                prefix: p(0x0A00_0000, 8),
+                next_hop: NextHop(7),
+            },
+            Update::Withdraw {
+                prefix: p(0xC0A8_0000, 16),
+            },
+            Update::Announce {
+                prefix: p(0, 0),
+                next_hop: NextHop(u16::MAX),
+            },
+        ];
+        assert_eq!(decode_updates(&encode_updates(&batch)).unwrap(), batch);
+        assert_eq!(decode_updates(&encode_updates(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let good = encode_updates(&[Update::Withdraw {
+            prefix: p(0x0A00_0000, 8),
+        }]);
+        assert!(decode_updates(&good[..good.len() - 1]).is_err());
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_updates(&padded).is_err());
+        // A count promising more records than the payload holds.
+        let mut forged = good;
+        forged[3] = 200;
+        assert!(decode_updates(&forged).is_err());
+    }
+
+    #[test]
+    fn bad_tags_and_lengths_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(9); // unknown tag
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.push(8);
+        assert!(decode_updates(&buf).is_err());
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(WITHDRAW);
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.push(33); // prefix length out of range
+        assert!(decode_updates(&buf).is_err());
+    }
+
+    #[test]
+    fn cursor_rejects_reads_past_the_end() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert_eq!(c.u16().unwrap(), 0x0102);
+        assert!(c.u32().is_err(), "only one byte left");
+    }
+}

@@ -1,0 +1,88 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) computed with
+//! a compile-time table.
+//!
+//! This is the single checksum implementation shared by everything in
+//! the workspace that frames bytes for an unreliable medium: the
+//! `clue-net` wire protocol (socket frames) and the `clue-store`
+//! write-ahead journal and snapshot files (disk records). The workspace
+//! carries no external dependencies, so the checksum is hand-rolled;
+//! the known-answer test below pins it to the standard
+//! (`crc32(b"123456789") == 0xCBF4_3926`), which is what `zlib`,
+//! Ethernet, and every other IEEE-CRC implementation produce.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `data` (init `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Feeds `data` into a running (pre-final-XOR) CRC state. Start from
+/// `0xFFFF_FFFF` and XOR with `0xFFFF_FFFF` when done; [`crc32`] does
+/// both for the single-shot case.
+#[must_use]
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer() {
+        // The universal CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_single_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = crc32(data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, whole);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"CLUE frame payload".to_vec();
+        let good = crc32(&data);
+        for i in 0..data.len() * 8 {
+            data[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&data), good, "bit {i} flip undetected");
+            data[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

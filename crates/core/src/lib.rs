@@ -12,6 +12,9 @@
 //! * [`theory`] — the Section III-D lower bound `t = (N−1)h + 1`.
 //! * [`threads`] — a real-thread (crossbeam + parking_lot) realization
 //!   of the same pipeline for cross-validation and raw throughput.
+//! * [`crc`] / [`codec`] — the shared CRC-32 and update-batch binary
+//!   codec used by both the `clue-net` wire protocol and the
+//!   `clue-store` write-ahead journal.
 //!
 //! # Examples
 //!
@@ -34,6 +37,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod codec;
+pub mod crc;
 pub mod dred;
 pub mod engine;
 pub mod metrics;

@@ -80,14 +80,32 @@ impl Server {
     ///
     /// Fails if the listen address cannot be bound.
     pub fn start(table: &RouteTable, cfg: &ServerConfig) -> io::Result<Server> {
+        Self::start_with_service(RouterService::start(table, &cfg.router), 0, cfg)
+    }
+
+    /// Binds `cfg.listen` over an already-booted service — the seam a
+    /// durable deployment uses: boot the router via
+    /// `RouterService::start_recovered`/`start_with_journal` (keeping
+    /// this crate free of any storage dependency) and advertise the
+    /// recovered ack high-water as `initial_seq`, so resuming clients'
+    /// `Hello` exchange settles exactly the batches the journal kept.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen address cannot be bound.
+    pub fn start_with_service(
+        svc: RouterService,
+        initial_seq: u64,
+        cfg: &ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let svc = Arc::new(RouterService::start(table, &cfg.router));
+        let svc = Arc::new(svc);
         let shutdown = Arc::new(AtomicBool::new(false));
         let net = Arc::new(NetStats::new());
-        let last_acked = Arc::new(AtomicU64::new(0));
+        let last_acked = Arc::new(AtomicU64::new(initial_seq));
 
         let started = Instant::now();
         let accept = {
@@ -143,14 +161,18 @@ impl Server {
     }
 
     /// The combined stats document served to `StatsQuery` clients:
-    /// `{"uptime_ms":…,"router":{…},"net":{…}}`.
+    /// `{"uptime_ms":…,"router":{…},"net":{…}}`. A drained server
+    /// reports `"router":null`.
     #[must_use]
     pub fn stats_json(&self) -> String {
-        let svc = self.svc.as_ref().expect("server not drained");
+        let router = self
+            .svc
+            .as_ref()
+            .map_or_else(|| "null".to_string(), |svc| svc.stats().to_json());
         format!(
             "{{\"uptime_ms\":{},\"router\":{},\"net\":{}}}",
             self.started.elapsed().as_millis(),
-            svc.stats().to_json(),
+            router,
             self.net.to_json(),
         )
     }
@@ -158,20 +180,39 @@ impl Server {
     /// Gracefully drains: stops accepting, closes every connection
     /// (after a `Shutdown` frame), joins all threads, then drains the
     /// router — flushing queued updates and publishing the final epoch.
-    #[must_use]
-    pub fn drain(mut self) -> RouterReport {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the router service is no longer exclusively held — a
+    /// connection thread died without releasing its handle (the failed
+    /// join is already counted in the [`NetStats`] error ledger).
+    pub fn drain(mut self) -> io::Result<RouterReport> {
         self.stop_and_join();
-        let svc = self.svc.take().expect("drained once");
-        let svc = Arc::into_inner(svc).expect("connection threads joined");
-        svc.drain()
+        let svc = self
+            .svc
+            .take()
+            .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "server already drained"))?;
+        let svc = Arc::into_inner(svc).ok_or_else(|| {
+            self.net.count_io_error(u64::MAX);
+            io::Error::other("router service still shared by an unjoined connection thread")
+        })?;
+        Ok(svc.drain())
     }
 
     fn stop_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
-            let handlers = accept.join().expect("accept loop exits cleanly");
-            for h in handlers {
-                h.join().expect("connection thread exits cleanly");
+            match accept.join() {
+                Ok(handlers) => {
+                    for h in handlers {
+                        if h.join().is_err() {
+                            // A panicked connection thread: note it and
+                            // keep joining the rest.
+                            self.net.count_io_error(u64::MAX);
+                        }
+                    }
+                }
+                Err(_) => self.net.count_io_error(u64::MAX),
             }
         }
     }
@@ -336,7 +377,7 @@ fn serve_conn(
                         // Under Block this is where wire backpressure is
                         // born: the send blocks, this thread stops
                         // reading, and TCP throttles the peer.
-                        match svc.submit_update(u) {
+                        match svc.submit_update_tagged(u, frame.seq) {
                             SubmitOutcome::Accepted => accepted += 1,
                             SubmitOutcome::Dropped => dropped += 1,
                         }
@@ -345,11 +386,28 @@ fn serve_conn(
                         c.updates += u64::from(accepted);
                         c.update_drops += u64::from(dropped);
                     });
-                    last_acked.fetch_max(frame.seq, Ordering::SeqCst);
-                    Frame {
-                        kind: FrameType::UpdateAck,
-                        seq: frame.seq,
-                        payload: wire::encode_ack(wire::UpdateAck { accepted, dropped }),
+                    // Ack ⇒ journaled: on a durable router, hold this
+                    // batch's ack until the journal high-water covers
+                    // its seq, so a post-crash server never advertises
+                    // an ack position the disk cannot back. (Trivially
+                    // immediate without a journal; skipped when nothing
+                    // was accepted — a fully-dropped batch journals
+                    // nothing to wait for.)
+                    if accepted > 0 && !svc.wait_journaled(frame.seq, cfg.io_timeout) {
+                        net.count_io_error(conn_id);
+                        Frame {
+                            kind: FrameType::Error,
+                            seq: frame.seq,
+                            payload: b"journal write did not complete; batch unacknowledged"
+                                .to_vec(),
+                        }
+                    } else {
+                        last_acked.fetch_max(frame.seq, Ordering::SeqCst);
+                        Frame {
+                            kind: FrameType::UpdateAck,
+                            seq: frame.seq,
+                            payload: wire::encode_ack(wire::UpdateAck { accepted, dropped }),
+                        }
                     }
                 }
                 Err(e) => {

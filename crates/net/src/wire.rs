@@ -6,70 +6,22 @@
 //! results as a count followed by `u32` values where `0xFFFF_FFFF`
 //! means "no matching route". Decoders reject trailing garbage so a
 //! mis-framed payload cannot half-parse.
+//!
+//! The update-batch codec and the strict cursor underneath every
+//! decoder live in [`clue_core::codec`] — the write-ahead journal in
+//! `clue-store` persists the same byte layout, so the shared encoding
+//! sits beneath both crates. They are re-exported here under their
+//! historical paths.
 
-use std::io::{self, ErrorKind};
+use std::io;
 
-use clue_fib::{NextHop, Prefix, Update};
+use clue_core::codec::{bad_data as bad, Cursor};
+use clue_fib::NextHop;
 
-const ANNOUNCE: u8 = 1;
-const WITHDRAW: u8 = 2;
+pub use clue_core::codec::{decode_updates, encode_updates};
+
 /// "No route" sentinel in lookup results.
 const MISS: u32 = 0xFFFF_FFFF;
-
-fn bad(msg: String) -> io::Error {
-    io::Error::new(ErrorKind::InvalidData, msg)
-}
-
-/// A strict little cursor: every read is bounds-checked and the caller
-/// asserts emptiness at the end.
-struct Cursor<'a> {
-    buf: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Cursor { buf, at: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
-        let end = self
-            .at
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| bad(format!("payload truncated at byte {}", self.at)))?;
-        let s = &self.buf[self.at..end];
-        self.at = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> io::Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> io::Result<u16> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn finish(self) -> io::Result<()> {
-        if self.at == self.buf.len() {
-            Ok(())
-        } else {
-            Err(bad(format!(
-                "{} trailing bytes after payload",
-                self.buf.len() - self.at
-            )))
-        }
-    }
-}
 
 /// Encodes a `u64` (Hello / HelloAck seq payloads).
 #[must_use]
@@ -83,55 +35,6 @@ pub fn decode_u64(payload: &[u8]) -> io::Result<u64> {
     let v = c.u64()?;
     c.finish()?;
     Ok(v)
-}
-
-/// Encodes a batch of route updates.
-#[must_use]
-pub fn encode_updates(batch: &[Update]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(4 + batch.len() * 8);
-    buf.extend_from_slice(&(batch.len() as u32).to_be_bytes());
-    for u in batch {
-        match *u {
-            Update::Announce { prefix, next_hop } => {
-                buf.push(ANNOUNCE);
-                buf.extend_from_slice(&prefix.bits().to_be_bytes());
-                buf.push(prefix.len());
-                buf.extend_from_slice(&next_hop.0.to_be_bytes());
-            }
-            Update::Withdraw { prefix } => {
-                buf.push(WITHDRAW);
-                buf.extend_from_slice(&prefix.bits().to_be_bytes());
-                buf.push(prefix.len());
-            }
-        }
-    }
-    buf
-}
-
-/// Decodes a batch of route updates.
-pub fn decode_updates(payload: &[u8]) -> io::Result<Vec<Update>> {
-    let mut c = Cursor::new(payload);
-    let count = c.u32()? as usize;
-    let mut out = Vec::with_capacity(count.min(payload.len()));
-    for i in 0..count {
-        let tag = c.u8()?;
-        let bits = c.u32()?;
-        let len = c.u8()?;
-        if len > 32 {
-            return Err(bad(format!("update {i}: prefix length {len} > 32")));
-        }
-        let prefix = Prefix::new(bits, len);
-        out.push(match tag {
-            ANNOUNCE => Update::Announce {
-                prefix,
-                next_hop: NextHop(c.u16()?),
-            },
-            WITHDRAW => Update::Withdraw { prefix },
-            other => return Err(bad(format!("update {i}: unknown tag {other}"))),
-        });
-    }
-    c.finish()?;
-    Ok(out)
 }
 
 /// Encodes a lookup batch (raw addresses).
@@ -217,13 +120,14 @@ pub fn decode_ack(payload: &[u8]) -> io::Result<UpdateAck> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clue_fib::{Prefix, Update};
 
     fn p(bits: u32, len: u8) -> Prefix {
         Prefix::new(bits, len)
     }
 
     #[test]
-    fn updates_round_trip() {
+    fn updates_round_trip_through_the_reexport() {
         let batch = vec![
             Update::Announce {
                 prefix: p(0x0A00_0000, 8),
@@ -232,13 +136,8 @@ mod tests {
             Update::Withdraw {
                 prefix: p(0xC0A8_0000, 16),
             },
-            Update::Announce {
-                prefix: p(0, 0),
-                next_hop: NextHop(u16::MAX),
-            },
         ];
         assert_eq!(decode_updates(&encode_updates(&batch)).unwrap(), batch);
-        assert_eq!(decode_updates(&encode_updates(&[])).unwrap(), Vec::new());
     }
 
     #[test]
@@ -261,35 +160,18 @@ mod tests {
 
     #[test]
     fn truncation_and_trailing_garbage_are_rejected() {
-        let good = encode_updates(&[Update::Withdraw {
-            prefix: p(0x0A00_0000, 8),
-        }]);
-        assert!(decode_updates(&good[..good.len() - 1]).is_err());
-        let mut padded = good.clone();
+        let good = encode_lookup(&[1, 2, 3]);
+        assert!(decode_lookup(&good[..good.len() - 1]).is_err());
+        let mut padded = good;
         padded.push(0);
-        assert!(decode_updates(&padded).is_err());
-        // A count promising more records than the payload holds.
-        let mut forged = good;
-        forged[3] = 200;
-        assert!(decode_updates(&forged).is_err());
+        assert!(decode_lookup(&padded).is_err());
+        assert!(decode_u64(&[0; 7]).is_err());
+        assert!(decode_u64(&[0; 9]).is_err());
+        assert!(decode_ack(&[0; 7]).is_err());
     }
 
     #[test]
-    fn bad_tags_and_lengths_are_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&1u32.to_be_bytes());
-        buf.push(9); // unknown tag
-        buf.extend_from_slice(&0u32.to_be_bytes());
-        buf.push(8);
-        assert!(decode_updates(&buf).is_err());
-
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&1u32.to_be_bytes());
-        buf.push(WITHDRAW);
-        buf.extend_from_slice(&0u32.to_be_bytes());
-        buf.push(33); // prefix length out of range
-        assert!(decode_updates(&buf).is_err());
-
+    fn out_of_range_next_hops_are_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&1u32.to_be_bytes());
         buf.extend_from_slice(&0x0001_0000u32.to_be_bytes()); // hop > u16

@@ -55,7 +55,7 @@ fn lookups_over_tcp_match_the_reference_trie() {
     let report = conn.close().expect("close");
     assert_eq!(report.reconnects, 0);
 
-    let final_report = server.drain();
+    let final_report = server.drain().expect("server drains cleanly");
     assert_eq!(final_report.snapshot.completions, packets.len() as u64);
 }
 
@@ -81,7 +81,7 @@ fn updates_over_tcp_reach_the_sequential_fib_with_zero_loss_under_block() {
     assert_eq!(client_report.accepted, updates.len() as u64);
     assert_eq!(client_report.dropped, 0);
 
-    let report = server.drain();
+    let report = server.drain().expect("server drains cleanly");
     let mut expect = fib.clone();
     for &u in &updates {
         expect.apply(u);
@@ -116,7 +116,7 @@ fn drop_newest_over_tcp_accounts_for_every_update() {
     );
     assert!(client_report.dropped > 0, "tiny queue must drop something");
 
-    let report = server.drain();
+    let report = server.drain().expect("server drains cleanly");
     assert_eq!(report.snapshot.update_drops, client_report.dropped);
     assert_eq!(report.snapshot.updates_received, client_report.accepted);
 }
@@ -142,7 +142,7 @@ fn stats_query_exposes_net_ledger_and_overflow_counters() {
     }
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     let _ = conn.close().expect("close");
-    let _ = server.drain();
+    let _ = server.drain().expect("server drains cleanly");
 }
 
 #[test]
@@ -166,7 +166,7 @@ fn garbage_bytes_get_an_error_frame_and_a_counted_protocol_error() {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert_eq!(server.net_stats().protocol_errors(), 1);
-    let _ = server.drain();
+    let _ = server.drain().expect("server drains cleanly");
 }
 
 #[test]
@@ -187,7 +187,7 @@ fn client_reconnects_and_resumes_after_a_server_restart() {
         conn.send_updates(batch).expect("send to first server");
     }
     conn.flush_acks().expect("flush");
-    let report1 = server1.drain();
+    let report1 = server1.drain().expect("server drains cleanly");
     let mut expect = fib.clone();
     for &u in first {
         expect.apply(u);
@@ -214,7 +214,7 @@ fn client_reconnects_and_resumes_after_a_server_restart() {
         "every update acked despite the restart"
     );
 
-    let report2 = server2.drain();
+    let report2 = server2.drain().expect("server drains cleanly");
     for &u in second {
         expect.apply(u);
     }
@@ -250,7 +250,7 @@ fn loadgen_sustains_a_mixed_workload_and_drains_cleanly() {
     let json = report.to_json();
     assert!(json.contains("\"lookups_answered\":6000"), "{json}");
 
-    let final_report = server.drain();
+    let final_report = server.drain().expect("server drains cleanly");
     let mut expect = fib.clone();
     for &u in &updates {
         expect.apply(u);
@@ -278,7 +278,7 @@ fn graceful_drain_refuses_new_work_but_keeps_its_promises() {
 
     server.request_shutdown();
     assert!(server.shutdown_requested());
-    let report = server.drain();
+    let report = server.drain().expect("server drains cleanly");
     // Everything acked before the drain is in the final table.
     let mut expect = fib.clone();
     for &u in &updates {

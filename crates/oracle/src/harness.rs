@@ -78,6 +78,10 @@ pub struct CheckConfig {
     /// Also run the networked phase: the same workload over loopback
     /// TCP through `clue-net`, faults injected client-side.
     pub net: bool,
+    /// Also run the recovery phase: the same workload journaled through
+    /// `clue-store` with seeded crash points, tail corruption, and
+    /// resumed-service continuation (see [`crate::recovery`]).
+    pub recovery: bool,
 }
 
 impl CheckConfig {
@@ -97,6 +101,7 @@ impl CheckConfig {
             probe_random: 128,
             faults: None,
             net: false,
+            recovery: false,
         }
     }
 }
@@ -110,6 +115,8 @@ pub enum Stage {
     Router,
     /// The networked path (loopback TCP through `clue-net`).
     Net,
+    /// State recovered from a `clue-store` data dir after a crash.
+    Recovery,
 }
 
 impl fmt::Display for Stage {
@@ -118,6 +125,7 @@ impl fmt::Display for Stage {
             Stage::Compressed => write!(f, "compressed trie"),
             Stage::Router => write!(f, "router runtime"),
             Stage::Net => write!(f, "networked path"),
+            Stage::Recovery => write!(f, "recovered state"),
         }
     }
 }
@@ -231,6 +239,13 @@ pub struct CheckReport {
     pub net_lookups: usize,
     /// Net-phase client reconnects (0 on a healthy loopback).
     pub net_reconnects: u64,
+    /// Recovery-phase crash points exercised (0 when the recovery phase
+    /// was not requested).
+    pub recovery_crashes: usize,
+    /// Journal records replayed across all recovery-phase reopens.
+    pub recovery_replayed: u64,
+    /// Recovery-phase boundary probes compared against the oracle.
+    pub recovery_probes: u64,
     /// Whether fault injection was active.
     pub faulted: bool,
 }
@@ -303,6 +318,19 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckReport, Box<CheckFailure>> {
     } else {
         None
     };
+    let recovery = if cfg.recovery {
+        Some(
+            crate::recovery::check_recovery_phase(&table, &trace, cfg).map_err(|divergence| {
+                Box::new(CheckFailure {
+                    divergence,
+                    table: table.clone(),
+                    trace: trace.clone(),
+                })
+            })?,
+        )
+    } else {
+        None
+    };
 
     Ok(CheckReport {
         batches: seq.batches,
@@ -312,6 +340,9 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckReport, Box<CheckFailure>> {
         router_lookups: router.lookups,
         net_lookups: net.map_or(0, |n| n.lookups),
         net_reconnects: net.map_or(0, |n| n.reconnects),
+        recovery_crashes: recovery.map_or(0, |r| r.crash_points),
+        recovery_replayed: recovery.map_or(0, |r| r.replayed),
+        recovery_probes: recovery.map_or(0, |r| r.probes),
         faulted: cfg.faults.is_some(),
     })
 }

@@ -22,6 +22,10 @@
 //!   agreement and structural invariants after every update batch, with
 //!   optional fault injection ([`clue_router::FaultPlan`]) in the
 //!   router phase;
+//! * [`recovery`] — the crash-consistency phase: the workload journaled
+//!   through `clue-store` with seeded crash points, journal-tail
+//!   corruption, and resumed-service continuation, each recovery
+//!   compared against the oracle at the exact preserved trace prefix;
 //! * [`shrink`] — greedy update-trace minimization and the reproducer
 //!   file format a failing `clue check` run emits.
 //!
@@ -35,9 +39,11 @@ pub mod harness;
 pub mod model;
 pub mod netcheck;
 pub mod probes;
+pub mod recovery;
 pub mod shrink;
 
 pub use harness::{run_check, CheckConfig, CheckFailure, CheckReport, Divergence, Stage};
 pub use model::Oracle;
 pub use netcheck::{check_net_phase, NetOutcome};
+pub use recovery::{check_recovery_phase, RecoveryOutcome};
 pub use shrink::{shrink_trace, Reproducer};

@@ -179,7 +179,9 @@ pub fn check_net_phase(
         )));
     }
 
-    let report = server.drain();
+    let report = server
+        .drain()
+        .map_err(|e| net_div(format!("server drain failed: {e}")))?;
     // `packets_conserved()` also checks `results`, which only the
     // in-process runtime fills; over TCP the answers went back on the
     // wire, so arrivals/completions is the whole conservation story.

@@ -209,3 +209,54 @@ fn divergence_messages_name_the_stage() {
     };
     assert!(!d.is_router_phase());
 }
+
+#[test]
+fn recovery_phase_passes_across_seeds() {
+    // Crash points land at seed-derived trace offsets, so three seeds
+    // exercise recovery at genuinely different journal positions, each
+    // with an intact, a torn, and a bit-flipped tail.
+    for seed in [17, 23, 31] {
+        let cfg = CheckConfig {
+            recovery: true,
+            updates: 256,
+            packets: 1_000,
+            ..small(seed)
+        };
+        let report =
+            run_check(&cfg).unwrap_or_else(|f| panic!("seed {seed} diverged: {}", f.divergence));
+        assert_eq!(report.recovery_crashes, 3, "seed {seed}");
+        assert!(report.recovery_probes > 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn recovery_phase_handles_an_empty_trace() {
+    // Nothing journaled: the clean-durability sub-phase must still
+    // round-trip the base snapshot; crash points are skipped.
+    let cfg = CheckConfig {
+        recovery: true,
+        updates: 0,
+        packets: 500,
+        ..small(41)
+    };
+    let report = run_check(&cfg).unwrap_or_else(|f| panic!("diverged: {}", f.divergence));
+    assert_eq!(report.recovery_crashes, 0);
+    assert!(report.recovery_probes > 0, "base snapshot is still probed");
+}
+
+#[test]
+fn recovery_divergences_name_the_stage() {
+    let d = Divergence::Lookup {
+        stage: Stage::Recovery,
+        batch: 2,
+        addr: 0x0A00_0001,
+        expected: Some(clue_fib::NextHop(1)),
+        got: None,
+    };
+    let text = d.to_string();
+    assert!(text.contains("recovered state"), "got: {text}");
+    assert!(
+        !d.is_router_phase(),
+        "recovery divergences shrink against the sequential phase"
+    );
+}

@@ -100,6 +100,13 @@ impl RangeIndex {
     pub fn bucket_count(&self) -> usize {
         self.cuts.len() + 1
     }
+
+    /// The sorted cut points, suitable for serialization and a later
+    /// [`RangeIndex::from_cuts`] round trip.
+    #[must_use]
+    pub fn cuts(&self) -> &[u32] {
+        &self.cuts
+    }
 }
 
 impl Indexer for RangeIndex {

@@ -25,6 +25,7 @@
 pub mod coalesce;
 pub mod epoch;
 pub mod faults;
+pub mod journal;
 pub mod runtime;
 pub mod service;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod stats;
 pub use coalesce::{coalesce, CoalescedBatch};
 pub use epoch::{EpochCell, EpochState};
 pub use faults::{FaultPlan, IngressPerturber, WriteStall};
+pub use journal::{CheckpointView, JournalBatch, RecoveredState, UpdateJournal};
 pub use runtime::{run, OverflowPolicy, RouterConfig, RouterReport};
 pub use service::{RouterService, SubmitOutcome};
 pub use stats::{RouterStats, StatsSnapshot};

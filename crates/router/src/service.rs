@@ -19,9 +19,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -34,6 +34,7 @@ use clue_partition::{EvenRangePartition, Indexer, RangeIndex};
 use crate::coalesce::coalesce;
 use crate::epoch::{EpochCell, EpochState};
 use crate::faults::WriteStall;
+use crate::journal::{CheckpointView, JournalBatch, RecoveredState, UpdateJournal};
 use crate::runtime::{OverflowPolicy, RouterConfig, RouterReport};
 use crate::stats::{RouterStats, StatsSnapshot};
 
@@ -55,11 +56,47 @@ enum Job {
     Quit,
 }
 
+/// The journaled-sequence high-water mark: a monotone counter the
+/// update thread advances after each successful journal append, which
+/// frontends wait on before acknowledging a batch (ack ⇒ journaled).
+/// The vendored `parking_lot` shim has no `Condvar`, so this uses std.
+struct SeqWater {
+    hw: StdMutex<u64>,
+    cv: Condvar,
+}
+
+impl SeqWater {
+    fn new(initial: u64) -> Self {
+        SeqWater {
+            hw: StdMutex::new(initial),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn advance(&self, to: u64) {
+        let mut hw = self.hw.lock().expect("seq water not poisoned");
+        if to > *hw {
+            *hw = to;
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_for(&self, seq: u64, timeout: Duration) -> bool {
+        let hw = self.hw.lock().expect("seq water not poisoned");
+        let (hw, _) = self
+            .cv
+            .wait_timeout_while(hw, timeout, |hw| *hw < seq)
+            .expect("seq water not poisoned");
+        *hw >= seq
+    }
+}
+
 /// State shared by every router thread.
 struct Shared {
     dreds: Vec<Mutex<LruPrefixCache>>,
     epochs: EpochCell,
     stats: RouterStats,
+    journaled: SeqWater,
 }
 
 /// One submitted lookup batch awaiting dispatch.
@@ -89,7 +126,7 @@ pub enum SubmitOutcome {
 /// plane behind a handle. See the module docs for the drain contract.
 pub struct RouterService {
     lookup_tx: Option<Sender<LookupRequest>>,
-    ingress_tx: Option<Sender<Update>>,
+    ingress_tx: Option<Sender<(Update, u64)>>,
     overflow: OverflowPolicy,
     shared: Arc<Shared>,
     started: Instant,
@@ -98,6 +135,7 @@ pub struct RouterService {
     workers: Vec<JoinHandle<()>>,
     update_thread: Option<JoinHandle<UpdateOutcome>>,
     printer: Option<JoinHandle<()>>,
+    journal_active: bool,
 }
 
 impl RouterService {
@@ -109,6 +147,56 @@ impl RouterService {
     /// size), exactly like [`runtime::run`](crate::runtime::run).
     #[must_use]
     pub fn start(table: &RouteTable, cfg: &RouterConfig) -> Self {
+        Self::start_inner(table, 0, 0, Vec::new(), cfg, None)
+    }
+
+    /// Boots like [`start`](Self::start) with a write-ahead journal on
+    /// the update plane: every coalesced batch goes through
+    /// [`UpdateJournal::append`] before it is applied.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`start`](Self::start).
+    #[must_use]
+    pub fn start_with_journal(
+        table: &RouteTable,
+        cfg: &RouterConfig,
+        journal: Box<dyn UpdateJournal>,
+    ) -> Self {
+        Self::start_inner(table, 0, 0, Vec::new(), cfg, Some(journal))
+    }
+
+    /// Boots from a [`RecoveredState`]: epoch numbering resumes after
+    /// `state.epoch`, the journaled high-water starts at
+    /// `state.seq_hw` (so a frontend advertises the recovered ack
+    /// position to resuming clients), and the recovered DRed contents
+    /// pre-warm the caches when the chip count still matches.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`start`](Self::start).
+    #[must_use]
+    pub fn start_recovered(
+        state: &RecoveredState,
+        cfg: &RouterConfig,
+        journal: Option<Box<dyn UpdateJournal>>,
+    ) -> Self {
+        let dreds = if state.dreds.len() == cfg.workers {
+            state.dreds.clone()
+        } else {
+            Vec::new()
+        };
+        Self::start_inner(&state.table, state.epoch, state.seq_hw, dreds, cfg, journal)
+    }
+
+    fn start_inner(
+        table: &RouteTable,
+        epoch0: u64,
+        seq_hw0: u64,
+        dred_seed: Vec<Vec<Route>>,
+        cfg: &RouterConfig,
+        journal: Option<Box<dyn UpdateJournal>>,
+    ) -> Self {
         assert!(!table.is_empty(), "need a routing table to serve");
         assert!(
             cfg.workers > 0
@@ -125,14 +213,28 @@ impl RouterService {
         let index: RangeIndex = EvenRangePartition::split(&compressed0, cfg.workers)
             .index()
             .clone();
-        let epoch0 = EpochState::build(0, &compressed0, &index, cfg.workers);
+        let first_epoch = EpochState::build(epoch0, &compressed0, &index, cfg.workers);
 
         let shared = Arc::new(Shared {
             dreds: (0..cfg.workers)
-                .map(|_| Mutex::new(LruPrefixCache::new(cfg.dred_capacity)))
+                .map(|chip| {
+                    let mut dred = LruPrefixCache::new(cfg.dred_capacity);
+                    // Pre-warm with recovered DRed contents, keeping
+                    // only routes still live in the compressed table
+                    // (delete-if-present would have flushed the rest).
+                    if let Some(routes) = dred_seed.get(chip) {
+                        for &r in routes {
+                            if compressed0.get(r.prefix) == Some(r.next_hop) {
+                                dred.insert(r);
+                            }
+                        }
+                    }
+                    Mutex::new(dred)
+                })
                 .collect(),
-            epochs: EpochCell::new(epoch0),
+            epochs: EpochCell::new(first_epoch),
             stats: RouterStats::new(cfg.workers),
+            journaled: SeqWater::new(seq_hw0),
         });
 
         let mut fifo_tx: Vec<Sender<Job>> = Vec::new();
@@ -148,7 +250,7 @@ impl RouterService {
             bounce_rx.push(rx);
         }
         let (done_tx, done_rx) = unbounded::<(u64, Option<NextHop>)>();
-        let (ingress_tx, ingress_rx) = bounded::<Update>(cfg.update_queue);
+        let (ingress_tx, ingress_rx) = bounded::<(Update, u64)>(cfg.update_queue);
         let (lookup_tx, lookup_rx) = unbounded::<LookupRequest>();
 
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -181,6 +283,7 @@ impl RouterService {
             })
         };
 
+        let journal_active = journal.is_some();
         let update_thread = {
             let shared = Arc::clone(&shared);
             let index = index.clone();
@@ -194,6 +297,11 @@ impl RouterService {
                     &shared,
                     &index,
                     &cfg,
+                    Durability {
+                        journal,
+                        epoch: epoch0,
+                        seq_hw: seq_hw0,
+                    },
                 );
                 UpdateOutcome {
                     final_table: mirror,
@@ -229,6 +337,7 @@ impl RouterService {
             workers,
             update_thread: Some(update_thread),
             printer,
+            journal_active,
         }
     }
 
@@ -236,15 +345,25 @@ impl RouterService {
     /// overflow policy: blocks until space frees up (`Block`) or rejects
     /// and counts the drop (`DropNewest`).
     pub fn submit_update(&self, update: Update) -> SubmitOutcome {
+        self.submit_update_tagged(update, 0)
+    }
+
+    /// Like [`submit_update`](Self::submit_update), tagging the update
+    /// with the submitter's sequence number. When the batch draining
+    /// this update is journaled, the journaled high-water advances to
+    /// at least `seq`, which [`wait_journaled`](Self::wait_journaled)
+    /// observes — the durability handshake a network frontend needs to
+    /// hold acks until the covering batch is on disk.
+    pub fn submit_update_tagged(&self, update: Update, seq: u64) -> SubmitOutcome {
         let tx = self.ingress_tx.as_ref().expect("service not drained");
         match self.overflow {
             OverflowPolicy::Block => {
                 // The update thread outlives every submitter (it exits
                 // only when drain() closes this channel).
-                tx.send(update).expect("update thread alive");
+                tx.send((update, seq)).expect("update thread alive");
                 SubmitOutcome::Accepted
             }
-            OverflowPolicy::DropNewest => match tx.try_send(update) {
+            OverflowPolicy::DropNewest => match tx.try_send((update, seq)) {
                 Ok(()) => SubmitOutcome::Accepted,
                 Err(TrySendError::Full(_)) => {
                     self.shared.stats.count_update_drop();
@@ -253,6 +372,18 @@ impl RouterService {
                 Err(TrySendError::Disconnected(_)) => unreachable!("update thread alive"),
             },
         }
+    }
+
+    /// Blocks until the journaled sequence high-water reaches `seq` or
+    /// `timeout` elapses; returns whether it did. Trivially true when
+    /// the service runs without a journal (nothing to wait for) or for
+    /// untagged submissions (`seq == 0`).
+    #[must_use]
+    pub fn wait_journaled(&self, seq: u64, timeout: Duration) -> bool {
+        if !self.journal_active || seq == 0 {
+            return true;
+        }
+        self.shared.journaled.wait_for(seq, timeout)
     }
 
     /// Dispatches a batch of addresses through the lookup plane and
@@ -445,31 +576,79 @@ fn dispatch_one(shared: &Shared, fifo_tx: &[Sender<Job>], index: &RangeIndex, ad
     }
 }
 
-/// The update plane: drain → coalesce → apply → flush DReds → publish.
+/// The durability side of the update plane, threaded into the loop.
+struct Durability {
+    journal: Option<Box<dyn UpdateJournal>>,
+    epoch: u64,
+    seq_hw: u64,
+}
+
+/// Snapshots every chip's DRed contents (for a checkpoint view).
+fn collect_dreds(shared: &Shared) -> Vec<Vec<Route>> {
+    shared
+        .dreds
+        .iter()
+        .map(|d| d.lock().iter().collect())
+        .collect()
+}
+
+/// The update plane: drain → coalesce → journal → apply → flush DReds
+/// → publish → (maybe) checkpoint.
+#[allow(clippy::too_many_lines)]
 fn update_loop(
     pipeline: &mut CluePipeline,
     mirror: &mut RouteTable,
-    ingress: &Receiver<Update>,
+    ingress: &Receiver<(Update, u64)>,
     shared: &Shared,
     index: &RangeIndex,
     cfg: &RouterConfig,
+    durability: Durability,
 ) {
     let batch_size = cfg.batch_size;
     let workers = cfg.workers;
     let mut stall = cfg.faults.map(WriteStall::new);
-    let mut epoch = 0u64;
-    while let Ok(first) = ingress.recv() {
+    let Durability {
+        mut journal,
+        mut epoch,
+        mut seq_hw,
+    } = durability;
+    while let Ok((first, tag0)) = ingress.recv() {
         // One quiescent window: whatever is already queued, up to the cap.
         let mut batch = Vec::with_capacity(batch_size);
+        let mut tag_hw = tag0;
         batch.push(first);
         while batch.len() < batch_size {
             match ingress.try_recv() {
-                Ok(u) => batch.push(u),
+                Ok((u, tag)) => {
+                    batch.push(u);
+                    tag_hw = tag_hw.max(tag);
+                }
                 Err(_) => break,
             }
         }
 
         let coalesced = coalesce(&batch, mirror);
+        seq_hw = seq_hw.max(tag_hw);
+
+        // Write-ahead: the batch hits the journal before the table, so
+        // a crash between here and the publish below replays it. Only
+        // a successful append advances the ack high-water.
+        if let Some(j) = journal.as_mut() {
+            let record = JournalBatch {
+                epoch,
+                seq_hw,
+                raw: coalesced.raw as u32,
+                ops: &coalesced.ops,
+            };
+            match j.append(&record) {
+                Ok(()) => {
+                    shared.stats.count_journal_append();
+                    shared.journaled.advance(seq_hw);
+                }
+                Err(_) => shared.stats.count_journal_error(),
+            }
+        }
+
         let mut batch_ttf_ns = 0.0f64;
         let mut touched = false;
         for &op in &coalesced.ops {
@@ -518,6 +697,45 @@ fn update_loop(
                 EpochState::build(epoch, &pipeline.fib().compressed_table(), index, workers);
             shared.epochs.publish(state);
             shared.stats.update().epochs += 1;
+        }
+
+        // Epoch-boundary snapshot: the journal decides when enough tail
+        // has accumulated; the view is consistent because this thread is
+        // the only writer and sits between batches.
+        if let Some(j) = journal.as_mut() {
+            if j.wants_checkpoint() {
+                let compressed = pipeline.fib().compressed_table();
+                let dreds = collect_dreds(shared);
+                let view = CheckpointView {
+                    epoch,
+                    seq_hw,
+                    table: mirror,
+                    compressed: &compressed,
+                    cuts: index.cuts(),
+                    dreds: &dreds,
+                };
+                if j.checkpoint(&view).is_err() {
+                    shared.stats.count_journal_error();
+                }
+            }
+        }
+    }
+
+    // Clean drain: give the journal a final checkpoint opportunity so a
+    // graceful restart replays nothing (crash harnesses override this).
+    if let Some(j) = journal.as_mut() {
+        let compressed = pipeline.fib().compressed_table();
+        let dreds = collect_dreds(shared);
+        let view = CheckpointView {
+            epoch,
+            seq_hw,
+            table: mirror,
+            compressed: &compressed,
+            cuts: index.cuts(),
+            dreds: &dreds,
+        };
+        if j.on_drain(&view).is_err() {
+            shared.stats.count_journal_error();
         }
     }
 }

@@ -57,6 +57,8 @@ pub struct RouterStats {
     dred_hits: AtomicU64,
     dred_misses: AtomicU64,
     update_drops: AtomicU64,
+    journal_appends: AtomicU64,
+    journal_errors: AtomicU64,
 }
 
 impl RouterStats {
@@ -74,6 +76,8 @@ impl RouterStats {
             dred_hits: AtomicU64::new(0),
             dred_misses: AtomicU64::new(0),
             update_drops: AtomicU64::new(0),
+            journal_appends: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
         }
     }
 
@@ -129,6 +133,16 @@ impl RouterStats {
         self.update_drops.load(Ordering::Relaxed)
     }
 
+    /// Counts one batch journaled to the write-ahead log.
+    pub fn count_journal_append(&self) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed journal append or checkpoint.
+    pub fn count_journal_error(&self) {
+        self.journal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time aggregated snapshot.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -168,6 +182,8 @@ impl RouterStats {
             dred_hits: self.dred_hits.load(Ordering::Relaxed),
             dred_misses: self.dred_misses.load(Ordering::Relaxed),
             update_drops: self.update_drops.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_errors: self.journal_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -215,6 +231,11 @@ pub struct StatsSnapshot {
     pub dred_misses: u64,
     /// Updates rejected by the ingress overflow policy.
     pub update_drops: u64,
+    /// Batches journaled to the write-ahead log (0 without a journal).
+    pub journal_appends: u64,
+    /// Failed journal appends/checkpoints (acks held back, batches
+    /// still applied).
+    pub journal_errors: u64,
 }
 
 impl StatsSnapshot {
@@ -235,6 +256,7 @@ impl StatsSnapshot {
              \"cancelled\":{},\"elided\":{},\"batches\":{},\"epochs\":{},\
              \"coalesce_ratio\":{:.4},\"dropped\":{}}},\
              \"overflow\":{{\"update_drops\":{}}},\
+             \"journal\":{{\"appends\":{},\"errors\":{}}},\
              \"packets\":{{\"arrivals\":{},\"completions\":{},\"diversions\":{},\
              \"dred_hits\":{},\"dred_misses\":{}}}}}",
             self.workers,
@@ -253,6 +275,8 @@ impl StatsSnapshot {
             self.coalesce_ratio,
             self.update_drops,
             self.update_drops,
+            self.journal_appends,
+            self.journal_errors,
             self.arrivals,
             self.completions,
             self.diversions,
@@ -311,6 +335,7 @@ mod tests {
             "\"coalesce_ratio\":",
             "\"dropped\":1",
             "\"overflow\":{\"update_drops\":1}",
+            "\"journal\":{\"appends\":0,\"errors\":0}",
             "\"arrivals\":1",
             "\"completions\":1",
             "\"p99\":",

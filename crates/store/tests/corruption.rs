@@ -1,0 +1,136 @@
+//! The shared corruption corpus: the same adversarial byte mutations
+//! thrown at *both* framed decoders in the workspace — the `clue-net`
+//! wire frame and the `clue-store` WAL record — asserting every decoder
+//! returns a clean error (or a correct success), never panics.
+//!
+//! Both decoders sit on the same `clue_core` codec and CRC, so a
+//! robustness gap in one would likely exist in the other; running one
+//! corpus over both keeps them honest together.
+
+use clue_core::codec::encode_updates;
+use clue_fib::{NextHop, Prefix, Update};
+use clue_net::{Frame, FrameType};
+use clue_store::{decode_record, encode_record, WalRecord};
+
+fn sample_ops() -> Vec<Update> {
+    vec![
+        Update::Announce {
+            prefix: Prefix::new(0x0A00_0000, 8),
+            next_hop: NextHop(7),
+        },
+        Update::Withdraw {
+            prefix: Prefix::new(0xC0A8_0000, 16),
+        },
+        Update::Announce {
+            prefix: Prefix::new(0xDEAD_0000, 16),
+            next_hop: NextHop(u16::MAX),
+        },
+    ]
+}
+
+/// The corpus: each entry is (label, bytes) derived from a valid
+/// encoding of `base` by one corruption family.
+fn corpus(base: &[u8]) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    // Truncations at every boundary, including the empty buffer.
+    for cut in 0..base.len() {
+        out.push((format!("truncate@{cut}"), base[..cut].to_vec()));
+    }
+    // Every single-bit flip.
+    for bit in 0..base.len() * 8 {
+        let mut b = base.to_vec();
+        b[bit / 8] ^= 1 << (bit % 8);
+        out.push((format!("bitflip@{bit}"), b));
+    }
+    // Oversized length fields: stamp huge values over every aligned
+    // u32 position (one of them is the real length field).
+    for at in (0..base.len().saturating_sub(4)).step_by(4) {
+        let mut b = base.to_vec();
+        b[at..at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        out.push((format!("hugelen@{at}"), b));
+        let mut b = base.to_vec();
+        b[at..at + 4].copy_from_slice(&0x7FFF_FFFFu32.to_be_bytes());
+        out.push((format!("biglen@{at}"), b));
+    }
+    // Trailing garbage after a valid encoding.
+    let mut padded = base.to_vec();
+    padded.extend_from_slice(&[0xAA; 16]);
+    out.push(("trailing-garbage".into(), padded));
+    out
+}
+
+#[test]
+fn wal_decoder_survives_the_corpus() {
+    let good = encode_record(&WalRecord {
+        jseq: 3,
+        epoch: 2,
+        seq_hw: 40,
+        raw: 5,
+        ops: sample_ops(),
+    });
+    let (rec, used) = decode_record(&good).expect("valid record decodes");
+    assert_eq!(used, good.len());
+    assert_eq!(rec.ops, sample_ops());
+
+    for (label, bytes) in corpus(&good) {
+        // Decoding must either fail cleanly or — for the trailing
+        // garbage case — stop exactly at the record boundary.
+        if let Ok((rec, used)) = decode_record(&bytes) {
+            assert_eq!(used, good.len(), "case {label}");
+            assert_eq!(rec.ops, sample_ops(), "case {label}");
+        }
+    }
+}
+
+#[test]
+fn wal_decoder_survives_a_corrupted_empty_payload_record() {
+    // A zero-length payload (fully-cancelled batch) is the smallest
+    // valid record; its mutations probe the header paths specifically.
+    let good = encode_record(&WalRecord {
+        jseq: 1,
+        epoch: 0,
+        seq_hw: 1,
+        raw: 2,
+        ops: Vec::new(),
+    });
+    assert!(decode_record(&good).is_ok());
+    for (label, bytes) in corpus(&good) {
+        if let Ok((_, used)) = decode_record(&bytes) {
+            assert_eq!(used, good.len(), "case {label}");
+        }
+    }
+}
+
+#[test]
+fn frame_decoder_survives_the_corpus() {
+    let good = Frame {
+        kind: FrameType::Update,
+        seq: 9,
+        payload: encode_updates(&sample_ops()),
+    }
+    .encode();
+    assert!(Frame::read_from(&mut &good[..]).is_ok());
+
+    for (label, bytes) in corpus(&good) {
+        // Same contract: clean error or a byte-identical re-decode.
+        if let Ok(frame) = Frame::read_from(&mut &bytes[..]) {
+            assert_eq!(frame.encode(), good, "case {label}");
+        }
+    }
+}
+
+#[test]
+fn frame_decoder_survives_a_corrupted_empty_payload_frame() {
+    let good = Frame {
+        kind: FrameType::Hello,
+        seq: 0,
+        payload: Vec::new(),
+    }
+    .encode();
+    assert!(Frame::read_from(&mut &good[..]).is_ok());
+    for (label, bytes) in corpus(&good) {
+        if let Ok(frame) = Frame::read_from(&mut &bytes[..]) {
+            assert_eq!(frame.encode(), good, "case {label}");
+        }
+    }
+}

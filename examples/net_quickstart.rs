@@ -78,7 +78,7 @@ fn main() -> std::io::Result<()> {
 
     // 4. Graceful drain: refuse new work, flush update batches, publish
     //    the final epoch, and hand back the authoritative report.
-    let final_report = server.drain();
+    let final_report = server.drain().expect("server drains cleanly");
     let s = &final_report.snapshot;
     println!(
         "drained: {} lookups, {} updates received over {} epochs | final table {} routes",

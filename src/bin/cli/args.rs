@@ -2,7 +2,7 @@
 //!
 //! Supports `--key value` flags and positional arguments, with typed
 //! accessors and an unknown-flag check. Deliberately tiny — the CLI's
-//! needs do not justify an external parser crate (see DESIGN.md §2.11).
+//! needs do not justify an external parser crate (see DESIGN.md §2.12).
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -9,18 +9,23 @@
 //! clue simulate     --fib fib.txt --packets trace.txt [--chips N] [--dred N]
 //!                   [--fifo N] [--service N] [--scheme clue|clpl] [--adversarial true]
 //! clue replay       --fib fib.txt --updates updates.txt [--pipeline clue|clpl] [--window N]
+//! clue replay       --data-dir DIR            (journal inspection: snapshot + WAL records)
 //! clue serve        --fib fib.txt --packets trace.txt --updates updates.txt [--workers N]
 //!                   [--dred N] [--fifo N] [--batch K] [--queue N] [--overflow block|drop]
 //!                   [--stats-ms N]
-//! clue serve        --fib fib.txt --listen ADDR [--workers N] [--dred N] [--fifo N]
-//!                   [--batch K] [--queue N] [--overflow block|drop] [--stats-ms N]
+//! clue serve        --fib fib.txt --listen ADDR [--data-dir DIR] [--workers N] [--dred N]
+//!                   [--fifo N] [--batch K] [--queue N] [--overflow block|drop] [--stats-ms N]
+//! clue snapshot     --data-dir DIR            (fold the journal into a snapshot, prune WAL)
+//! clue restore      --data-dir DIR [--fib out.txt] [--verify-fib fib.txt
+//!                   --verify-updates updates.txt]
 //! clue loadgen      --addr HOST:PORT [--packets trace.txt] [--updates updates.txt]
 //!                   [--rate PPS] [--update-rate UPS] [--threads N]
 //!                   [--lookup-batch K] [--update-batch K]
 //! clue stats        --addr HOST:PORT
 //! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
 //!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
-//!                   [--net on|off] [--out repro.txt] [--replay repro.txt]
+//!                   [--net on|off] [--recovery on|off] [--out repro.txt]
+//!                   [--replay repro.txt]
 //! ```
 //!
 //! All file formats are plain text: FIBs are `a.b.c.d/len nh` lines,
@@ -46,7 +51,8 @@ use clue::oracle::{run_check, CheckConfig, Reproducer};
 use clue::partition::{
     EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition,
 };
-use clue::router::{FaultPlan, OverflowPolicy, RouterConfig};
+use clue::router::{FaultPlan, OverflowPolicy, RouterConfig, RouterService};
+use clue::store::{Store, StoreConfig};
 use clue::traffic::workload::{adversarial_mapping, profile};
 use clue::traffic::{PacketGen, UpdateGen};
 
@@ -62,16 +68,23 @@ commands:
   simulate      run the parallel lookup engine      (--fib --packets; --chips --dred
                                                      --fifo --service --scheme --adversarial)
   replay        replay updates through a pipeline   (--fib --updates; --pipeline --window)
+                or inspect a data dir's journal     (--data-dir)
   serve         run the live concurrent router      (--fib --packets --updates; --workers
                 file-driven, or networked           --dred --fifo --batch --queue
-                with --listen HOST:PORT              --overflow --stats-ms --listen)
+                with --listen HOST:PORT,             --overflow --stats-ms --listen
+                durable with --data-dir DIR          --data-dir)
+  snapshot      fold a data dir's journal into a    (--data-dir)
+                fresh snapshot and prune the WAL
+  restore       recover a data dir offline and      (--data-dir; --fib --verify-fib
+                report/export/verify the state       --verify-updates)
   loadgen       offer a workload to a server        (--addr; --packets --updates --rate
                 over TCP at a target rate            --update-rate --threads
                                                      --lookup-batch --update-batch)
   stats         query a running server's counters   (--addr)
   check         differential conformance check      (--seed --updates --routes --batch
                 against the naive oracle             --chips --dred --packets --faults
-                                                     --fault-seed --net --out --replay)
+                                                     --fault-seed --net --recovery
+                                                     --out --replay)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -103,6 +116,8 @@ fn dispatch(command: &str, args: &Args) -> Result<(), ArgError> {
         "simulate" => simulate(args),
         "replay" => replay(args),
         "serve" => serve(args),
+        "snapshot" => snapshot(args),
+        "restore" => restore(args),
         "loadgen" => loadgen(args),
         "stats" => stats(args),
         "check" => check(args),
@@ -418,7 +433,12 @@ fn load_updates(path: &str) -> Result<Vec<Update>, ArgError> {
 }
 
 fn replay(args: &Args) -> Result<(), ArgError> {
-    args.check_known(&["fib", "updates", "pipeline", "window", "chips", "dred"])?;
+    args.check_known(&[
+        "fib", "updates", "pipeline", "window", "chips", "dred", "data-dir",
+    ])?;
+    if let Some(dir) = args.optional("data-dir") {
+        return replay_journal(dir);
+    }
     let fib = load_fib(args.required("fib")?)?;
     let updates = load_updates(args.required("updates")?)?;
     let window: usize = args.get_or("window", 1_000)?;
@@ -478,9 +498,8 @@ fn replay(args: &Args) -> Result<(), ArgError> {
 fn serve(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
         "fib", "packets", "updates", "workers", "dred", "fifo", "batch", "queue", "overflow",
-        "stats-ms", "listen",
+        "stats-ms", "listen", "data-dir",
     ])?;
-    let fib = load_fib(args.required("fib")?)?;
     let overflow = match args.optional("overflow").unwrap_or("block") {
         "block" => OverflowPolicy::Block,
         "drop" => OverflowPolicy::DropNewest,
@@ -506,8 +525,26 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("all sizes must be positive".into()));
     }
     if let Some(listen) = args.optional("listen") {
-        return serve_net(&fib, listen, cfg, stats_ms);
+        // With --data-dir an existing directory's state wins and --fib
+        // is only needed (and only read) to seed a fresh one.
+        let fib = match args.optional("fib") {
+            Some(path) => Some(load_fib(path)?),
+            None => None,
+        };
+        return serve_net(
+            fib.as_ref(),
+            listen,
+            args.optional("data-dir"),
+            cfg,
+            stats_ms,
+        );
     }
+    if args.optional("data-dir").is_some() {
+        return Err(ArgError(
+            "--data-dir needs --listen (durability belongs to the live server)".into(),
+        ));
+    }
+    let fib = load_fib(args.required("fib")?)?;
     let packets = load_packets(args.required("packets")?)?;
     let updates = load_updates(args.required("updates")?)?;
 
@@ -547,9 +584,13 @@ fn serve(args: &Args) -> Result<(), ArgError> {
 /// The networked `serve` path: bind a TCP endpoint, bridge connections
 /// into the router runtime, and drain gracefully on SIGINT/SIGTERM. The
 /// final stats snapshot is always printed, even on an interrupted run.
+/// With `data_dir`, the router journals every batch into a `clue-store`
+/// data directory and boots from whatever state that directory already
+/// holds (acks then wait for the journal write — see DESIGN.md §2.11).
 fn serve_net(
-    fib: &RouteTable,
+    fib: Option<&RouteTable>,
     listen: &str,
+    data_dir: Option<&str>,
     mut router: RouterConfig,
     stats_ms: u64,
 ) -> Result<(), ArgError> {
@@ -561,13 +602,70 @@ fn serve_net(
         router,
         ..ServerConfig::default()
     };
-    let server = Server::start(fib, &scfg).map_err(|e| io_err(listen, &e))?;
+    let (server, routes) = match data_dir {
+        None => {
+            let fib = fib.ok_or_else(|| ArgError("missing required flag --fib".into()))?;
+            let server = Server::start(fib, &scfg).map_err(|e| io_err(listen, &e))?;
+            (server, fib.len())
+        }
+        Some(dir) => {
+            let (mut store, recovery) =
+                Store::open(std::path::Path::new(dir), StoreConfig::default())
+                    .map_err(|e| io_err(dir, &e))?;
+            match recovery {
+                Some(rec) => {
+                    if fib.is_some() {
+                        eprintln!("clue serve: {dir} already holds state; ignoring --fib");
+                    }
+                    println!(
+                        "recovered {} routes from {dir}: epoch {}, seq high-water {}, \
+                         {} journal records replayed{}{}",
+                        rec.table.len(),
+                        rec.epoch,
+                        rec.seq_hw,
+                        rec.replayed,
+                        if rec.truncated {
+                            " (torn tail skipped)"
+                        } else {
+                            ""
+                        },
+                        if rec.snapshots_skipped > 0 {
+                            " (corrupt snapshot skipped)"
+                        } else {
+                            ""
+                        },
+                    );
+                    let routes = rec.table.len();
+                    let initial_seq = rec.seq_hw;
+                    let state = rec.into_state();
+                    let svc =
+                        RouterService::start_recovered(&state, &scfg.router, Some(Box::new(store)));
+                    let server = Server::start_with_service(svc, initial_seq, &scfg)
+                        .map_err(|e| io_err(listen, &e))?;
+                    (server, routes)
+                }
+                None => {
+                    let fib = fib.ok_or_else(|| {
+                        ArgError(format!("{dir} is a fresh data dir; seed it with --fib"))
+                    })?;
+                    store
+                        .init_from_table(fib, scfg.router.workers)
+                        .map_err(|e| io_err(dir, &e))?;
+                    println!("seeded {dir} with {} routes (base snapshot 0)", fib.len());
+                    let svc = RouterService::start_with_journal(fib, &scfg.router, Box::new(store));
+                    let server = Server::start_with_service(svc, 0, &scfg)
+                        .map_err(|e| io_err(listen, &e))?;
+                    (server, fib.len())
+                }
+            }
+        }
+    };
     signal::install();
     println!(
         "listening on {} ({} routes, {} workers, batch {}, queue {}, {:?}); \
          SIGINT/SIGTERM drains",
         server.local_addr(),
-        fib.len(),
+        routes,
         scfg.router.workers,
         scfg.router.batch_size,
         scfg.router.update_queue,
@@ -586,7 +684,7 @@ fn serve_net(
     }
     eprintln!("clue serve: draining (new connections refused, update batches flushing)");
     println!("{}", server.stats_json());
-    let report = server.drain();
+    let report = server.drain().map_err(|e| io_err("drain", &e))?;
     let s = &report.snapshot;
     println!(
         "drained: {} lookups answered, {} updates received ({} applied, {:.1}% coalesced, \
@@ -601,6 +699,167 @@ fn serve_net(
         report.final_compressed.len(),
     );
     println!("{}", s.to_json());
+    Ok(())
+}
+
+/// `clue snapshot`: offline compaction — recover a data dir, fold the
+/// journal tail into a fresh snapshot, prune the WAL segments.
+fn snapshot(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["data-dir"])?;
+    let dir = args.required("data-dir")?;
+    let (mut store, recovery) = Store::open(std::path::Path::new(dir), StoreConfig::default())
+        .map_err(|e| io_err(dir, &e))?;
+    let rec =
+        recovery.ok_or_else(|| ArgError(format!("{dir} holds no recoverable state to compact")))?;
+    println!(
+        "recovered {} routes (epoch {}, seq high-water {}, {} journal records replayed{})",
+        rec.table.len(),
+        rec.epoch,
+        rec.seq_hw,
+        rec.replayed,
+        if rec.truncated {
+            "; torn tail skipped"
+        } else {
+            ""
+        },
+    );
+    store
+        .checkpoint_recovery(&rec)
+        .map_err(|e| io_err(dir, &e))?;
+    println!(
+        "checkpointed at journal position {}; WAL pruned",
+        store.snapshot_jseq()
+    );
+    Ok(())
+}
+
+/// `clue restore`: offline recovery report. Optionally exports the
+/// recovered FIB (`--fib out.txt`) and/or verifies it against a base
+/// FIB plus update trace (`--verify-fib`/`--verify-updates`), exiting
+/// nonzero on divergence so CI can assert convergence after a crash.
+fn restore(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["data-dir", "fib", "verify-fib", "verify-updates"])?;
+    let dir = args.required("data-dir")?;
+    let (_store, recovery) = Store::open(std::path::Path::new(dir), StoreConfig::default())
+        .map_err(|e| io_err(dir, &e))?;
+    let rec = recovery.ok_or_else(|| ArgError(format!("{dir} holds no recoverable state")))?;
+    println!(
+        "{dir}: {} routes | epoch {} | seq high-water {} | raw updates applied {} | \
+         snapshot at jseq {} + {} replayed records | truncated tail: {} | \
+         corrupt snapshots skipped: {}",
+        rec.table.len(),
+        rec.epoch,
+        rec.seq_hw,
+        rec.raw_applied,
+        rec.snapshot_jseq,
+        rec.replayed,
+        rec.truncated,
+        rec.snapshots_skipped,
+    );
+    if let Some(out) = args.optional("fib") {
+        write_file(out, &rec.table.to_text())?;
+        println!("wrote recovered FIB ({} routes) to {out}", rec.table.len());
+    }
+    match (args.optional("verify-fib"), args.optional("verify-updates")) {
+        (None, None) => {}
+        (Some(fib_path), Some(upd_path)) => {
+            let mut want = load_fib(fib_path)?;
+            let updates = load_updates(upd_path)?;
+            let applied = usize::try_from(rec.raw_applied)
+                .map_err(|_| ArgError("raw_applied overflows usize".into()))?;
+            if applied > updates.len() {
+                return Err(ArgError(format!(
+                    "data dir absorbed {applied} updates but {upd_path} holds only {}",
+                    updates.len()
+                )));
+            }
+            for &u in &updates[..applied] {
+                want.apply(u);
+            }
+            if rec.table != want {
+                return Err(ArgError(format!(
+                    "recovered table ({} routes) diverges from {fib_path} + first {applied} \
+                     updates of {upd_path} ({} routes)",
+                    rec.table.len(),
+                    want.len()
+                )));
+            }
+            println!(
+                "verified: recovered table equals {fib_path} after {applied} of {} updates",
+                updates.len()
+            );
+        }
+        _ => {
+            return Err(ArgError(
+                "--verify-fib and --verify-updates must be given together".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// `clue replay --data-dir`: journal inspection — print the base
+/// snapshot and every decodable WAL record after it.
+fn replay_journal(dir: &str) -> Result<(), ArgError> {
+    let path = std::path::Path::new(dir);
+    let snaps = clue::store::list_snapshots(path).map_err(|e| io_err(dir, &e))?;
+    let mut base = None;
+    let mut skipped = 0u64;
+    for p in &snaps {
+        match clue::store::load_snapshot(p) {
+            Ok(s) => {
+                base = Some((p, s));
+                break;
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    let (snap_path, snap) =
+        base.ok_or_else(|| ArgError(format!("{dir} holds no valid snapshot")))?;
+    println!(
+        "{}: {} routes ({} compressed), epoch {}, seq high-water {}, raw updates {}, {} chips",
+        snap_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?"),
+        snap.table.len(),
+        snap.compressed.len(),
+        snap.epoch,
+        snap.seq_hw,
+        snap.raw_total,
+        snap.chips,
+    );
+    if skipped > 0 {
+        println!("({skipped} newer corrupt snapshot(s) skipped)");
+    }
+    let scan = clue::store::scan_dir(path, snap.jseq).map_err(|e| io_err(dir, &e))?;
+    if !scan.records.is_empty() {
+        println!(
+            "{:>8} {:>8} {:>10} {:>6} {:>6}",
+            "jseq", "epoch", "seq_hw", "raw", "ops"
+        );
+        for rec in &scan.records {
+            println!(
+                "{:>8} {:>8} {:>10} {:>6} {:>6}",
+                rec.jseq,
+                rec.epoch,
+                rec.seq_hw,
+                rec.raw,
+                rec.ops.len()
+            );
+        }
+    }
+    let raw: u64 = scan.records.iter().map(|r| u64::from(r.raw)).sum();
+    println!(
+        "{} journal records after the snapshot ({} raw updates){}",
+        scan.records.len(),
+        raw,
+        if scan.truncated {
+            "; tail truncated at the last valid record"
+        } else {
+            ""
+        },
+    );
     Ok(())
 }
 
@@ -676,6 +935,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "faults",
         "fault-seed",
         "net",
+        "recovery",
         "out",
         "replay",
     ])?;
@@ -698,6 +958,15 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "on" => true,
         "off" => false,
         other => return Err(ArgError(format!("unknown net mode {other:?} (on|off)"))),
+    };
+    cfg.recovery = match args.optional("recovery").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(ArgError(format!(
+                "unknown recovery mode {other:?} (on|off)"
+            )))
+        }
     };
 
     if let Some(path) = args.optional("replay") {
@@ -740,6 +1009,13 @@ fn check(args: &Args) -> Result<(), ArgError> {
                 println!(
                     "net phase: {} lookups over loopback TCP, {} reconnects",
                     report.net_lookups, report.net_reconnects,
+                );
+            }
+            if cfg.recovery {
+                println!(
+                    "recovery phase: {} crash points, {} journal records replayed, \
+                     {} boundary probes agreed",
+                    report.recovery_crashes, report.recovery_replayed, report.recovery_probes,
                 );
             }
             Ok(())

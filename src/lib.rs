@@ -17,6 +17,7 @@
 //! | [`core`] | `clue-core` | the parallel lookup engine, DRed schemes, TTF pipeline |
 //! | [`router`] | `clue-router` | the live concurrent update-plane runtime |
 //! | [`net`] | `clue-net` | wire protocol, TCP server/client, load generator |
+//! | [`store`] | `clue-store` | write-ahead journal, snapshots, crash recovery |
 //! | [`oracle`] | `clue-oracle` | differential conformance oracle + fault-injection harness |
 //!
 //! # Quickstart
@@ -55,5 +56,6 @@ pub use clue_net as net;
 pub use clue_oracle as oracle;
 pub use clue_partition as partition;
 pub use clue_router as router;
+pub use clue_store as store;
 pub use clue_tcam as tcam;
 pub use clue_traffic as traffic;
