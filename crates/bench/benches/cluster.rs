@@ -1,0 +1,279 @@
+//! Machine-readable cluster numbers: shard-count × offered-load →
+//! client-observed lookup latency through the proxy, plus failover
+//! time and the lost-ack count (which must be zero) when a primary is
+//! killed mid-burst. Emitted as `BENCH_cluster.json` for CI artifacts
+//! and regression diffing (schema documented in DESIGN.md §3).
+//!
+//! Topology per shard count: N `Primary` instances (fsync off, each
+//! seeded with its slice of the RIB), one warm `Standby` each, and one
+//! `Proxy` fronting the lot — all in-process, talking over real
+//! loopback TCP with the production wire protocol.
+//!
+//! The artifact path defaults to `BENCH_cluster.json` in the working
+//! directory; override it with `CLUE_BENCH_CLUSTER_JSON=/path`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use clue_bench::{banner, scale};
+use clue_cluster::{
+    Primary, PrimaryConfig, Proxy, ProxyConfig, ReplConfig, ShardMap, ShardSpec, Standby,
+    StandbyConfig,
+};
+use clue_fib::gen::FibGen;
+use clue_fib::RouteTable;
+use clue_net::{ClientConfig, Connection};
+use clue_store::StoreConfig;
+use clue_traffic::{PacketGen, UpdateGen};
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clue-bench-cluster-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Cluster {
+    dirs: Vec<PathBuf>,
+    primaries: Vec<Option<Primary>>,
+    standbys: Vec<Standby>,
+    proxy: Proxy,
+}
+
+fn boot(tag: &str, rib: &RouteTable, shards: usize) -> Cluster {
+    let placeholder =
+        ShardMap::derive(rib, vec![ShardSpec::primary_only("x:0"); shards]).expect("cuts derive");
+    let pcfg = PrimaryConfig {
+        store: StoreConfig {
+            fsync: false,
+            snapshot_every: u64::MAX,
+            ..StoreConfig::default()
+        },
+        repl: ReplConfig {
+            idle_poll: Duration::from_millis(5),
+            ..ReplConfig::default()
+        },
+        sync_timeout: Duration::from_secs(5),
+        ..PrimaryConfig::default()
+    };
+    let mut dirs = Vec::new();
+    let mut primaries = Vec::new();
+    let mut standbys = Vec::new();
+    let mut specs = Vec::new();
+    for i in 0..shards {
+        let dir = bench_dir(&format!("{tag}-{i}"));
+        let shard_rib = placeholder.filter_table(rib, i);
+        let primary = Primary::start(&dir, Some(&shard_rib), &pcfg).expect("primary boots");
+        let standby = Standby::start(StandbyConfig {
+            primary_repl: primary.repl_addr().to_string(),
+            idle_poll: Duration::from_millis(5),
+            reconnect_backoff: Duration::from_millis(20),
+            ..StandbyConfig::default()
+        })
+        .expect("standby boots");
+        specs.push(ShardSpec::with_standby(
+            primary.local_addr().to_string(),
+            standby.local_addr().to_string(),
+        ));
+        dirs.push(dir);
+        primaries.push(Some(primary));
+        standbys.push(standby);
+    }
+    let map = ShardMap::from_cuts(placeholder.cuts().to_vec(), specs).expect("map assembles");
+    let deadline = Instant::now() + Duration::from_secs(15);
+    for p in primaries.iter().flatten() {
+        while p.repl_stats().synced != 1 {
+            assert!(Instant::now() < deadline, "standbys never synced");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let mut proxy_cfg = ProxyConfig::new(map);
+    proxy_cfg.heartbeat_every = Duration::from_millis(50);
+    let proxy = Proxy::start(proxy_cfg).expect("proxy boots");
+    Cluster {
+        dirs,
+        primaries,
+        standbys,
+        proxy,
+    }
+}
+
+impl Cluster {
+    fn teardown(mut self) {
+        self.proxy.stop();
+        for p in self.primaries.iter_mut().filter_map(Option::take) {
+            let _ = p.stop();
+        }
+        for s in self.standbys.drain(..) {
+            let _ = s.stop();
+        }
+        for d in &self.dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+}
+
+fn connect(proxy: &Proxy) -> Connection {
+    Connection::connect(ClientConfig::to_addr(proxy.local_addr().to_string()))
+        .expect("client connects")
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// One latency point: single-address probe lookups through the proxy
+/// while a background connection offers `offered_lps` batched lookups
+/// per second. Returns (p50_us, p99_us, max_us, achieved_lps).
+fn latency_point(
+    proxy: &Proxy,
+    addrs: &[u32],
+    probes: usize,
+    offered_lps: u64,
+) -> (f64, f64, f64, f64) {
+    let stop = AtomicBool::new(false);
+    let offered_done = AtomicU64::new(0);
+    let mut lat_us = Vec::with_capacity(probes);
+    let mut bg_secs = 0.0f64;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // Background load: chunks of 32 paced to the offered rate.
+            let mut conn = connect(proxy);
+            let chunk = 32u64;
+            let interval = Duration::from_secs_f64(chunk as f64 / offered_lps as f64);
+            let start = Instant::now();
+            let mut next = start;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let lo = (i * 32) % addrs.len();
+                let hi = (lo + 32).min(addrs.len());
+                if conn.lookup(&addrs[lo..hi]).is_err() {
+                    break;
+                }
+                offered_done.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+                i = i.wrapping_add(1);
+                next += interval;
+                let now = Instant::now();
+                if next > now {
+                    std::thread::sleep(next - now);
+                } else {
+                    next = now;
+                }
+            }
+            bg_secs = start.elapsed().as_secs_f64();
+            let _ = conn.close();
+        });
+        // Probe connection: one address per request, client-observed
+        // round-trip latency.
+        let mut conn = connect(proxy);
+        for k in 0..probes {
+            let addr = [addrs[k % addrs.len()]];
+            let t = Instant::now();
+            conn.lookup(&addr).expect("probe lookup answers");
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = conn.close();
+        stop.store(true, Ordering::Release);
+    });
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let achieved = offered_done.load(Ordering::Relaxed) as f64 / bg_secs.max(1e-9);
+    (
+        percentile(&lat_us, 0.50),
+        percentile(&lat_us, 0.99),
+        *lat_us.last().expect("at least one probe"),
+        achieved,
+    )
+}
+
+fn main() {
+    banner(
+        "Cluster — shards x offered load -> p99 lookup latency; failover time; lost acks",
+        "writes BENCH_cluster.json (override with CLUE_BENCH_CLUSTER_JSON)",
+    );
+    let s = scale();
+    let routes = ((60_000.0 * s) as usize).max(2_000);
+    let rib = FibGen::new(0xC10E_0007).routes(routes).generate();
+    let probes = ((400.0 * s) as usize).clamp(100, 400);
+    let n_updates = ((8_000.0 * s) as usize).max(1_000);
+    let updates = UpdateGen::new(0xC10E_0008).generate(&rib, n_updates);
+    let addrs = PacketGen::new(0xC10E_0009).generate(&rib, 4_096);
+
+    let mut sweep_json = String::new();
+    for shards in [1usize, 2, 4] {
+        let mut cluster = boot(&format!("lat-{shards}"), &rib, shards);
+        let mut points = String::new();
+        for offered in [2_000u64, 10_000, 40_000] {
+            let (p50, p99, max, achieved) = latency_point(&cluster.proxy, &addrs, probes, offered);
+            println!(
+                "shards {shards} offered {offered}/s (achieved {achieved:.0}/s): \
+                 lookup p50 {p50:.0} us | p99 {p99:.0} us | max {max:.0} us",
+            );
+            if !points.is_empty() {
+                points.push(',');
+            }
+            points.push_str(&format!(
+                "{{\"offered_lps\":{offered},\"achieved_lps\":{achieved:.1},\
+                 \"p50_us\":{p50:.1},\"p99_us\":{p99:.1},\"max_us\":{max:.1}}}",
+            ));
+        }
+
+        // Failover: an update burst through the proxy with shard 0's
+        // primary killed halfway. Every accepted update must survive —
+        // the client report's drop count is the lost-ack count.
+        let mut conn = connect(&cluster.proxy);
+        let half = updates.len() / 2;
+        for chunk in updates[..half].chunks(32) {
+            conn.send_updates(chunk).expect("pre-kill updates land");
+        }
+        conn.flush_acks().expect("pre-kill acks drain");
+        let killed_at = Instant::now();
+        drop(cluster.primaries[0].take());
+        for chunk in updates[half..].chunks(32) {
+            conn.send_updates(chunk).expect("post-kill updates land");
+        }
+        conn.flush_acks().expect("post-kill acks drain");
+        let burst_ms = killed_at.elapsed().as_secs_f64() * 1e3;
+        let report = conn.close().expect("client closes");
+        assert_eq!(report.accepted, updates.len() as u64, "lost acks");
+        assert_eq!(report.dropped, 0, "lost acks");
+        assert_eq!(cluster.proxy.failovers(), 1, "exactly one failover");
+        let failover_ms = cluster.proxy.failover_ms()[0].expect("failover recorded");
+        println!(
+            "shards {shards}: killed shard 0 mid-burst -> failover {failover_ms:.1} ms, \
+             {} updates acked, 0 lost ({burst_ms:.0} ms post-kill burst)",
+            updates.len(),
+        );
+
+        if !sweep_json.is_empty() {
+            sweep_json.push(',');
+        }
+        sweep_json.push_str(&format!(
+            "{{\"shards\":{shards},\"points\":[{points}],\
+             \"failover\":{{\"updates\":{},\"lost_acks\":0,\
+             \"failover_ms\":{failover_ms:.2}}}}}",
+            updates.len(),
+        ));
+        cluster.teardown();
+    }
+
+    let json = format!(
+        "{{\"schema\":\"clue-bench-cluster/1\",\"scale\":{s},\
+         \"routes\":{},\"probes\":{probes},\"sweeps\":[{sweep_json}]}}",
+        rib.len(),
+    );
+    let path = std::env::var("CLUE_BENCH_CLUSTER_JSON")
+        .unwrap_or_else(|_| "BENCH_cluster.json".to_owned());
+    match std::fs::write(&path, format!("{json}\n")) {
+        Ok(()) => println!("cluster bench written to {path}"),
+        Err(e) => {
+            eprintln!("cluster bench write to {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The fan-out proxy tier: one listener speaking the standard wire
+//! protocol in front of N shard servers.
+//!
+//! Lookups route each address to the single shard owning it
+//! ([`ShardMap::shard_of`]); updates fan out to every shard whose
+//! interval the prefix touches ([`ShardMap::shards_for_prefix`]), so
+//! each shard keeps the full slice of routes matching its addresses.
+//!
+//! ## Exactly-once across the proxy
+//!
+//! Each client connection gets its own set of backend
+//! [`Connection`]s, one per shard, so the client's seq/ack discipline
+//! is preserved hop by hop: the proxy acknowledges a client's update
+//! frame only after *every* involved shard has acked the fan-out
+//! sub-batches — and a shard ack means journaled *and* replicated to
+//! its live standby. An unacked frame is retransmitted by the client
+//! against the proxy's `HelloAck(last_acked)` high-water, and the
+//! proxy's backend connections replay their own unacked suffixes
+//! through the same resume machinery, which stays safe because route
+//! updates are last-op-wins per prefix.
+//!
+//! ## Failover
+//!
+//! A monitor thread heartbeats every shard's active address; after
+//! [`ProxyConfig::fail_after`] consecutive misses it promotes the
+//! standby (`Promote`/`PromoteAck`) and swaps the shard's active
+//! address. Connection threads that hit a backend error promote
+//! eagerly — first one wins, the promotion lock makes it idempotent —
+//! then [`Connection::redirect`] re-points the stream and the resume
+//! handshake settles what the dead primary already acked.
+
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use clue_fib::Update;
+use clue_net::frame::{Frame, FrameType};
+use clue_net::wire;
+use clue_net::{ClientConfig, Connection};
+
+use crate::rpc;
+use crate::shardmap::ShardMap;
+
+/// Tunables for a [`Proxy`].
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Client-facing listen address.
+    pub listen: String,
+    /// The shard map (cuts + per-shard endpoints).
+    pub map: ShardMap,
+    /// Health-monitor heartbeat period.
+    pub heartbeat_every: Duration,
+    /// Consecutive heartbeat misses before the monitor promotes.
+    pub fail_after: u32,
+    /// Poll interval for idle sockets and shutdown checks.
+    pub idle_poll: Duration,
+    /// Per-socket I/O timeout.
+    pub io_timeout: Duration,
+}
+
+impl ProxyConfig {
+    /// Defaults around a given map: listen on an ephemeral loopback
+    /// port, 150 ms heartbeats, promote after 2 misses.
+    #[must_use]
+    pub fn new(map: ShardMap) -> ProxyConfig {
+        ProxyConfig {
+            listen: "127.0.0.1:0".into(),
+            map,
+            heartbeat_every: Duration::from_millis(150),
+            fail_after: 2,
+            idle_poll: Duration::from_millis(20),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Backend client configuration: snappy dial/backoff so a dead primary
+/// is detected in milliseconds, not the interactive client's seconds.
+fn backend_cfg(addr: &str) -> ClientConfig {
+    ClientConfig {
+        addr: addr.to_owned(),
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        heartbeat_every: Duration::from_secs(1),
+        initial_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(100),
+        max_reconnect_attempts: 4,
+        ack_window: 32,
+    }
+}
+
+struct ShardEndpoint {
+    primary: String,
+    standby: Option<String>,
+    active: Mutex<String>,
+    promoted: AtomicBool,
+    promote_lock: Mutex<()>,
+    hb_failures: AtomicU32,
+    lookups: AtomicU64,
+    updates: AtomicU64,
+    failover_ms: Mutex<Option<f64>>,
+}
+
+struct Shared {
+    map: ShardMap,
+    shards: Vec<ShardEndpoint>,
+    last_acked: AtomicU64,
+    lookups: AtomicU64,
+    updates: AtomicU64,
+    update_fanout: AtomicU64,
+    failovers: AtomicU64,
+    started: Instant,
+}
+
+impl Shared {
+    fn active(&self, i: usize) -> String {
+        self.shards[i].active.lock().expect("active lock").clone()
+    }
+
+    /// Promotes shard `i`'s standby and swaps the active address.
+    /// Idempotent: concurrent callers serialize on the promotion lock
+    /// and every caller after the first returns the already-promoted
+    /// address.
+    fn promote(&self, i: usize, _cfg: &ProxyConfig) -> io::Result<String> {
+        let shard = &self.shards[i];
+        let _guard = shard.promote_lock.lock().expect("promote lock");
+        if shard.promoted.load(Ordering::Acquire) {
+            return Ok(self.active(i));
+        }
+        let Some(standby) = shard.standby.clone() else {
+            return Err(io::Error::other(format!("shard {i} has no standby")));
+        };
+        let t0 = Instant::now();
+        let mut last_err = io::Error::other("promotion not attempted");
+        // The standby answers immediately; retries cover the window
+        // where it is still absorbing its catch-up stream.
+        for _ in 0..20 {
+            match rpc::call_expect(
+                &standby,
+                &Frame::empty(FrameType::Promote, 0),
+                FrameType::PromoteAck,
+                Duration::from_millis(250),
+                Duration::from_secs(2),
+            ) {
+                Ok(_ack) => {
+                    *shard.active.lock().expect("active lock") = standby.clone();
+                    shard.promoted.store(true, Ordering::Release);
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    *shard.failover_ms.lock().expect("failover lock") = Some(ms);
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    return Ok(standby);
+                }
+                Err(e) => last_err = e,
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+        Err(last_err)
+    }
+}
+
+/// A running proxy.
+pub struct Proxy {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl Proxy {
+    /// Binds the client listener and starts the health monitor.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start(cfg: ProxyConfig) -> io::Result<Proxy> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shards = cfg
+            .map
+            .shards()
+            .iter()
+            .map(|s| ShardEndpoint {
+                primary: s.primary.clone(),
+                standby: s.standby.clone(),
+                active: Mutex::new(s.primary.clone()),
+                promoted: AtomicBool::new(false),
+                promote_lock: Mutex::new(()),
+                hb_failures: AtomicU32::new(0),
+                lookups: AtomicU64::new(0),
+                updates: AtomicU64::new(0),
+                failover_ms: Mutex::new(None),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            map: cfg.map.clone(),
+            shards,
+            last_acked: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            update_fanout: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let cfg = cfg.clone();
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || accept_loop(&listener, &cfg, &shared, &shutdown))
+        };
+        let monitor = {
+            let cfg = cfg.clone();
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || monitor_loop(&cfg, &shared, &shutdown))
+        };
+        Ok(Proxy {
+            local_addr,
+            shared,
+            shutdown,
+            accept: Some(accept),
+            monitor: Some(monitor),
+        })
+    }
+
+    /// The bound client-facing address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Completed failovers.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.shared.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard failover durations in milliseconds (`None` = never
+    /// failed over).
+    #[must_use]
+    pub fn failover_ms(&self) -> Vec<Option<f64>> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| *s.failover_ms.lock().expect("failover lock"))
+            .collect()
+    }
+
+    /// Each shard's currently active address.
+    #[must_use]
+    pub fn active_addrs(&self) -> Vec<String> {
+        (0..self.shared.shards.len())
+            .map(|i| self.shared.active(i))
+            .collect()
+    }
+
+    /// The proxy's own stats JSON (no backend embeds — query through a
+    /// client connection for the full per-shard breakdown).
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        proxy_stats_json(&self.shared, None)
+    }
+
+    /// Stops the listener and monitor. Backend connections owned by
+    /// per-client threads close as those clients disconnect.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Stable-ordered proxy stats. `backends` supplies each shard's
+/// verbatim stats JSON when available (the per-connection stats path
+/// queries live backends; the local path embeds `null`).
+fn proxy_stats_json(shared: &Shared, backends: Option<Vec<Option<String>>>) -> String {
+    let mut out = format!(
+        "{{\"role\":\"proxy\",\"uptime_ms\":{},\"shards\":{},\"acked_hw\":{},\
+         \"lookups\":{},\"updates\":{},\"update_fanout\":{},\"failovers\":{},\"per_shard\":[",
+        shared.started.elapsed().as_millis(),
+        shared.shards.len(),
+        shared.last_acked.load(Ordering::SeqCst),
+        shared.lookups.load(Ordering::Relaxed),
+        shared.updates.load(Ordering::Relaxed),
+        shared.update_fanout.load(Ordering::Relaxed),
+        shared.failovers.load(Ordering::Relaxed),
+    );
+    for (i, shard) in shared.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let range = shared.map.shard_range(i);
+        let failover = shard
+            .failover_ms
+            .lock()
+            .expect("failover lock")
+            .map_or("null".to_owned(), |ms| format!("{ms:.1}"));
+        let backend = backends
+            .as_ref()
+            .and_then(|b| b.get(i).cloned().flatten())
+            .unwrap_or_else(|| "null".to_owned());
+        out.push_str(&format!(
+            "{{\"shard\":{i},\"addr\":\"{}\",\"primary\":\"{}\",\"role\":\"{}\",\
+             \"range\":[{},{}],\
+             \"lookups\":{},\"updates\":{},\"hb_failures\":{},\"failover_ms\":{failover},\
+             \"backend\":{backend}}}",
+            shared.active(i),
+            shard.primary,
+            if shard.promoted.load(Ordering::Acquire) {
+                "promoted-standby"
+            } else {
+                "primary"
+            },
+            range.start(),
+            range.end(),
+            shard.lookups.load(Ordering::Relaxed),
+            shard.updates.load(Ordering::Relaxed),
+            shard.hb_failures.load(Ordering::Relaxed),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn monitor_loop(cfg: &ProxyConfig, shared: &Arc<Shared>, shutdown: &Arc<AtomicBool>) {
+    let mut nonce = 0u64;
+    while !shutdown.load(Ordering::Acquire) {
+        thread::sleep(cfg.heartbeat_every);
+        for (i, shard) in shared.shards.iter().enumerate() {
+            if shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            nonce += 1;
+            let addr = shared.active(i);
+            let ok = rpc::call_expect(
+                &addr,
+                &Frame::empty(FrameType::Heartbeat, nonce),
+                FrameType::HeartbeatAck,
+                Duration::from_millis(250),
+                Duration::from_secs(1),
+            )
+            .is_ok();
+            if ok {
+                shard.hb_failures.store(0, Ordering::Relaxed);
+            } else {
+                let misses = shard.hb_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if misses >= cfg.fail_after
+                    && !shard.promoted.load(Ordering::Acquire)
+                    && shard.standby.is_some()
+                {
+                    let _ = shared.promote(i, cfg);
+                }
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    cfg: &ProxyConfig,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let cfg = cfg.clone();
+                let shared = Arc::clone(shared);
+                let shutdown = Arc::clone(shutdown);
+                workers.push(thread::spawn(move || {
+                    serve_client(&stream, &cfg, &shared, &shutdown);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(cfg.idle_poll),
+            Err(_) => thread::sleep(cfg.idle_poll),
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Per-client backend connections, opened lazily, re-pointed on
+/// failover.
+struct Backends {
+    conns: Vec<Option<Connection>>,
+}
+
+impl Backends {
+    fn new(n: usize) -> Backends {
+        Backends {
+            conns: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Runs `op` against shard `i`'s active backend, promoting the
+    /// shard's standby and retrying when the backend fails.
+    fn op<T>(
+        &mut self,
+        i: usize,
+        shared: &Shared,
+        cfg: &ProxyConfig,
+        mut op: impl FnMut(&mut Connection) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..8 {
+            if attempt > 0 {
+                thread::sleep(Duration::from_millis(25));
+            }
+            let active = shared.active(i);
+            let conn = match self.conns[i].as_mut() {
+                Some(c) => {
+                    if c.addr() != active {
+                        c.redirect(active.clone());
+                    }
+                    c
+                }
+                None => match Connection::connect(backend_cfg(&active)) {
+                    Ok(c) => self.conns[i].insert(c),
+                    Err(e) => {
+                        last_err = Some(e);
+                        let _ = shared.promote(i, cfg);
+                        continue;
+                    }
+                },
+            };
+            match op(conn) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last_err = Some(e);
+                    // Eager failover: do not wait for the monitor.
+                    let _ = shared.promote(i, cfg);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("backend op failed")))
+    }
+
+    fn close_all(&mut self) {
+        for c in &mut self.conns {
+            if let Some(conn) = c.take() {
+                let _ = conn.close();
+            }
+        }
+    }
+}
+
+fn serve_client(
+    stream: &TcpStream,
+    cfg: &ProxyConfig,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let mut backends = Backends::new(shared.shards.len());
+    serve_client_frames(stream, cfg, shared, shutdown, &mut backends);
+    backends.close_all();
+}
+
+fn serve_client_frames(
+    stream: &TcpStream,
+    cfg: &ProxyConfig,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+    backends: &mut Backends,
+) {
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            let _ = Frame::empty(FrameType::Shutdown, 0).write_to(&mut &*stream);
+            return;
+        }
+        if stream.set_read_timeout(Some(cfg.idle_poll)).is_err() {
+            return;
+        }
+        let mut lead = [0u8; 1];
+        match (&mut &*stream).read(&mut lead) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        }
+        if stream.set_read_timeout(Some(cfg.io_timeout)).is_err() {
+            return;
+        }
+        let frame = match Frame::read_after_lead(lead[0], &mut &*stream) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+
+        let reply = match frame.kind {
+            FrameType::Hello => Frame {
+                kind: FrameType::HelloAck,
+                seq: frame.seq,
+                payload: wire::encode_u64(shared.last_acked.load(Ordering::SeqCst)),
+            },
+            FrameType::Update => handle_update(&frame, cfg, shared, backends),
+            FrameType::Lookup => handle_lookup(&frame, cfg, shared, backends),
+            FrameType::StatsQuery => {
+                let embeds: Vec<Option<String>> = (0..shared.shards.len())
+                    .map(|i| backends.op(i, shared, cfg, Connection::stats_json).ok())
+                    .collect();
+                Frame {
+                    kind: FrameType::StatsReply,
+                    seq: frame.seq,
+                    payload: proxy_stats_json(shared, Some(embeds)).into_bytes(),
+                }
+            }
+            FrameType::ShardMapQuery => Frame {
+                kind: FrameType::ShardMapReply,
+                seq: frame.seq,
+                payload: shared.map.encode(),
+            },
+            FrameType::Heartbeat => Frame::empty(FrameType::HeartbeatAck, frame.seq),
+            FrameType::Shutdown => return,
+            other => Frame {
+                kind: FrameType::Error,
+                seq: frame.seq,
+                payload: format!("proxy does not serve {other:?}").into_bytes(),
+            },
+        };
+        let fatal = reply.kind == FrameType::Error;
+        if reply.write_to(&mut &*stream).is_err() || fatal {
+            return;
+        }
+    }
+}
+
+/// Fans an update batch out by range intersection and acks the client
+/// only after every involved shard acked its sub-batch (each shard ack
+/// meaning journaled + replicated).
+fn handle_update(
+    frame: &Frame,
+    cfg: &ProxyConfig,
+    shared: &Shared,
+    backends: &mut Backends,
+) -> Frame {
+    let batch = match wire::decode_updates(&frame.payload) {
+        Ok(b) => b,
+        Err(e) => {
+            return Frame {
+                kind: FrameType::Error,
+                seq: frame.seq,
+                payload: e.to_string().into_bytes(),
+            }
+        }
+    };
+    let mut groups: Vec<Vec<Update>> = vec![Vec::new(); shared.shards.len()];
+    for u in &batch {
+        for s in shared.map.shards_for_prefix(u.prefix()) {
+            groups[s].push(*u);
+        }
+    }
+    for (i, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let sent = backends.op(i, shared, cfg, |c| {
+            c.send_updates(group)?;
+            c.flush_acks()
+        });
+        if let Err(e) = sent {
+            // No ack: the client's resume machinery will retransmit the
+            // whole frame, which is safe (last-op-wins per prefix).
+            return Frame {
+                kind: FrameType::Error,
+                seq: frame.seq,
+                payload: format!("shard {i}: {e}").into_bytes(),
+            };
+        }
+        shared.shards[i]
+            .updates
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+        shared
+            .update_fanout
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+    }
+    shared
+        .updates
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    shared.last_acked.fetch_max(frame.seq, Ordering::SeqCst);
+    Frame {
+        kind: FrameType::UpdateAck,
+        seq: frame.seq,
+        payload: wire::encode_ack(wire::UpdateAck {
+            accepted: batch.len() as u32,
+            dropped: 0,
+        }),
+    }
+}
+
+/// Routes each address to its owning shard and reassembles the answers
+/// in request order.
+fn handle_lookup(
+    frame: &Frame,
+    cfg: &ProxyConfig,
+    shared: &Shared,
+    backends: &mut Backends,
+) -> Frame {
+    let addrs = match wire::decode_lookup(&frame.payload) {
+        Ok(a) => a,
+        Err(e) => {
+            return Frame {
+                kind: FrameType::Error,
+                seq: frame.seq,
+                payload: e.to_string().into_bytes(),
+            }
+        }
+    };
+    let mut groups: Vec<(Vec<usize>, Vec<u32>)> =
+        vec![(Vec::new(), Vec::new()); shared.shards.len()];
+    for (pos, &addr) in addrs.iter().enumerate() {
+        let s = shared.map.shard_of(addr);
+        groups[s].0.push(pos);
+        groups[s].1.push(addr);
+    }
+    let mut results = vec![None; addrs.len()];
+    for (i, (positions, sub)) in groups.iter().enumerate() {
+        if sub.is_empty() {
+            continue;
+        }
+        match backends.op(i, shared, cfg, |c| c.lookup(sub)) {
+            Ok(answers) => {
+                for (&pos, answer) in positions.iter().zip(answers) {
+                    results[pos] = answer;
+                }
+                shared.shards[i]
+                    .lookups
+                    .fetch_add(sub.len() as u64, Ordering::Relaxed);
+            }
+            Err(e) => {
+                return Frame {
+                    kind: FrameType::Error,
+                    seq: frame.seq,
+                    payload: format!("shard {i}: {e}").into_bytes(),
+                }
+            }
+        }
+    }
+    shared
+        .lookups
+        .fetch_add(addrs.len() as u64, Ordering::Relaxed);
+    Frame {
+        kind: FrameType::LookupResult,
+        seq: frame.seq,
+        payload: wire::encode_results(&results),
+    }
+}

@@ -1,0 +1,549 @@
+//! The warm standby: a follower that mirrors a primary's journal into
+//! an in-memory replica and can be promoted to a serving primary.
+//!
+//! Two threads per standby:
+//!
+//! * the **replication client** dials the primary's replication port,
+//!   announces its applied journal position (`ReplicaHello`), absorbs
+//!   the snapshot and/or record stream, applies each record to the
+//!   replica table *before* acknowledging it (ack ⇒ applied, which is
+//!   what lets the primary count an acked record as survivable), and
+//!   reconnects with backoff — resuming from its applied position, so
+//!   acknowledged records are never replayed twice;
+//! * the **frontend** answers the proxy's control traffic on the
+//!   standby's serving address: heartbeats, stats, and `Promote`.
+//!
+//! Promotion is the handoff: reply `PromoteAck(seq_hw)`, stop
+//! replicating, drop the control listener, and boot a full
+//! [`Server`]/[`RouterService`] from the replica state *on the same
+//! address*, advertising the replicated sequence high-water so
+//! re-routed clients resume exactly where their acks ended. The brief
+//! rebind gap is covered by the clients' reconnect backoff.
+
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use clue_fib::RouteTable;
+use clue_net::frame::{Frame, FrameType};
+use clue_net::wire;
+use clue_net::{Server, ServerConfig};
+use clue_router::{RecoveredState, RouterConfig, RouterReport, RouterService};
+use clue_store::{decode_record, decode_snapshot};
+
+use crate::repl::FOLLOWER_EMPTY;
+
+/// Tunables for a [`Standby`].
+#[derive(Debug, Clone)]
+pub struct StandbyConfig {
+    /// Serving/control address (the one the proxy's shard map lists as
+    /// the standby and re-routes to after promotion).
+    pub listen: String,
+    /// The primary's replication address to follow.
+    pub primary_repl: String,
+    /// Router configuration used when promoted.
+    pub router: RouterConfig,
+    /// Poll interval for idle sockets and shutdown checks.
+    pub idle_poll: Duration,
+    /// Per-socket I/O timeout once a frame has started arriving.
+    pub io_timeout: Duration,
+    /// Backoff between replication reconnect attempts.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for StandbyConfig {
+    fn default() -> Self {
+        StandbyConfig {
+            listen: "127.0.0.1:0".into(),
+            primary_repl: String::new(),
+            router: RouterConfig::default(),
+            idle_poll: Duration::from_millis(20),
+            io_timeout: Duration::from_secs(10),
+            reconnect_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The replica's mirrored state plus catch-up counters.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaState {
+    /// The mirrored route table (empty until the first snapshot).
+    pub table: RouteTable,
+    /// Applied journal position (`None` until the first snapshot).
+    pub applied_jseq: Option<u64>,
+    /// Replicated ingress-sequence high-water.
+    pub seq_hw: u64,
+    /// Epoch to resume numbering after, if promoted.
+    pub epoch: u64,
+    /// Journal records applied.
+    pub records_applied: u64,
+    /// Snapshots absorbed (initial seed + any re-seeds).
+    pub snapshots_loaded: u64,
+    /// Records received at or below the applied position and skipped —
+    /// stays 0 unless the primary violates the resume contract.
+    pub skipped: u64,
+    /// Replication reconnect attempts that found the primary down.
+    pub reconnects: u64,
+}
+
+/// How a standby ended.
+pub enum StandbyOutcome {
+    /// Never promoted: the mirrored state at shutdown.
+    Standby(ReplicaState),
+    /// Promoted: the drained report of the serving node it became.
+    Promoted(Box<RouterReport>),
+}
+
+/// A running standby (replication client + control frontend).
+pub struct Standby {
+    local_addr: SocketAddr,
+    state: Arc<Mutex<ReplicaState>>,
+    shutdown: Arc<AtomicBool>,
+    promote_req: Arc<AtomicBool>,
+    promoted: Arc<AtomicBool>,
+    repl: Option<JoinHandle<()>>,
+    frontend: Option<JoinHandle<io::Result<Option<Server>>>>,
+}
+
+impl Standby {
+    /// Binds the control address and starts following the primary.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures. Replication failures are retried forever in the
+    /// background (the primary may simply not be up yet).
+    pub fn start(cfg: StandbyConfig) -> io::Result<Standby> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(Mutex::new(ReplicaState::default()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let promote_req = Arc::new(AtomicBool::new(false));
+        let promoted = Arc::new(AtomicBool::new(false));
+        let repl_stopped = Arc::new(AtomicBool::new(false));
+
+        let repl = {
+            let cfg = cfg.clone();
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let promote_req = Arc::clone(&promote_req);
+            let repl_stopped = Arc::clone(&repl_stopped);
+            thread::spawn(move || {
+                replication_loop(&cfg, &state, &shutdown, &promote_req);
+                repl_stopped.store(true, Ordering::Release);
+            })
+        };
+        let frontend = {
+            let cfg = cfg.clone();
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let promote_req = Arc::clone(&promote_req);
+            let promoted = Arc::clone(&promoted);
+            thread::spawn(move || {
+                frontend_loop(
+                    listener,
+                    local_addr,
+                    &cfg,
+                    &state,
+                    &shutdown,
+                    &promote_req,
+                    &promoted,
+                    &repl_stopped,
+                )
+            })
+        };
+        Ok(Standby {
+            local_addr,
+            state,
+            shutdown,
+            promote_req,
+            promoted,
+            repl: Some(repl),
+            frontend: Some(frontend),
+        })
+    }
+
+    /// The bound control/serving address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether promotion has completed.
+    #[must_use]
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::Acquire)
+    }
+
+    /// Requests promotion as if a `Promote` frame had arrived: the
+    /// replication thread stops, then the frontend reboots as a full
+    /// server on the same address. In-process equivalent of the
+    /// proxy's failover RPC, for tests and benches.
+    pub fn request_promote(&self) {
+        self.promote_req.store(true, Ordering::Release);
+    }
+
+    /// A copy of the replica's current state and counters.
+    #[must_use]
+    pub fn replica_state(&self) -> ReplicaState {
+        self.state.lock().expect("state lock").clone()
+    }
+
+    /// Shuts the standby down and returns what it ended as. If it was
+    /// promoted, the promoted server is drained (blocking until its
+    /// last batch applies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates drain failures of a promoted server.
+    pub fn stop(mut self) -> io::Result<StandbyOutcome> {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.repl.take() {
+            let _ = h.join();
+        }
+        let front = self
+            .frontend
+            .take()
+            .expect("frontend joined once")
+            .join()
+            .map_err(|_| io::Error::other("standby frontend panicked"))??;
+        match front {
+            Some(server) => Ok(StandbyOutcome::Promoted(Box::new(server.drain()?))),
+            None => Ok(StandbyOutcome::Standby(
+                self.state.lock().expect("state lock").clone(),
+            )),
+        }
+    }
+}
+
+impl Drop for Standby {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.repl.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.frontend.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The standby's stats JSON (stable key order, one line).
+fn stats_json(state: &ReplicaState, primary_repl: &str, promoted: bool) -> String {
+    format!(
+        concat!(
+            "{{\"role\":\"{}\",\"primary_repl\":\"{}\",\"applied_jseq\":{},",
+            "\"seq_hw\":{},\"epoch\":{},\"routes\":{},\"records_applied\":{},",
+            "\"snapshots_loaded\":{},\"skipped\":{},\"reconnects\":{}}}"
+        ),
+        if promoted { "promoted" } else { "standby" },
+        primary_repl,
+        state.applied_jseq.map_or(-1i64, |j| j as i64),
+        state.seq_hw,
+        state.epoch,
+        state.table.len(),
+        state.records_applied,
+        state.snapshots_loaded,
+        state.skipped,
+        state.reconnects,
+    )
+}
+
+// ---------------------------------------------------------------- frontend
+
+#[allow(clippy::too_many_arguments)]
+fn frontend_loop(
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    cfg: &StandbyConfig,
+    state: &Arc<Mutex<ReplicaState>>,
+    shutdown: &Arc<AtomicBool>,
+    promote_req: &Arc<AtomicBool>,
+    promoted: &Arc<AtomicBool>,
+    repl_stopped: &Arc<AtomicBool>,
+) -> io::Result<Option<Server>> {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            for w in workers {
+                let _ = w.join();
+            }
+            return Ok(None);
+        }
+        if promote_req.load(Ordering::Acquire) {
+            // Let the replication thread finish its in-flight record:
+            // anything it acked must be in the state we serve from.
+            let deadline = Instant::now() + cfg.io_timeout;
+            while !repl_stopped.load(Ordering::Acquire) && Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(1));
+            }
+            drop(listener);
+            for w in workers {
+                let _ = w.join();
+            }
+            let recovered = {
+                let s = state.lock().expect("state lock");
+                RecoveredState {
+                    table: s.table.clone(),
+                    epoch: s.epoch,
+                    seq_hw: s.seq_hw,
+                    dreds: Vec::new(),
+                }
+            };
+            let svc = RouterService::start_recovered(&recovered, &cfg.router, None);
+            let scfg = ServerConfig {
+                listen: local_addr.to_string(),
+                router: cfg.router,
+                idle_poll: cfg.idle_poll,
+                io_timeout: cfg.io_timeout,
+            };
+            let server = Server::start_with_service(svc, recovered.seq_hw, &scfg)?;
+            promoted.store(true, Ordering::Release);
+            return Ok(Some(server));
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let cfg = cfg.clone();
+                let state = Arc::clone(state);
+                let shutdown = Arc::clone(shutdown);
+                let promote_req = Arc::clone(promote_req);
+                workers.push(thread::spawn(move || {
+                    let _ = serve_control(&stream, &cfg, &state, &shutdown, &promote_req);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(cfg.idle_poll),
+            Err(_) => thread::sleep(cfg.idle_poll),
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+}
+
+/// Serves one control connection: heartbeats, stats, `Hello` (so the
+/// stock client/`clue stats` can talk to a standby), and `Promote`.
+fn serve_control(
+    stream: &TcpStream,
+    cfg: &StandbyConfig,
+    state: &Arc<Mutex<ReplicaState>>,
+    shutdown: &Arc<AtomicBool>,
+    promote_req: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        if shutdown.load(Ordering::Acquire) || promote_req.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        stream.set_read_timeout(Some(cfg.idle_poll))?;
+        let mut lead = [0u8; 1];
+        match (&mut &*stream).read(&mut lead) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e),
+        }
+        stream.set_read_timeout(Some(cfg.io_timeout))?;
+        let frame = Frame::read_after_lead(lead[0], &mut &*stream)?;
+        match frame.kind {
+            FrameType::Hello => {
+                let seq_hw = state.lock().expect("state lock").seq_hw;
+                Frame {
+                    kind: FrameType::HelloAck,
+                    seq: frame.seq,
+                    payload: wire::encode_u64(seq_hw),
+                }
+                .write_to(&mut &*stream)?;
+            }
+            FrameType::Heartbeat => {
+                Frame::empty(FrameType::HeartbeatAck, frame.seq).write_to(&mut &*stream)?;
+            }
+            FrameType::StatsQuery => {
+                let json = {
+                    let s = state.lock().expect("state lock");
+                    stats_json(&s, &cfg.primary_repl, false)
+                };
+                Frame {
+                    kind: FrameType::StatsReply,
+                    seq: frame.seq,
+                    payload: json.into_bytes(),
+                }
+                .write_to(&mut &*stream)?;
+            }
+            FrameType::Promote => {
+                let (empty, seq_hw) = {
+                    let s = state.lock().expect("state lock");
+                    (s.table.is_empty(), s.seq_hw)
+                };
+                if empty {
+                    Frame {
+                        kind: FrameType::Error,
+                        seq: frame.seq,
+                        payload: b"standby has no snapshot yet, cannot promote".to_vec(),
+                    }
+                    .write_to(&mut &*stream)?;
+                    continue;
+                }
+                Frame {
+                    kind: FrameType::PromoteAck,
+                    seq: frame.seq,
+                    payload: wire::encode_u64(seq_hw),
+                }
+                .write_to(&mut &*stream)?;
+                promote_req.store(true, Ordering::Release);
+                return Ok(());
+            }
+            FrameType::Shutdown => return Ok(()),
+            other => {
+                Frame {
+                    kind: FrameType::Error,
+                    seq: frame.seq,
+                    payload: format!("standby does not serve {other:?} (promote first)")
+                        .into_bytes(),
+                }
+                .write_to(&mut &*stream)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- replication
+
+fn replication_loop(
+    cfg: &StandbyConfig,
+    state: &Arc<Mutex<ReplicaState>>,
+    shutdown: &Arc<AtomicBool>,
+    promote_req: &Arc<AtomicBool>,
+) {
+    let stop = || shutdown.load(Ordering::Acquire) || promote_req.load(Ordering::Acquire);
+    while !stop() {
+        match follow_once(cfg, state, &stop) {
+            Ok(()) => return, // clean shutdown from either side
+            Err(_) => {
+                if stop() {
+                    return;
+                }
+                state.lock().expect("state lock").reconnects += 1;
+                thread::sleep(cfg.reconnect_backoff);
+            }
+        }
+    }
+}
+
+/// One replication session: hello, catch up, stream until it breaks.
+fn follow_once(
+    cfg: &StandbyConfig,
+    state: &Arc<Mutex<ReplicaState>>,
+    stop: &impl Fn() -> bool,
+) -> io::Result<()> {
+    let target = cfg
+        .primary_repl
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "unresolvable primary"))?;
+    let stream = TcpStream::connect_timeout(&target, cfg.io_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(cfg.io_timeout))?;
+
+    let applied = state
+        .lock()
+        .expect("state lock")
+        .applied_jseq
+        .unwrap_or(FOLLOWER_EMPTY);
+    Frame {
+        kind: FrameType::ReplicaHello,
+        seq: 0,
+        payload: wire::encode_u64(applied),
+    }
+    .write_to(&mut &stream)?;
+    stream.set_read_timeout(Some(cfg.io_timeout))?;
+    let ack = Frame::read_from(&mut &stream)?;
+    if ack.kind != FrameType::HelloAck {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("expected HelloAck, got {:?}", ack.kind),
+        ));
+    }
+
+    let mut snapshot_buf: Vec<u8> = Vec::new();
+    loop {
+        if stop() {
+            return Ok(());
+        }
+        stream.set_read_timeout(Some(cfg.idle_poll))?;
+        let mut lead = [0u8; 1];
+        match (&mut &stream).read(&mut lead) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e),
+        }
+        stream.set_read_timeout(Some(cfg.io_timeout))?;
+        let frame = Frame::read_after_lead(lead[0], &mut &stream)?;
+        match frame.kind {
+            FrameType::SnapshotChunk => {
+                let (last, chunk) = wire::decode_chunk(&frame.payload)?;
+                snapshot_buf.extend_from_slice(chunk);
+                if last {
+                    let snap = decode_snapshot(&snapshot_buf)?;
+                    snapshot_buf = Vec::new();
+                    let mut s = state.lock().expect("state lock");
+                    s.table = snap.table;
+                    s.applied_jseq = Some(snap.jseq);
+                    s.seq_hw = s.seq_hw.max(snap.seq_hw);
+                    s.epoch = s.epoch.max(snap.epoch);
+                    s.snapshots_loaded += 1;
+                }
+            }
+            FrameType::WalShip => {
+                let (rec, used) = decode_record(&frame.payload)?;
+                if used != frame.payload.len() {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        "trailing bytes after shipped record",
+                    ));
+                }
+                let ops = rec.ops.len() as u32;
+                {
+                    let mut s = state.lock().expect("state lock");
+                    if s.applied_jseq.is_some_and(|j| rec.jseq <= j) {
+                        // Already applied (and acked) — never replay.
+                        s.skipped += 1;
+                    } else {
+                        for &op in &rec.ops {
+                            s.table.apply(op);
+                        }
+                        s.applied_jseq = Some(rec.jseq);
+                        s.seq_hw = s.seq_hw.max(rec.seq_hw);
+                        // rec.epoch is the epoch before the batch; the
+                        // batch may have published rec.epoch + 1.
+                        s.epoch = s.epoch.max(rec.epoch + 1);
+                        s.records_applied += 1;
+                    }
+                }
+                // Applied-then-acked: the primary may count this record
+                // as replicated the moment it sees the ack.
+                Frame {
+                    kind: FrameType::UpdateAck,
+                    seq: rec.jseq,
+                    payload: wire::encode_ack(wire::UpdateAck {
+                        accepted: ops,
+                        dropped: 0,
+                    }),
+                }
+                .write_to(&mut &stream)?;
+            }
+            FrameType::Heartbeat => {
+                Frame::empty(FrameType::HeartbeatAck, frame.seq).write_to(&mut &stream)?;
+            }
+            FrameType::Shutdown => return Err(ErrorKind::ConnectionAborted.into()),
+            other => {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unexpected {other:?} on replication stream"),
+                ));
+            }
+        }
+    }
+}

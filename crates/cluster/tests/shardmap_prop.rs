@@ -1,0 +1,97 @@
+//! Property tests: a shard map is a true partition of the address
+//! space — every /32 belongs to exactly one shard — its wire encoding
+//! round-trips, and update fan-out covers exactly the shards whose
+//! ranges a prefix touches.
+
+use clue_cluster::{ShardMap, ShardSpec};
+use clue_fib::{NextHop, Prefix, RouteTable};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = RouteTable> {
+    prop::collection::vec((any::<u32>(), 4u8..=16, 0u16..4), 16..160).prop_map(|v| {
+        v.into_iter()
+            .map(|(bits, len, nh)| (Prefix::new(bits, len), NextHop(nh)))
+            .collect()
+    })
+}
+
+fn specs(n: usize) -> Vec<ShardSpec> {
+    (0..n)
+        .map(|i| ShardSpec::with_standby(format!("10.0.0.{i}:4000"), format!("10.0.1.{i}:4000")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every /32 address maps to exactly one shard: `shard_of` agrees
+    /// with exactly one `shard_range`, the ranges tile the full `u32`
+    /// space with no gap or overlap, and boundaries land on the cuts.
+    #[test]
+    fn every_address_belongs_to_exactly_one_shard(
+        t in arb_table(),
+        n in 1usize..9,
+        probes in prop::collection::vec(any::<u32>(), 64),
+    ) {
+        prop_assume!(!t.is_empty());
+        let map = ShardMap::derive(&t, specs(n)).unwrap();
+        prop_assert_eq!(map.len(), n);
+
+        // The ranges tile the space: start at 0, end at MAX, and each
+        // range begins one past the previous end.
+        let first = map.shard_range(0);
+        let last = map.shard_range(n - 1);
+        prop_assert_eq!(*first.start(), 0u32);
+        prop_assert_eq!(*last.end(), u32::MAX);
+        for i in 1..n {
+            let prev_end = *map.shard_range(i - 1).end();
+            let start = *map.shard_range(i).start();
+            prop_assert_eq!(start, prev_end.wrapping_add(1));
+        }
+
+        // Probe random addresses plus every cut's two sides: the
+        // owning shard is unique.
+        let mut addrs = probes;
+        for &c in map.cuts() {
+            addrs.extend([c - 1, c, c.wrapping_add(1)]);
+        }
+        for addr in addrs {
+            let owner = map.shard_of(addr);
+            let containing: Vec<usize> =
+                (0..n).filter(|&i| map.shard_range(i).contains(&addr)).collect();
+            prop_assert_eq!(containing, vec![owner], "addr {:#x}", addr);
+        }
+    }
+
+    /// Wire encoding round-trips cuts and endpoints exactly.
+    #[test]
+    fn encoding_round_trips(t in arb_table(), n in 1usize..9) {
+        prop_assume!(!t.is_empty());
+        let map = ShardMap::derive(&t, specs(n)).unwrap();
+        let back = ShardMap::decode(&map.encode()).unwrap();
+        prop_assert_eq!(back.cuts(), map.cuts());
+        prop_assert_eq!(back.shards(), map.shards());
+    }
+
+    /// `shards_for_prefix` is exactly the set of shards whose range
+    /// the prefix's address interval intersects, and it always
+    /// includes the owner of both interval ends.
+    #[test]
+    fn fanout_matches_range_intersection(t in arb_table(), n in 1usize..9) {
+        prop_assume!(!t.is_empty());
+        let map = ShardMap::derive(&t, specs(n)).unwrap();
+        for r in t.iter() {
+            let fan = map.shards_for_prefix(r.prefix);
+            for i in 0..n {
+                let range = map.shard_range(i);
+                let intersects =
+                    r.prefix.low() <= *range.end() && r.prefix.high() >= *range.start();
+                prop_assert_eq!(
+                    fan.contains(&i),
+                    intersects,
+                    "{} vs shard {}", r.prefix, i
+                );
+            }
+        }
+    }
+}

@@ -136,6 +136,22 @@ impl Connection {
         self.reconnects
     }
 
+    /// Points future reconnects at a different address without touching
+    /// the in-flight window. The live socket (if any) keeps serving
+    /// until it errors; the next reconnect dials `addr`, re-runs the
+    /// `Hello(last_acked)` resume handshake there, and retransmits the
+    /// unacked suffix — this is how a proxy re-routes a shard's stream
+    /// to a promoted standby with exactly-once semantics intact.
+    pub fn redirect(&mut self, addr: impl Into<String>) {
+        self.cfg.addr = addr.into();
+    }
+
+    /// The address this connection dials (after any [`redirect`](Self::redirect)).
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.cfg.addr
+    }
+
     /// Highest acked update frame seq.
     #[must_use]
     pub fn last_acked(&self) -> u64 {

@@ -61,6 +61,28 @@ pub enum FrameType {
     Shutdown = 11,
     /// Fatal protocol error; payload = UTF-8 message.
     Error = 12,
+    /// Follower → primary replication greeting; payload = the
+    /// follower's applied journal position (`u64::MAX` = no state,
+    /// ship a snapshot first). Answered with [`FrameType::HelloAck`]
+    /// whose payload is the journal position the stream resumes after.
+    ReplicaHello = 13,
+    /// Primary → follower snapshot transfer; seq = chunk index,
+    /// payload = `is_last` byte + raw snapshot bytes (see
+    /// [`crate::wire::encode_chunk`]).
+    SnapshotChunk = 14,
+    /// Primary → follower journal record; seq = the record's jseq,
+    /// payload = the encoded `clue-store` WAL record. Acked with
+    /// [`FrameType::UpdateAck`] echoing the jseq.
+    WalShip = 15,
+    /// Client → proxy shard-map request (empty payload).
+    ShardMapQuery = 16,
+    /// Proxy → client; payload = the encoded versioned shard map.
+    ShardMapReply = 17,
+    /// Proxy → standby: take over as primary (empty payload).
+    Promote = 18,
+    /// Standby → proxy; payload = u64 sequence high-water the promoted
+    /// node resumes client acks from.
+    PromoteAck = 19,
 }
 
 impl FrameType {
@@ -81,6 +103,13 @@ impl FrameType {
             10 => HeartbeatAck,
             11 => Shutdown,
             12 => Error,
+            13 => ReplicaHello,
+            14 => SnapshotChunk,
+            15 => WalShip,
+            16 => ShardMapQuery,
+            17 => ShardMapReply,
+            18 => Promote,
+            19 => PromoteAck,
             _ => return None,
         })
     }
@@ -262,11 +291,11 @@ mod tests {
 
     #[test]
     fn every_type_round_trips_its_discriminant() {
-        for v in 1..=12u8 {
+        for v in 1..=19u8 {
             let t = FrameType::from_u8(v).unwrap();
             assert_eq!(t as u8, v);
         }
         assert_eq!(FrameType::from_u8(0), None);
-        assert_eq!(FrameType::from_u8(13), None);
+        assert_eq!(FrameType::from_u8(20), None);
     }
 }

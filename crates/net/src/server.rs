@@ -451,13 +451,23 @@ fn serve_conn(
             },
             FrameType::Heartbeat => Frame::empty(FrameType::HeartbeatAck, frame.seq),
             FrameType::Shutdown => return,
-            // Server-to-client types arriving here mean a confused peer.
+            // Server-to-client types arriving here mean a confused
+            // peer; cluster-plane types (replication, shard maps,
+            // promotion) belong on the proxy/replication endpoints,
+            // not a serving shard.
             FrameType::HelloAck
             | FrameType::UpdateAck
             | FrameType::LookupResult
             | FrameType::StatsReply
             | FrameType::HeartbeatAck
-            | FrameType::Error => {
+            | FrameType::Error
+            | FrameType::ReplicaHello
+            | FrameType::SnapshotChunk
+            | FrameType::WalShip
+            | FrameType::ShardMapQuery
+            | FrameType::ShardMapReply
+            | FrameType::Promote
+            | FrameType::PromoteAck => {
                 net.count_protocol_error(conn_id);
                 let _ = send(
                     &stream,

@@ -117,6 +117,29 @@ pub fn decode_ack(payload: &[u8]) -> io::Result<UpdateAck> {
     Ok(ack)
 }
 
+/// Encodes one `SnapshotChunk` payload: an `is_last` marker byte
+/// followed by the raw chunk bytes. The chunk index rides in the
+/// frame's `seq` field.
+#[must_use]
+pub fn encode_chunk(last: bool, data: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + data.len());
+    buf.push(u8::from(last));
+    buf.extend_from_slice(data);
+    buf
+}
+
+/// Decodes a `SnapshotChunk` payload into `(is_last, chunk_bytes)`.
+pub fn decode_chunk(payload: &[u8]) -> io::Result<(bool, &[u8])> {
+    let Some((&marker, data)) = payload.split_first() else {
+        return Err(bad("snapshot chunk missing its marker byte".into()));
+    };
+    match marker {
+        0 => Ok((false, data)),
+        1 => Ok((true, data)),
+        v => Err(bad(format!("snapshot chunk marker {v} is not 0/1"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +191,21 @@ mod tests {
         assert!(decode_u64(&[0; 7]).is_err());
         assert!(decode_u64(&[0; 9]).is_err());
         assert!(decode_ack(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn snapshot_chunks_round_trip_and_reject_bad_markers() {
+        let data = [9u8, 8, 7, 6];
+        assert_eq!(
+            decode_chunk(&encode_chunk(false, &data)).unwrap(),
+            (false, &data[..])
+        );
+        assert_eq!(
+            decode_chunk(&encode_chunk(true, &[])).unwrap(),
+            (true, &[][..])
+        );
+        assert!(decode_chunk(&[]).is_err());
+        assert!(decode_chunk(&[2, 1]).is_err());
     }
 
     #[test]

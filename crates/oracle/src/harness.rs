@@ -82,6 +82,11 @@ pub struct CheckConfig {
     /// `clue-store` with seeded crash points, tail corruption, and
     /// resumed-service continuation (see [`crate::recovery`]).
     pub recovery: bool,
+    /// Shard count for the cluster phase (see [`crate::cluster`]): with
+    /// 2 or more shards the workload additionally runs through a
+    /// sharded proxy/standby deployment with a mid-burst primary kill.
+    /// 1 (the default) skips the phase.
+    pub shards: usize,
 }
 
 impl CheckConfig {
@@ -102,6 +107,7 @@ impl CheckConfig {
             faults: None,
             net: false,
             recovery: false,
+            shards: 1,
         }
     }
 }
@@ -117,6 +123,8 @@ pub enum Stage {
     Net,
     /// State recovered from a `clue-store` data dir after a crash.
     Recovery,
+    /// The sharded cluster path (proxy fan-out over `clue-cluster`).
+    Cluster,
 }
 
 impl fmt::Display for Stage {
@@ -126,6 +134,7 @@ impl fmt::Display for Stage {
             Stage::Router => write!(f, "router runtime"),
             Stage::Net => write!(f, "networked path"),
             Stage::Recovery => write!(f, "recovered state"),
+            Stage::Cluster => write!(f, "sharded cluster"),
         }
     }
 }
@@ -176,7 +185,7 @@ impl Divergence {
             self,
             Divergence::Router { .. }
                 | Divergence::Lookup {
-                    stage: Stage::Router | Stage::Net,
+                    stage: Stage::Router | Stage::Net | Stage::Cluster,
                     ..
                 }
         )
@@ -246,6 +255,14 @@ pub struct CheckReport {
     pub recovery_replayed: u64,
     /// Recovery-phase boundary probes compared against the oracle.
     pub recovery_probes: u64,
+    /// Shards the cluster phase ran with (0 when skipped).
+    pub cluster_shards: usize,
+    /// Cluster-phase packet lookups through the proxy (0 when skipped).
+    pub cluster_lookups: usize,
+    /// Cluster-phase failovers performed (0 when skipped, else ≥ 1).
+    pub cluster_failovers: u64,
+    /// Cluster-phase post-burst probes compared against the oracle.
+    pub cluster_probes: u64,
     /// Whether fault injection was active.
     pub faulted: bool,
 }
@@ -331,6 +348,19 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckReport, Box<CheckFailure>> {
     } else {
         None
     };
+    let cluster = if cfg.shards > 1 {
+        Some(
+            crate::cluster::check_cluster_phase(&table, &trace, cfg).map_err(|divergence| {
+                Box::new(CheckFailure {
+                    divergence,
+                    table: table.clone(),
+                    trace: trace.clone(),
+                })
+            })?,
+        )
+    } else {
+        None
+    };
 
     Ok(CheckReport {
         batches: seq.batches,
@@ -343,6 +373,10 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckReport, Box<CheckFailure>> {
         recovery_crashes: recovery.map_or(0, |r| r.crash_points),
         recovery_replayed: recovery.map_or(0, |r| r.replayed),
         recovery_probes: recovery.map_or(0, |r| r.probes),
+        cluster_shards: cluster.map_or(0, |c| c.shards),
+        cluster_lookups: cluster.map_or(0, |c| c.lookups),
+        cluster_failovers: cluster.map_or(0, |c| c.failovers),
+        cluster_probes: cluster.map_or(0, |c| c.probes),
         faulted: cfg.faults.is_some(),
     })
 }

@@ -26,6 +26,10 @@
 //!   through `clue-store` with seeded crash points, journal-tail
 //!   corruption, and resumed-service continuation, each recovery
 //!   compared against the oracle at the exact preserved trace prefix;
+//! * [`cluster`] — the sharded-deployment phase: the workload through a
+//!   `clue-cluster` proxy over N shard primaries with warm standbys, a
+//!   primary killed mid-burst and its standby promoted, asserting zero
+//!   lost acks and per-shard bit-identical convergence;
 //! * [`shrink`] — greedy update-trace minimization and the reproducer
 //!   file format a failing `clue check` run emits.
 //!
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cluster;
 pub mod harness;
 pub mod model;
 pub mod netcheck;
@@ -42,6 +47,7 @@ pub mod probes;
 pub mod recovery;
 pub mod shrink;
 
+pub use cluster::{check_cluster_phase, ClusterOutcome};
 pub use harness::{run_check, CheckConfig, CheckFailure, CheckReport, Divergence, Stage};
 pub use model::Oracle;
 pub use netcheck::{check_net_phase, NetOutcome};

@@ -59,6 +59,27 @@ fn multiple_seeds_pass() {
     }
 }
 
+/// The cluster phase inside `run_check`: 2 shards with standbys, a
+/// primary killed mid-burst, standby promoted — no lost acks, and the
+/// report carries the phase's counters.
+#[test]
+fn sharded_check_passes() {
+    let cfg = CheckConfig {
+        shards: 2,
+        packets: 1_500,
+        ..small(13)
+    };
+    let report =
+        run_check(&cfg).unwrap_or_else(|f| panic!("sharded check diverged: {}", f.divergence));
+    assert_eq!(report.cluster_shards, 2);
+    assert_eq!(report.cluster_failovers, 1);
+    assert!(report.cluster_lookups > 0);
+    assert!(
+        report.cluster_probes > 0,
+        "cluster probes must not be vacuous"
+    );
+}
+
 #[test]
 fn zero_updates_still_checks_lookups() {
     let cfg = CheckConfig {

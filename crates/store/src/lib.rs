@@ -30,7 +30,10 @@ pub mod store;
 pub mod wal;
 
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, list_snapshots, load_snapshot, write_snapshot, Snapshot,
+    decode_snapshot, encode_snapshot, list_snapshots, load_snapshot, snapshot_name, write_snapshot,
+    Snapshot,
 };
-pub use store::{Recovery, Store, StoreConfig};
-pub use wal::{decode_record, encode_record, list_segments, scan_dir, ScanOutcome, WalRecord};
+pub use store::{Recovery, Store, StoreConfig, StreamBase};
+pub use wal::{
+    decode_record, encode_record, list_segments, scan_dir, segment_name, ScanOutcome, WalRecord,
+};

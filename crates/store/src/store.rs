@@ -71,6 +71,21 @@ pub struct Recovery {
     pub snapshots_skipped: u64,
 }
 
+/// A consistent streaming view of a data dir: the newest valid
+/// snapshot's raw bytes plus the contiguous journal tail after it.
+/// This is the state a replication hub ships to a joining follower.
+#[derive(Debug, Clone)]
+pub struct StreamBase {
+    /// Journal position the snapshot covers (records ≤ `jseq` are
+    /// folded in).
+    pub jseq: u64,
+    /// The snapshot file's raw bytes, CRC and all — followers validate
+    /// with [`crate::decode_snapshot`] after reassembly.
+    pub snapshot: Vec<u8>,
+    /// Journal records after `jseq`, in jseq order.
+    pub tail: Vec<WalRecord>,
+}
+
 impl Recovery {
     /// The recovered state in the form `RouterService::start_recovered`
     /// consumes.
@@ -286,6 +301,30 @@ impl Store {
             fs::remove_file(seg)?;
         }
         Ok(())
+    }
+
+    /// Reads the segment-streaming base for replication: the raw bytes
+    /// of the snapshot at [`snapshot_jseq`](Self::snapshot_jseq) plus
+    /// the decoded journal tail after it. Called between appends (the
+    /// store owns the write side, so the view is consistent).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` when the current snapshot file
+    /// does not validate (a standby must never be seeded from a
+    /// corrupt base).
+    pub fn stream_base(&self) -> io::Result<StreamBase> {
+        let path = self
+            .dir
+            .join(crate::snapshot::snapshot_name(self.snapshot_jseq));
+        let snapshot = fs::read(&path)?;
+        crate::snapshot::decode_snapshot(&snapshot)?;
+        let scan = scan_dir(&self.dir, self.snapshot_jseq)?;
+        Ok(StreamBase {
+            jseq: self.snapshot_jseq,
+            snapshot,
+            tail: scan.records,
+        })
     }
 
     /// Writes a snapshot assembled from a completed [`Recovery`] and

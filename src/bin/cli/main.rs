@@ -15,6 +15,14 @@
 //!                   [--stats-ms N]
 //! clue serve        --fib fib.txt --listen ADDR [--data-dir DIR] [--workers N] [--dred N]
 //!                   [--fifo N] [--batch K] [--queue N] [--overflow block|drop] [--stats-ms N]
+//! clue serve        --listen ADDR --data-dir DIR --repl-listen ADDR [--fib fib.txt]
+//!                   [--sync-ms N] [router flags]   (shard primary: WAL-shipping replication)
+//! clue serve        --listen ADDR --follow PRIMARY_REPL [router flags]   (warm standby)
+//! clue shardmap     --fib fib.txt --shards a,b,c [--standbys x,y,z] [--out map.bin]
+//!                   [--split-dir DIR]          (derive cuts, write map + per-shard FIBs)
+//! clue proxy        --map map.bin | --fib fib.txt --shards a,b,c [--standbys x,y,z]
+//!                   [--listen ADDR] [--heartbeat-ms N] [--fail-after N] [--stats-ms N]
+//! clue promote      --addr HOST:PORT           (promote a standby to a serving primary)
 //! clue snapshot     --data-dir DIR            (fold the journal into a snapshot, prune WAL)
 //! clue restore      --data-dir DIR [--fib out.txt] [--verify-fib fib.txt
 //!                   --verify-updates updates.txt]
@@ -24,7 +32,7 @@
 //! clue stats        --addr HOST:PORT
 //! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
 //!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
-//!                   [--net on|off] [--recovery on|off] [--out repro.txt]
+//!                   [--net on|off] [--recovery on|off] [--shards N] [--out repro.txt]
 //!                   [--replay repro.txt]
 //! ```
 //!
@@ -38,6 +46,10 @@ use std::process::ExitCode;
 
 use args::{ArgError, Args};
 
+use clue::cluster::{
+    rpc, Primary, PrimaryConfig, Proxy, ProxyConfig, ReplConfig, ShardMap, ShardSpec, Standby,
+    StandbyConfig, StandbyOutcome,
+};
 use clue::compress::{compress_with_stats, leaf_push, onrtc, ortc};
 use clue::core::engine::{Engine, EngineConfig};
 use clue::core::update_pipeline::{mean_ttf, ClplPipeline, CluePipeline, TtfSample};
@@ -45,7 +57,10 @@ use clue::core::DredConfig;
 use clue::fib::gen::FibGen;
 use clue::fib::{RouteTable, Update};
 use clue::net::signal;
-use clue::net::{run_load, ClientConfig, Connection, LoadConfig, Server, ServerConfig};
+use clue::net::wire;
+use clue::net::{
+    run_load, ClientConfig, Connection, Frame, FrameType, LoadConfig, Server, ServerConfig,
+};
 use clue::oracle::harness;
 use clue::oracle::{run_check, CheckConfig, Reproducer};
 use clue::partition::{
@@ -72,7 +87,16 @@ commands:
   serve         run the live concurrent router      (--fib --packets --updates; --workers
                 file-driven, or networked           --dred --fifo --batch --queue
                 with --listen HOST:PORT,             --overflow --stats-ms --listen
-                durable with --data-dir DIR          --data-dir)
+                durable with --data-dir DIR,         --data-dir --repl-listen --sync-ms
+                a shard primary with --repl-listen,  --follow)
+                or a warm standby with --follow
+  shardmap      derive a shard map from a FIB's     (--fib --shards; --standbys --out
+                even-range cuts, optionally          --split-dir)
+                splitting per-shard FIBs
+  proxy         front N shards as one router with   (--map or --fib --shards --standbys;
+                fan-out, health checks, and          --listen --heartbeat-ms --fail-after
+                standby failover                     --stats-ms)
+  promote       promote a standby to serving        (--addr)
   snapshot      fold a data dir's journal into a    (--data-dir)
                 fresh snapshot and prune the WAL
   restore       recover a data dir offline and      (--data-dir; --fib --verify-fib
@@ -84,7 +108,7 @@ commands:
   check         differential conformance check      (--seed --updates --routes --batch
                 against the naive oracle             --chips --dred --packets --faults
                                                      --fault-seed --net --recovery
-                                                     --out --replay)
+                                                     --shards --out --replay)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -116,6 +140,9 @@ fn dispatch(command: &str, args: &Args) -> Result<(), ArgError> {
         "simulate" => simulate(args),
         "replay" => replay(args),
         "serve" => serve(args),
+        "shardmap" => shardmap(args),
+        "proxy" => proxy(args),
+        "promote" => promote(args),
         "snapshot" => snapshot(args),
         "restore" => restore(args),
         "loadgen" => loadgen(args),
@@ -497,8 +524,21 @@ fn replay(args: &Args) -> Result<(), ArgError> {
 
 fn serve(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
-        "fib", "packets", "updates", "workers", "dred", "fifo", "batch", "queue", "overflow",
-        "stats-ms", "listen", "data-dir",
+        "fib",
+        "packets",
+        "updates",
+        "workers",
+        "dred",
+        "fifo",
+        "batch",
+        "queue",
+        "overflow",
+        "stats-ms",
+        "listen",
+        "data-dir",
+        "repl-listen",
+        "follow",
+        "sync-ms",
     ])?;
     let overflow = match args.optional("overflow").unwrap_or("block") {
         "block" => OverflowPolicy::Block,
@@ -523,6 +563,51 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         || cfg.update_queue == 0
     {
         return Err(ArgError("all sizes must be positive".into()));
+    }
+    if let Some(primary_repl) = args.optional("follow") {
+        for bad in [
+            "fib",
+            "packets",
+            "updates",
+            "data-dir",
+            "repl-listen",
+            "sync-ms",
+        ] {
+            if args.optional(bad).is_some() {
+                return Err(ArgError(format!(
+                    "--follow conflicts with --{bad} (a standby mirrors its primary's state)"
+                )));
+            }
+        }
+        let listen = args.required("listen")?;
+        return serve_follow(listen, primary_repl, cfg, stats_ms);
+    }
+    if let Some(repl_listen) = args.optional("repl-listen") {
+        let listen = args.optional("listen").ok_or_else(|| {
+            ArgError("--repl-listen needs --listen (the client/proxy-facing address)".into())
+        })?;
+        let dir = args.optional("data-dir").ok_or_else(|| {
+            ArgError("--repl-listen needs --data-dir (a replicated ack implies journaled)".into())
+        })?;
+        let fib = match args.optional("fib") {
+            Some(path) => Some(load_fib(path)?),
+            None => None,
+        };
+        let sync_ms: u64 = args.get_or("sync-ms", 2_000)?;
+        return serve_primary(
+            fib.as_ref(),
+            listen,
+            repl_listen,
+            dir,
+            cfg,
+            stats_ms,
+            sync_ms,
+        );
+    }
+    if args.optional("sync-ms").is_some() {
+        return Err(ArgError(
+            "--sync-ms applies only to a shard primary (--repl-listen)".into(),
+        ));
     }
     if let Some(listen) = args.optional("listen") {
         // With --data-dir an existing directory's state wins and --fib
@@ -699,6 +784,325 @@ fn serve_net(
         report.final_compressed.len(),
     );
     println!("{}", s.to_json());
+    Ok(())
+}
+
+/// The shard-primary `serve` path: durable store + replication
+/// endpoint + serving frontend, composed by [`Primary`] so a client
+/// ack implies journaled *and* applied on every live standby.
+fn serve_primary(
+    fib: Option<&RouteTable>,
+    listen: &str,
+    repl_listen: &str,
+    dir: &str,
+    mut router: RouterConfig,
+    stats_ms: u64,
+    sync_ms: u64,
+) -> Result<(), ArgError> {
+    router.snapshot_every = None;
+    let cfg = PrimaryConfig {
+        server: ServerConfig {
+            listen: listen.to_owned(),
+            router,
+            ..ServerConfig::default()
+        },
+        repl: ReplConfig {
+            listen: repl_listen.to_owned(),
+            ..ReplConfig::default()
+        },
+        store: StoreConfig::default(),
+        sync_timeout: std::time::Duration::from_millis(sync_ms.max(1)),
+    };
+    let primary =
+        Primary::start(std::path::Path::new(dir), fib, &cfg).map_err(|e| io_err(listen, &e))?;
+    signal::install();
+    println!(
+        "shard primary on {} ({} routes, {}), shipping WAL on {}; SIGINT/SIGTERM drains",
+        primary.local_addr(),
+        primary.routes(),
+        if primary.recovered() {
+            "recovered"
+        } else {
+            "seeded"
+        },
+        primary.repl_addr(),
+    );
+    let every = (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms));
+    let mut last = std::time::Instant::now();
+    while !signal::triggered() && !primary.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        if let Some(every) = every {
+            if last.elapsed() >= every {
+                let r = primary.repl_stats();
+                println!(
+                    "{{\"repl\":{{\"followers\":{},\"synced\":{},\"base_jseq\":{},\"tail_len\":{}}},\"server\":{}}}",
+                    r.followers,
+                    r.synced,
+                    r.base_jseq,
+                    r.tail_len,
+                    primary.stats_json(),
+                );
+                last = std::time::Instant::now();
+            }
+        }
+    }
+    eprintln!("clue serve: draining shard primary (journal flush + checkpoint)");
+    let report = primary.stop().map_err(|e| io_err("drain", &e))?;
+    let s = &report.snapshot;
+    println!(
+        "drained: {} lookups answered, {} updates received ({} applied, {} dropped), \
+         {} epochs | final table {} routes",
+        s.completions,
+        s.updates_received,
+        s.updates_applied,
+        s.update_drops,
+        s.epochs,
+        report.final_table.len(),
+    );
+    Ok(())
+}
+
+/// The warm-standby `serve` path: follow a primary's replication
+/// stream, apply-then-ack every record, and reboot as a full server on
+/// the same address when promoted (Promote frame or proxy failover).
+fn serve_follow(
+    listen: &str,
+    primary_repl: &str,
+    mut router: RouterConfig,
+    stats_ms: u64,
+) -> Result<(), ArgError> {
+    router.snapshot_every = None;
+    let standby = Standby::start(StandbyConfig {
+        listen: listen.to_owned(),
+        primary_repl: primary_repl.to_owned(),
+        router,
+        ..StandbyConfig::default()
+    })
+    .map_err(|e| io_err(listen, &e))?;
+    signal::install();
+    println!(
+        "standby on {} following {primary_repl}; promote with `clue promote --addr {}`; \
+         SIGINT/SIGTERM stops",
+        standby.local_addr(),
+        standby.local_addr(),
+    );
+    let every = (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms));
+    let mut last = std::time::Instant::now();
+    let mut announced = false;
+    while !signal::triggered() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        if standby.is_promoted() && !announced {
+            announced = true;
+            println!(
+                "promoted: serving lookups and updates on {}",
+                standby.local_addr()
+            );
+        }
+        if let Some(every) = every {
+            if last.elapsed() >= every && !standby.is_promoted() {
+                let s = standby.replica_state();
+                println!(
+                    "{{\"role\":\"standby\",\"applied_jseq\":{},\"seq_hw\":{},\"routes\":{},\
+                     \"records_applied\":{},\"snapshots_loaded\":{},\"skipped\":{},\
+                     \"reconnects\":{}}}",
+                    s.applied_jseq.map_or(-1i64, |j| j as i64),
+                    s.seq_hw,
+                    s.table.len(),
+                    s.records_applied,
+                    s.snapshots_loaded,
+                    s.skipped,
+                    s.reconnects,
+                );
+                last = std::time::Instant::now();
+            }
+        }
+    }
+    match standby.stop().map_err(|e| io_err(listen, &e))? {
+        StandbyOutcome::Standby(s) => {
+            println!(
+                "stopped as standby: {} routes mirrored, applied_jseq {}, seq high-water {}, \
+                 {} records applied, {} snapshots, {} skipped, {} reconnects",
+                s.table.len(),
+                s.applied_jseq.map_or(-1i64, |j| j as i64),
+                s.seq_hw,
+                s.records_applied,
+                s.snapshots_loaded,
+                s.skipped,
+                s.reconnects,
+            );
+        }
+        StandbyOutcome::Promoted(report) => {
+            let s = &report.snapshot;
+            println!(
+                "drained promoted server: {} lookups answered, {} updates applied, {} epochs | \
+                 final table {} routes",
+                s.completions,
+                s.updates_applied,
+                s.epochs,
+                report.final_table.len(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Parses `--shards a,b,c` (+ optional `--standbys x,y,z`) into
+/// per-shard endpoint specs. Shared by `shardmap` and `proxy`.
+fn parse_shard_specs(args: &Args) -> Result<Vec<ShardSpec>, ArgError> {
+    let split = |raw: &str| -> Vec<String> {
+        raw.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect()
+    };
+    let primaries = split(args.required("shards")?);
+    if primaries.is_empty() {
+        return Err(ArgError(
+            "--shards needs at least one HOST:PORT endpoint".into(),
+        ));
+    }
+    let standbys = args.optional("standbys").map(split).unwrap_or_default();
+    if !standbys.is_empty() && standbys.len() != primaries.len() {
+        return Err(ArgError(format!(
+            "--standbys lists {} endpoints for {} shards (one per shard, or omit)",
+            standbys.len(),
+            primaries.len(),
+        )));
+    }
+    Ok(primaries
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| match standbys.get(i) {
+            Some(s) => ShardSpec::with_standby(p, s.clone()),
+            None => ShardSpec::primary_only(p),
+        })
+        .collect())
+}
+
+/// `clue shardmap`: derive even-range cuts from a FIB, print the
+/// per-shard ranges, and optionally write the versioned map file and
+/// per-shard filtered FIBs (to seed each primary's data dir).
+fn shardmap(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["fib", "shards", "standbys", "out", "split-dir"])?;
+    let fib = load_fib(args.required("fib")?)?;
+    let specs = parse_shard_specs(args)?;
+    let map = ShardMap::derive(&fib, specs).map_err(|e| io_err("shard map", &e))?;
+    for (i, spec) in map.shards().iter().enumerate() {
+        let range = map.shard_range(i);
+        let sub = map.filter_table(&fib, i);
+        println!(
+            "shard {i}: {}..{} ({} routes) -> {}{}",
+            std::net::Ipv4Addr::from(*range.start()),
+            std::net::Ipv4Addr::from(*range.end()),
+            sub.len(),
+            spec.primary,
+            spec.standby
+                .as_deref()
+                .map(|s| format!(" (standby {s})"))
+                .unwrap_or_default(),
+        );
+    }
+    if let Some(out) = args.optional("out") {
+        map.write_file(std::path::Path::new(out))
+            .map_err(|e| io_err(out, &e))?;
+        println!(
+            "wrote shard map ({} shards, {} bytes) to {out}",
+            map.len(),
+            map.encode().len(),
+        );
+    }
+    if let Some(dir) = args.optional("split-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        for i in 0..map.len() {
+            let sub = map.filter_table(&fib, i);
+            let path = format!("{dir}/shard{i}.txt");
+            write_file(&path, &sub.to_text())?;
+            println!("wrote {} routes to {path}", sub.len());
+        }
+    }
+    Ok(())
+}
+
+/// `clue proxy`: front N shard primaries as one logical router —
+/// range-partitioned fan-out, per-shard health checks, and automatic
+/// standby promotion on primary failure.
+fn proxy(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "listen",
+        "map",
+        "fib",
+        "shards",
+        "standbys",
+        "heartbeat-ms",
+        "fail-after",
+        "stats-ms",
+    ])?;
+    let map = match args.optional("map") {
+        Some(path) => {
+            for bad in ["fib", "shards", "standbys"] {
+                if args.optional(bad).is_some() {
+                    return Err(ArgError(format!(
+                        "--map already carries the cuts and endpoints; drop --{bad}"
+                    )));
+                }
+            }
+            ShardMap::read_file(std::path::Path::new(path)).map_err(|e| io_err(path, &e))?
+        }
+        None => {
+            let fib = load_fib(args.required("fib").map_err(|_| {
+                ArgError("proxy needs --map FILE, or --fib + --shards to derive one".into())
+            })?)?;
+            ShardMap::derive(&fib, parse_shard_specs(args)?).map_err(|e| io_err("shard map", &e))?
+        }
+    };
+    let shards = map.len();
+    let mut cfg = ProxyConfig::new(map);
+    cfg.listen = args.optional("listen").unwrap_or("127.0.0.1:0").to_owned();
+    cfg.heartbeat_every = std::time::Duration::from_millis(args.get_or("heartbeat-ms", 150)?);
+    cfg.fail_after = args.get_or("fail-after", 2)?;
+    if cfg.fail_after == 0 {
+        return Err(ArgError("--fail-after must be positive".into()));
+    }
+    let stats_ms: u64 = args.get_or("stats-ms", 0)?;
+    let listen = cfg.listen.clone();
+    let proxy = Proxy::start(cfg).map_err(|e| io_err(&listen, &e))?;
+    signal::install();
+    println!(
+        "proxy on {} fronting {shards} shards; SIGINT/SIGTERM stops",
+        proxy.local_addr(),
+    );
+    let every = (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms));
+    let mut last = std::time::Instant::now();
+    while !signal::triggered() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        if let Some(every) = every {
+            if last.elapsed() >= every {
+                println!("{}", proxy.stats_json());
+                last = std::time::Instant::now();
+            }
+        }
+    }
+    println!("{}", proxy.stats_json());
+    proxy.stop();
+    Ok(())
+}
+
+/// `clue promote`: ask a standby to take over serving (the manual
+/// counterpart of the proxy's automatic failover).
+fn promote(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["addr"])?;
+    let addr = args.required("addr")?;
+    let reply = rpc::call_expect(
+        addr,
+        &Frame::empty(FrameType::Promote, 0),
+        FrameType::PromoteAck,
+        std::time::Duration::from_secs(2),
+        std::time::Duration::from_secs(10),
+    )
+    .map_err(|e| io_err(addr, &e))?;
+    let seq_hw = wire::decode_u64(&reply.payload).map_err(|e| io_err(addr, &e))?;
+    println!("promoted {addr}: serving resumes at seq high-water {seq_hw}");
     Ok(())
 }
 
@@ -936,6 +1340,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "fault-seed",
         "net",
         "recovery",
+        "shards",
         "out",
         "replay",
     ])?;
@@ -968,6 +1373,12 @@ fn check(args: &Args) -> Result<(), ArgError> {
             )))
         }
     };
+    cfg.shards = args.get_or("shards", 1)?;
+    if cfg.shards == 0 {
+        return Err(ArgError(
+            "--shards must be at least 1 (2+ runs the cluster phase)".into(),
+        ));
+    }
 
     if let Some(path) = args.optional("replay") {
         let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
@@ -1016,6 +1427,16 @@ fn check(args: &Args) -> Result<(), ArgError> {
                     "recovery phase: {} crash points, {} journal records replayed, \
                      {} boundary probes agreed",
                     report.recovery_crashes, report.recovery_replayed, report.recovery_probes,
+                );
+            }
+            if cfg.shards > 1 {
+                println!(
+                    "cluster phase: {} shards, {} proxied lookups agreed, {} failover \
+                     (zero lost acks), {} convergence probes",
+                    report.cluster_shards,
+                    report.cluster_lookups,
+                    report.cluster_failovers,
+                    report.cluster_probes,
                 );
             }
             Ok(())

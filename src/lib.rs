@@ -18,6 +18,7 @@
 //! | [`router`] | `clue-router` | the live concurrent update-plane runtime |
 //! | [`net`] | `clue-net` | wire protocol, TCP server/client, load generator |
 //! | [`store`] | `clue-store` | write-ahead journal, snapshots, crash recovery |
+//! | [`cluster`] | `clue-cluster` | shard map, proxy tier, WAL-shipping replication, failover |
 //! | [`oracle`] | `clue-oracle` | differential conformance oracle + fault-injection harness |
 //!
 //! # Quickstart
@@ -49,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use clue_cache as cache;
+pub use clue_cluster as cluster;
 pub use clue_compress as compress;
 pub use clue_core as core;
 pub use clue_fib as fib;
