@@ -1,0 +1,205 @@
+//! Lookup-plane scaling: every backend × thread count × key mix,
+//! emitted as `BENCH_lookup_scaling.json` for CI artifacts and
+//! regression diffing (schema documented in DESIGN.md §3).
+//!
+//! Each run shares one immutable plane (exactly how workers share a
+//! published epoch) across 1..=cores reader threads. Threads walk a
+//! common key array from staggered start offsets so the cache-residency
+//! profile matches the router's per-chip readers rather than N clones
+//! of the same access sequence. Uniform and Zipf(1.25) mixes cover the
+//! balanced and skewed ends of the paper's traffic models.
+//!
+//! The artifact path defaults to `BENCH_lookup_scaling.json` in the
+//! working directory; override with `CLUE_BENCH_LOOKUP_JSON=/path`.
+
+use std::time::Instant;
+
+use clue_bench::{banner, scale, standard_compressed};
+use clue_core::lookup::{build_plane, BackendKind, LookupPlane};
+use clue_fib::Route;
+use clue_traffic::PacketGen;
+
+/// Lookups timed per latency sample: coarse enough that the timer call
+/// does not dominate a 2-cache-line trie probe, fine enough for a
+/// usable p99.
+const SAMPLE: usize = 64;
+
+struct Run {
+    mix: &'static str,
+    threads: usize,
+    lookups: usize,
+    elapsed_ms: f64,
+    per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One measurement: `threads` readers over a shared plane, staggered
+/// start offsets on a shared key array, per-SAMPLE-batch latencies.
+fn run_once(plane: &dyn LookupPlane, keys: &[u32], mix: &'static str, threads: usize) -> Run {
+    let per_thread = keys.len() / threads;
+    let start = Instant::now();
+    let samples: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let offset = t * keys.len() / threads;
+                    let mut lat = Vec::with_capacity(per_thread / SAMPLE + 1);
+                    let mut sink = 0u64;
+                    for chunk in 0..per_thread.div_ceil(SAMPLE) {
+                        let base = offset + chunk * SAMPLE;
+                        let n = SAMPLE.min(per_thread - chunk * SAMPLE);
+                        let t0 = Instant::now();
+                        for i in 0..n {
+                            let addr = keys[(base + i) % keys.len()];
+                            if let Some(nh) = plane.next_hop(addr) {
+                                sink = sink.wrapping_add(u64::from(nh.0));
+                            }
+                        }
+                        lat.push(t0.elapsed().as_nanos() as f64 / n as f64);
+                    }
+                    std::hint::black_box(sink);
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut all: Vec<f64> = samples.into_iter().flatten().collect();
+    all.sort_by(f64::total_cmp);
+    let lookups = per_thread * threads;
+    Run {
+        mix,
+        threads,
+        lookups,
+        elapsed_ms: elapsed * 1e3,
+        per_sec: lookups as f64 / elapsed,
+        p50_ns: percentile(&all, 0.50),
+        p99_ns: percentile(&all, 0.99),
+    }
+}
+
+fn main() {
+    banner(
+        "Lookup scaling — backends × threads × key mixes",
+        "writes BENCH_lookup_scaling.json (override with CLUE_BENCH_LOOKUP_JSON)",
+    );
+    let s = scale();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let table = standard_compressed();
+    let routes: Vec<Route> = table.iter().collect();
+    let lookups = ((400_000.0 * s) as usize).max(20_000);
+    let uniform = PacketGen::new(0x10CA)
+        .zipf_exponent(0.0)
+        .generate(&table, lookups);
+    let zipf = PacketGen::new(0x21FF)
+        .zipf_exponent(1.25)
+        .generate(&table, lookups);
+    println!(
+        "table: {} compressed routes | {} keys per mix | {} cores",
+        routes.len(),
+        lookups,
+        cores
+    );
+
+    // 1, 2, 4, ... plus the full core count.
+    let mut thread_counts: Vec<usize> = std::iter::successors(Some(1usize), |&t| Some(t * 2))
+        .take_while(|&t| t < cores)
+        .collect();
+    thread_counts.push(cores);
+
+    let mut backends_json = String::new();
+    let mut single_thread_uniform: Vec<(BackendKind, f64)> = Vec::new();
+    for kind in BackendKind::ALL {
+        let plane = build_plane(kind, &routes);
+        println!(
+            "\n{} backend: {} entries, {} heap bytes",
+            kind,
+            plane.len(),
+            plane.heap_bytes()
+        );
+        let mut runs = Vec::new();
+        for &threads in &thread_counts {
+            for (mix, keys) in [("uniform", &uniform), ("zipf", &zipf)] {
+                let r = run_once(plane.as_ref(), keys, mix, threads);
+                println!(
+                    "  {:7} x{:<3} {:>12.0} lookups/s | p50 {:>7.1} ns | p99 {:>7.1} ns",
+                    r.mix, r.threads, r.per_sec, r.p50_ns, r.p99_ns
+                );
+                if threads == 1 && mix == "uniform" {
+                    single_thread_uniform.push((kind, r.per_sec));
+                }
+                runs.push(r);
+            }
+        }
+        if !backends_json.is_empty() {
+            backends_json.push(',');
+        }
+        let runs_json: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"mix\":\"{}\",\"threads\":{},\"lookups\":{},\
+                     \"elapsed_ms\":{:.3},\"lookups_per_sec\":{:.1},\
+                     \"p50_ns\":{:.1},\"p99_ns\":{:.1}}}",
+                    r.mix, r.threads, r.lookups, r.elapsed_ms, r.per_sec, r.p50_ns, r.p99_ns
+                )
+            })
+            .collect();
+        backends_json.push_str(&format!(
+            "{{\"backend\":\"{}\",\"entries\":{},\"heap_bytes\":{},\
+             \"runs\":[{}]}}",
+            kind,
+            plane.len(),
+            plane.heap_bytes(),
+            runs_json.join(",")
+        ));
+    }
+
+    // The acceptance headline: the flattened trie must beat the
+    // cycle-cost TCAM sim on a single thread.
+    let rate = |k: BackendKind| {
+        single_thread_uniform
+            .iter()
+            .find(|(b, _)| *b == k)
+            .map_or(0.0, |(_, r)| *r)
+    };
+    let (tcam1, trie1) = (rate(BackendKind::Tcam), rate(BackendKind::Trie));
+    println!(
+        "\nsingle-thread uniform: trie {:.0}/s vs tcam {:.0}/s ({}x)",
+        trie1,
+        tcam1,
+        if tcam1 > 0.0 {
+            format!("{:.1}", trie1 / tcam1)
+        } else {
+            "inf".to_owned()
+        }
+    );
+
+    let json = format!(
+        "{{\"schema\":\"clue-bench-lookup-scaling/1\",\"scale\":{s},\
+         \"cores\":{cores},\"routes\":{},\"keys\":{},\
+         \"trie_vs_tcam_single_thread\":{:.3},\
+         \"backends\":[{backends_json}]}}",
+        routes.len(),
+        lookups,
+        if tcam1 > 0.0 { trie1 / tcam1 } else { 0.0 },
+    );
+    let path = std::env::var("CLUE_BENCH_LOOKUP_JSON")
+        .unwrap_or_else(|_| "BENCH_lookup_scaling.json".to_owned());
+    match std::fs::write(&path, format!("{json}\n")) {
+        Ok(()) => println!("lookup scaling written to {path}"),
+        Err(e) => eprintln!("write to {path} failed: {e}"),
+    }
+}

@@ -95,3 +95,69 @@ proptest! {
         }
     }
 }
+
+/// Deterministic fan-out edge geometry. The property above shows
+/// fan-out equals range intersection on derived maps; these pin the
+/// named corner cases against hand-built cut layouts.
+mod fanout_edges {
+    use super::*;
+
+    #[test]
+    fn prefix_straddling_a_cut_fans_to_both_sides() {
+        // Cuts deliberately unaligned to prefix boundaries so a /16
+        // can span one: [0, 0xFFFF] crosses the cut at 0x1000.
+        let map = ShardMap::from_cuts(vec![0x1000, 0x2000_0000], specs(3)).unwrap();
+        assert_eq!(map.shards_for_prefix(Prefix::new(0, 16)), 0..=1);
+        // A /2 spanning both cuts reaches all three shards.
+        assert_eq!(map.shards_for_prefix(Prefix::new(0, 2)), 0..=2);
+        // One address below the cut stays on the low side; the cut
+        // address itself belongs to the high side.
+        assert_eq!(map.shards_for_prefix(Prefix::new(0x0FFF, 32)), 0..=0);
+        assert_eq!(map.shards_for_prefix(Prefix::new(0x1000, 32)), 1..=1);
+    }
+
+    #[test]
+    fn cut_aligned_prefix_stays_on_one_shard() {
+        let cuts = vec![0x4000_0000, 0x8000_0000, 0xC000_0000];
+        let map = ShardMap::from_cuts(cuts, specs(4)).unwrap();
+        for (i, bits) in [0u32, 0x4000_0000, 0x8000_0000, 0xC000_0000]
+            .into_iter()
+            .enumerate()
+        {
+            // Each /2 is exactly one shard's interval: no spurious
+            // fan-out to a neighbour sharing only an endpoint.
+            assert_eq!(map.shards_for_prefix(Prefix::new(bits, 2)), i..=i);
+        }
+        // The enclosing /1 fans to exactly the two shards it tiles.
+        assert_eq!(map.shards_for_prefix(Prefix::new(0, 1)), 0..=1);
+        assert_eq!(map.shards_for_prefix(Prefix::new(0x8000_0000, 1)), 2..=3);
+    }
+
+    #[test]
+    fn default_route_fans_to_all_shards() {
+        for n in 1..=8 {
+            let cuts: Vec<u32> = (1..n as u32).map(|i| i << 28).collect();
+            let map = ShardMap::from_cuts(cuts, specs(n)).unwrap();
+            assert_eq!(map.shards_for_prefix(Prefix::root()), 0..=n - 1);
+        }
+    }
+
+    #[test]
+    fn single_shard_map_owns_everything() {
+        let map = ShardMap::from_cuts(vec![], specs(1)).unwrap();
+        assert_eq!(map.shard_range(0), 0..=u32::MAX);
+        for prefix in [
+            Prefix::root(),
+            Prefix::new(0, 32),
+            Prefix::new(u32::MAX, 32),
+            Prefix::new(0x8000_0000, 1),
+        ] {
+            assert_eq!(map.shards_for_prefix(prefix), 0..=0);
+        }
+        // And the filtered table for the lone shard is the whole table.
+        let mut t = RouteTable::new();
+        t.insert(Prefix::new(0x0A00_0000, 8), NextHop(1));
+        t.insert(Prefix::root(), NextHop(2));
+        assert_eq!(map.filter_table(&t, 0).len(), t.len());
+    }
+}

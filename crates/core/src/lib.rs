@@ -7,6 +7,10 @@
 //! * [`dred`] — the three redundancy schemes: CLUE's data-plane DRed,
 //!   CLPL's control-plane logical caches (RRC-ME), and SLPL's static
 //!   redundancy.
+//! * [`lookup`] — the multi-backend lookup data plane: the
+//!   [`LookupPlane`](lookup::LookupPlane) trait with the cycle-cost
+//!   TCAM sim, a flattened 16/8/8 multibit trie, and an entropy-style
+//!   interval-compressed FIB behind one interface.
 //! * [`update_pipeline`] — the whole incremental update path with TTF
 //!   accounting (trie → TCAM → DRed), for both CLUE and CLPL.
 //! * [`theory`] — the Section III-D lower bound `t = (N−1)h + 1`.
@@ -41,6 +45,7 @@ pub mod codec;
 pub mod crc;
 pub mod dred;
 pub mod engine;
+pub mod lookup;
 pub mod metrics;
 pub mod reorder;
 pub mod theory;
@@ -49,6 +54,7 @@ pub mod update_pipeline;
 
 pub use dred::{DredConfig, RedundancyScheme, SchemeStats};
 pub use engine::{balanced_mapping, Engine, EngineConfig, EngineReport, Outcome};
+pub use lookup::{build_plane, plane_from_table, BackendKind, LookupPlane};
 pub use reorder::ReorderBuffer;
 pub use theory::{implied_hit_rate, required_hit_rate, worst_case_speedup};
 pub use threads::{run_threaded, ThreadedConfig, ThreadedReport};

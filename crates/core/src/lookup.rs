@@ -1,0 +1,614 @@
+//! The multi-backend lookup data plane: one trait, three engines.
+//!
+//! Everything that answers "which route matches this address?" at
+//! packet rate sits behind [`LookupPlane`]. The router's epoch
+//! publication builds one plane per worker from the (non-overlapping)
+//! compressed table and swaps them atomically; a backend therefore
+//! never sees an in-place mutation — it is built once from a route
+//! snapshot and read concurrently until the epoch is retired.
+//!
+//! Three implementations, selectable by [`BackendKind`]:
+//!
+//! * [`TcamPlane`] — the paper's cycle-cost TCAM simulator
+//!   ([`clue_tcam::SlotArray`]) moved behind the trait, behavior
+//!   preserving: LPM over the stored ternary entries exactly as the
+//!   encoder-free hardware of the paper resolves it.
+//! * [`TriePlane`] — a flattened multibit trie with level-compressed
+//!   16/8/8 strides. The root level is one 2^16 slot array (256 KiB of
+//!   u32 slots, sequential-prefetch friendly); longer prefixes expand
+//!   into 256-entry child blocks packed contiguously in one arena so a
+//!   lookup touches at most three cache lines.
+//! * [`CfibPlane`] — an entropy-style compressed FIB in the spirit of
+//!   Rétvári et al. ("Compressing IP Forwarding Tables: Towards
+//!   Entropy Bounds and Beyond"): the LPM function is flattened into
+//!   disjoint address intervals, adjacent intervals with equal labels
+//!   are merged, and the per-interval labels are dictionary-coded and
+//!   bit-packed to ⌈log2(distinct labels)⌉ bits each.
+//!
+//! All three resolve the *matched route* (prefix and next hop), not
+//! just the next hop — the router's DRed fill path caches the route so
+//! the update plane's delete-if-present flush stays coherent.
+
+use std::fmt;
+use std::str::FromStr;
+
+use clue_fib::{mask, NextHop, Prefix, Route, RouteTable, Trie};
+use clue_tcam::SlotArray;
+
+/// Which lookup backend a router (or bench, or check) runs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// The cycle-cost TCAM simulator (the paper's hardware model).
+    #[default]
+    Tcam,
+    /// The flattened 16/8/8 multibit trie.
+    Trie,
+    /// The entropy-style interval-compressed FIB.
+    Cfib,
+}
+
+impl BackendKind {
+    /// Every backend, in conformance-matrix order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Tcam, BackendKind::Trie, BackendKind::Cfib];
+
+    /// The CLI / JSON name (`tcam`, `trie`, `cfib`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Tcam => "tcam",
+            BackendKind::Trie => "trie",
+            BackendKind::Cfib => "cfib",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a backend name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError {
+    got: String,
+}
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?} (expected tcam, trie, or cfib)",
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for BackendKind {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tcam" => Ok(BackendKind::Tcam),
+            "trie" => Ok(BackendKind::Trie),
+            "cfib" => Ok(BackendKind::Cfib),
+            other => Err(ParseBackendError {
+                got: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// An immutable, concurrently readable longest-prefix-match engine.
+///
+/// # Contract
+///
+/// A plane is built from one snapshot of routes and never mutated;
+/// updates are applied by building a *new* plane from the post-batch
+/// table and publishing it (the router's epoch swap). Implementations
+/// may therefore precompute freely and must be `Send + Sync`.
+///
+/// When the route set is non-overlapping (ONRTC output — the only
+/// thing the router ever publishes), [`lookup`](Self::lookup) must
+/// return the unique containing route. Backends built from general
+/// (overlapping) sets must return the longest match, so the flat-scan
+/// oracle is the reference for every input.
+pub trait LookupPlane: fmt::Debug + Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The longest-prefix match for `addr`: the matched route itself,
+    /// because callers (the DRed fill path) need the prefix, not just
+    /// the next hop.
+    fn lookup(&self, addr: u32) -> Option<Route>;
+
+    /// Routes the plane was built from.
+    fn len(&self) -> usize;
+
+    /// Whether the plane holds no routes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap footprint in bytes (for compression reporting).
+    fn heap_bytes(&self) -> usize;
+
+    /// Convenience: just the next hop of the match.
+    fn next_hop(&self, addr: u32) -> Option<NextHop> {
+        self.lookup(addr).map(|r| r.next_hop)
+    }
+}
+
+/// Builds the backend of `kind` over a route snapshot.
+///
+/// # Panics
+///
+/// Panics if `routes` contains duplicate prefixes (a route *set* is
+/// required; next-hop collisions on distinct prefixes are fine).
+#[must_use]
+pub fn build_plane(kind: BackendKind, routes: &[Route]) -> Box<dyn LookupPlane> {
+    match kind {
+        BackendKind::Tcam => Box::new(TcamPlane::build(routes)),
+        BackendKind::Trie => Box::new(TriePlane::build(routes)),
+        BackendKind::Cfib => Box::new(CfibPlane::build(routes)),
+    }
+}
+
+/// Builds the backend of `kind` over a whole table.
+#[must_use]
+pub fn plane_from_table(kind: BackendKind, table: &RouteTable) -> Box<dyn LookupPlane> {
+    let routes: Vec<Route> = table.iter().collect();
+    build_plane(kind, &routes)
+}
+
+/// The cycle-cost TCAM simulator behind the trait: ternary entries in
+/// a [`SlotArray`], resolved through the software mirror exactly as
+/// the rest of the paper pipeline models the hardware.
+#[derive(Debug)]
+pub struct TcamPlane {
+    slots: SlotArray,
+}
+
+impl TcamPlane {
+    /// Loads `routes` into consecutive slots (CLUE's unordered mode —
+    /// non-overlapping content needs no priority encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate prefixes.
+    #[must_use]
+    pub fn build(routes: &[Route]) -> Self {
+        TcamPlane {
+            slots: SlotArray::from_routes(routes),
+        }
+    }
+}
+
+impl LookupPlane for TcamPlane {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Tcam
+    }
+
+    fn lookup(&self, addr: u32) -> Option<Route> {
+        self.slots.lookup(addr).map(|(p, nh)| Route::new(p, nh))
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // Slot words plus the mirror's (prefix, slot) pairs.
+        self.slots.capacity() * std::mem::size_of::<Option<clue_tcam::TernaryEntry>>()
+            + self.slots.len() * (std::mem::size_of::<Prefix>() + std::mem::size_of::<usize>())
+    }
+}
+
+/// Pointer flag: the slot refers to a 256-entry child block.
+const PTR: u32 = 1 << 31;
+/// Leaf flag: the slot holds a (next hop, prefix length) match.
+const LEAF: u32 = 1 << 30;
+/// Shift of the prefix length inside a leaf slot.
+const PLEN_SHIFT: u32 = 16;
+
+/// The flattened multibit trie: 16/8/8 strides, leaf-pushed.
+///
+/// `root` is a 2^16 slot array indexed by the top 16 address bits;
+/// child blocks of 256 slots each (for the middle and low bytes) live
+/// packed in one `blocks` arena. A slot is either empty (`0`), a leaf
+/// (`LEAF | plen << 16 | nh`), or a pointer (`PTR | block id`), so a
+/// lookup is at most three dependent u32 loads with no branches on
+/// route count.
+///
+/// Build inserts routes in ascending prefix-length order: a shorter
+/// prefix then never lands on top of a pointer installed by a longer
+/// one, so leaf pushing happens only at block creation (the new block
+/// inherits the covering leaf) and never needs recursive repair.
+#[derive(Debug)]
+pub struct TriePlane {
+    root: Vec<u32>,
+    blocks: Vec<u32>,
+    entries: usize,
+}
+
+impl TriePlane {
+    /// Builds the flattened trie over `routes` (overlap allowed; the
+    /// longest match wins, as the oracle demands).
+    #[must_use]
+    pub fn build(routes: &[Route]) -> Self {
+        let mut sorted: Vec<Route> = routes.to_vec();
+        sorted.sort_unstable_by_key(|r| (r.prefix.len(), r.prefix.bits()));
+        let mut plane = TriePlane {
+            root: vec![0u32; 1 << 16],
+            blocks: Vec::new(),
+            entries: sorted.len(),
+        };
+        for r in sorted {
+            plane.insert(r);
+        }
+        plane
+    }
+
+    fn leaf(nh: NextHop, plen: u8) -> u32 {
+        LEAF | (u32::from(plen) << PLEN_SHIFT) | u32::from(nh.0)
+    }
+
+    /// Child-block base for `root[ri]`, allocating (and inheriting the
+    /// covering leaf) if the slot is not a pointer yet.
+    fn block_under_root(&mut self, ri: usize) -> usize {
+        let v = self.root[ri];
+        if v & PTR != 0 {
+            return ((v & !PTR) as usize) << 8;
+        }
+        let id = (self.blocks.len() >> 8) as u32;
+        self.blocks.extend(std::iter::repeat_n(v, 256));
+        self.root[ri] = PTR | id;
+        (id as usize) << 8
+    }
+
+    /// Child-block base for arena slot `idx`, allocating likewise.
+    fn block_under(&mut self, idx: usize) -> usize {
+        let v = self.blocks[idx];
+        if v & PTR != 0 {
+            return ((v & !PTR) as usize) << 8;
+        }
+        let id = (self.blocks.len() >> 8) as u32;
+        self.blocks.extend(std::iter::repeat_n(v, 256));
+        self.blocks[idx] = PTR | id;
+        (id as usize) << 8
+    }
+
+    fn insert(&mut self, r: Route) {
+        let plen = r.prefix.len();
+        let leaf = Self::leaf(r.next_hop, plen);
+        let (lo, hi) = (r.prefix.low(), r.prefix.high());
+        if plen <= 16 {
+            // Ascending-length build: these slots cannot be pointers
+            // yet (pointers are installed only by longer prefixes).
+            for slot in &mut self.root[(lo >> 16) as usize..=(hi >> 16) as usize] {
+                debug_assert_eq!(*slot & PTR, 0, "short prefix over a pointer");
+                *slot = leaf;
+            }
+        } else if plen <= 24 {
+            let base = self.block_under_root((lo >> 16) as usize);
+            let (bl, bh) = (((lo >> 8) & 0xFF) as usize, ((hi >> 8) & 0xFF) as usize);
+            for slot in &mut self.blocks[base + bl..=base + bh] {
+                debug_assert_eq!(*slot & PTR, 0, "mid prefix over a pointer");
+                *slot = leaf;
+            }
+        } else {
+            let base = self.block_under_root((lo >> 16) as usize);
+            let base = self.block_under(base + (((lo >> 8) & 0xFF) as usize));
+            let (bl, bh) = ((lo & 0xFF) as usize, (hi & 0xFF) as usize);
+            for slot in &mut self.blocks[base + bl..=base + bh] {
+                *slot = leaf;
+            }
+        }
+    }
+}
+
+impl LookupPlane for TriePlane {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Trie
+    }
+
+    fn lookup(&self, addr: u32) -> Option<Route> {
+        let mut v = self.root[(addr >> 16) as usize];
+        if v & PTR != 0 {
+            v = self.blocks[(((v & !PTR) as usize) << 8) | ((addr >> 8) & 0xFF) as usize];
+            if v & PTR != 0 {
+                v = self.blocks[(((v & !PTR) as usize) << 8) | (addr & 0xFF) as usize];
+            }
+        }
+        if v & LEAF == 0 {
+            return None;
+        }
+        let plen = ((v >> PLEN_SHIFT) & 0x3F) as u8;
+        let nh = NextHop((v & 0xFFFF) as u16);
+        Some(Route::new(Prefix::new(addr & mask(plen), plen), nh))
+    }
+
+    fn len(&self) -> usize {
+        self.entries
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.root.len() + self.blocks.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// An interval label: the `(prefix length, next hop)` of the match, or
+/// none. Encoded as a dense u32 key for dictionary building.
+fn label_key(label: Option<(u8, NextHop)>) -> u32 {
+    match label {
+        None => u32::MAX,
+        Some((plen, nh)) => (u32::from(plen) << 16) | u32::from(nh.0),
+    }
+}
+
+/// The entropy-style compressed FIB: LPM flattened to disjoint address
+/// intervals with dictionary-coded, bit-packed labels.
+///
+/// Every prefix boundary (`low`, `high + 1`) becomes a candidate
+/// interval start; between consecutive boundaries the LPM answer is
+/// constant, so adjacent intervals with equal `(plen, next hop)`
+/// labels merge. The surviving labels are coded through a dictionary
+/// and stored in ⌈log2(dictionary size)⌉ bits each — the
+/// information-theoretic floor for a memoryless label stream, per the
+/// Rétvári et al. line of work. A lookup is one `partition_point`
+/// binary search plus one bit-extract.
+#[derive(Debug)]
+pub struct CfibPlane {
+    /// Sorted interval starts; `starts[0] == 0` always.
+    starts: Vec<u32>,
+    /// Bit-packed label codes, one per interval.
+    packed: Vec<u64>,
+    /// Bits per code.
+    code_bits: u32,
+    /// Code → label.
+    dict: Vec<Option<(u8, NextHop)>>,
+    entries: usize,
+}
+
+impl CfibPlane {
+    /// Flattens `routes` (overlap allowed; longest match wins) into
+    /// the interval-coded form.
+    #[must_use]
+    pub fn build(routes: &[Route]) -> Self {
+        let reference: Trie<NextHop> =
+            Trie::from_pairs(routes.iter().map(|r| (r.prefix, r.next_hop)));
+        let mut bounds: Vec<u32> = Vec::with_capacity(routes.len() * 2 + 1);
+        bounds.push(0);
+        for r in routes {
+            bounds.push(r.prefix.low());
+            if r.prefix.high() != u32::MAX {
+                bounds.push(r.prefix.high() + 1);
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        // Evaluate the LPM label at each boundary and merge runs.
+        let mut starts: Vec<u32> = Vec::new();
+        let mut labels: Vec<Option<(u8, NextHop)>> = Vec::new();
+        for &b in &bounds {
+            let label = reference.lookup(b).map(|(p, &nh)| (p.len(), nh));
+            if labels.last() == Some(&label) {
+                continue;
+            }
+            starts.push(b);
+            labels.push(label);
+        }
+
+        // Dictionary-code the labels.
+        let mut dict: Vec<Option<(u8, NextHop)>> = Vec::new();
+        let mut code_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let codes: Vec<usize> = labels
+            .iter()
+            .map(|&label| {
+                *code_of.entry(label_key(label)).or_insert_with(|| {
+                    dict.push(label);
+                    dict.len() - 1
+                })
+            })
+            .collect();
+        let code_bits = usize::BITS - (dict.len() - 1).leading_zeros().min(usize::BITS - 1);
+        let code_bits = code_bits.max(1);
+
+        // Bit-pack the code stream.
+        let mut packed = vec![0u64; (codes.len() * code_bits as usize).div_ceil(64)];
+        for (i, &c) in codes.iter().enumerate() {
+            let bit = i * code_bits as usize;
+            let (word, off) = (bit / 64, (bit % 64) as u32);
+            packed[word] |= (c as u64) << off;
+            if off + code_bits > 64 {
+                packed[word + 1] |= (c as u64) >> (64 - off);
+            }
+        }
+
+        CfibPlane {
+            starts,
+            packed,
+            code_bits,
+            dict,
+            entries: routes.len(),
+        }
+    }
+
+    fn code_at(&self, i: usize) -> usize {
+        let bit = i * self.code_bits as usize;
+        let (word, off) = (bit / 64, (bit % 64) as u32);
+        let mut v = self.packed[word] >> off;
+        if off + self.code_bits > 64 {
+            v |= self.packed[word + 1] << (64 - off);
+        }
+        (v & ((1u64 << self.code_bits) - 1)) as usize
+    }
+
+    /// Distinct labels in the dictionary (compression diagnostics).
+    #[must_use]
+    pub fn dictionary_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Intervals after merging (compression diagnostics).
+    #[must_use]
+    pub fn interval_count(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+impl LookupPlane for CfibPlane {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cfib
+    }
+
+    fn lookup(&self, addr: u32) -> Option<Route> {
+        let idx = self.starts.partition_point(|&s| s <= addr) - 1;
+        let (plen, nh) = self.dict[self.code_at(idx)]?;
+        Some(Route::new(Prefix::new(addr & mask(plen), plen), nh))
+    }
+
+    fn len(&self) -> usize {
+        self.entries
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.starts.len() * std::mem::size_of::<u32>()
+            + self.packed.len() * std::mem::size_of::<u64>()
+            + self.dict.len() * std::mem::size_of::<Option<(u8, NextHop)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_compress::onrtc;
+    use clue_fib::gen::FibGen;
+
+    fn flat_lpm(routes: &[Route], addr: u32) -> Option<Route> {
+        routes
+            .iter()
+            .filter(|r| r.prefix.contains_addr(addr))
+            .max_by_key(|r| r.prefix.len())
+            .copied()
+    }
+
+    fn probe_addrs(routes: &[Route]) -> Vec<u32> {
+        let mut addrs = vec![0, 1, u32::MAX, u32::MAX - 1, 0x8000_0000];
+        for r in routes {
+            let (lo, hi) = (r.prefix.low(), r.prefix.high());
+            addrs.extend([lo, hi, lo.wrapping_sub(1), hi.wrapping_add(1)]);
+            addrs.push(lo ^ (1 << (31 - u32::from(r.prefix.len().max(1) - 1))));
+        }
+        addrs
+    }
+
+    fn assert_all_agree(routes: &[Route]) {
+        let planes: Vec<Box<dyn LookupPlane>> = BackendKind::ALL
+            .iter()
+            .map(|&k| build_plane(k, routes))
+            .collect();
+        for addr in probe_addrs(routes) {
+            let want = flat_lpm(routes, addr);
+            for plane in &planes {
+                assert_eq!(
+                    plane.lookup(addr),
+                    want,
+                    "{} backend at {addr:#010x}",
+                    plane.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("fpga".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Tcam);
+    }
+
+    #[test]
+    fn empty_plane_answers_none() {
+        for kind in BackendKind::ALL {
+            let plane = build_plane(kind, &[]);
+            assert!(plane.is_empty());
+            for addr in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+                assert_eq!(plane.lookup(addr), None, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let routes = [Route::new(Prefix::root(), NextHop(7))];
+        assert_all_agree(&routes);
+    }
+
+    #[test]
+    fn host_routes_and_sibling_edges() {
+        let routes = [
+            Route::new(Prefix::new(0x0A00_0000, 8), NextHop(1)),
+            Route::new(Prefix::new(0x0A01_0203, 32), NextHop(2)),
+            Route::new(Prefix::new(0x0A01_0202, 32), NextHop(3)),
+            Route::new(Prefix::new(0x8000_0000, 1), NextHop(4)),
+        ];
+        assert_all_agree(&routes);
+    }
+
+    #[test]
+    fn overlapping_set_resolves_longest_match() {
+        let routes = [
+            Route::new(Prefix::root(), NextHop(0)),
+            Route::new(Prefix::new(0xC000_0000, 2), NextHop(1)),
+            Route::new(Prefix::new(0xC0A8_0000, 16), NextHop(2)),
+            Route::new(Prefix::new(0xC0A8_0100, 24), NextHop(3)),
+            Route::new(Prefix::new(0xC0A8_0180, 25), NextHop(4)),
+            Route::new(Prefix::new(0xC0A8_01FE, 31), NextHop(5)),
+        ];
+        assert_all_agree(&routes);
+    }
+
+    #[test]
+    fn generated_compressed_table_agrees_with_binary_trie() {
+        let table = onrtc(&FibGen::new(42).routes(3_000).generate());
+        let routes: Vec<Route> = table.iter().collect();
+        let reference = table.to_trie();
+        let planes: Vec<Box<dyn LookupPlane>> = BackendKind::ALL
+            .iter()
+            .map(|&k| build_plane(k, &routes))
+            .collect();
+        let mut addr = 0x0137_9B51u32;
+        for _ in 0..20_000 {
+            addr = addr.wrapping_mul(0x9E37_79B9).wrapping_add(0x7F4A_7C15);
+            let want = reference.lookup(addr).map(|(p, &nh)| Route::new(p, nh));
+            for plane in &planes {
+                assert_eq!(plane.lookup(addr), want, "{}", plane.kind());
+            }
+        }
+        for plane in &planes {
+            assert_eq!(plane.len(), routes.len());
+            assert!(plane.heap_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn cfib_compresses_below_raw_route_storage() {
+        let table = onrtc(&FibGen::new(7).routes(10_000).generate());
+        let routes: Vec<Route> = table.iter().collect();
+        let cfib = CfibPlane::build(&routes);
+        assert!(cfib.dictionary_len() < cfib.interval_count());
+        // Dictionary coding must beat one u32 label per interval.
+        let naive = cfib.interval_count() * 2 * std::mem::size_of::<u32>();
+        assert!(
+            cfib.heap_bytes() < naive,
+            "packed {} >= naive {naive}",
+            cfib.heap_bytes()
+        );
+    }
+}

@@ -291,3 +291,47 @@ fn graceful_drain_refuses_new_work_but_keeps_its_promises() {
     let next = conn.lookup(&[0x0A00_0001]);
     assert!(next.is_err(), "post-drain lookups must fail");
 }
+
+#[test]
+fn non_default_backends_serve_identical_answers_over_tcp() {
+    use clue_router::BackendKind;
+
+    let fib = small_fib(681, 1_000);
+    let packets = PacketGen::new(682).generate(&fib, 2_000);
+    let updates = UpdateGen::new(683).generate(&fib, 400);
+    let reference = clue_compress::onrtc(&fib).to_trie();
+
+    for backend in [BackendKind::Trie, BackendKind::Cfib] {
+        let router = RouterConfig {
+            backend,
+            ..RouterConfig::default()
+        };
+        let server = local_server(&fib, router);
+        let mut conn = client_for(&server);
+        // Answers from a freshly published epoch match the reference
+        // trie regardless of which lookup backend serves them.
+        for batch in packets.chunks(256) {
+            let got = conn.lookup(batch).expect("lookup batch");
+            for (&addr, nh) in batch.iter().zip(&got) {
+                assert_eq!(
+                    *nh,
+                    reference.lookup(addr).map(|(_, &v)| v),
+                    "{backend} backend, addr {addr:#x}"
+                );
+            }
+        }
+        // The update plane still converges: backends only change how
+        // epochs answer lookups, never what the FIB becomes.
+        for batch in updates.chunks(32) {
+            conn.send_updates(batch).expect("send updates");
+        }
+        conn.flush_acks().expect("flush");
+        let _ = conn.close().expect("close");
+        let report = server.drain().expect("server drains cleanly");
+        let mut expect = fib.clone();
+        for &u in &updates {
+            expect.apply(u);
+        }
+        assert_eq!(report.final_table, expect, "{backend} backend");
+    }
+}

@@ -32,6 +32,7 @@
 use std::fmt;
 
 use clue_compress::onrtc;
+use clue_core::lookup::{plane_from_table, BackendKind};
 use clue_core::update_pipeline::CluePipeline;
 use clue_fib::gen::FibGen;
 use clue_fib::{NextHop, Prefix, RouteTable, Update};
@@ -87,6 +88,11 @@ pub struct CheckConfig {
     /// sharded proxy/standby deployment with a mid-burst primary kill.
     /// 1 (the default) skips the phase.
     pub shards: usize,
+    /// Lookup backend the live phases (router, net, recovery) publish
+    /// their epochs with. The sequential phase always probes *all*
+    /// backends against the oracle, so a divergence is attributed to
+    /// the specific backend that disagreed.
+    pub backend: BackendKind,
 }
 
 impl CheckConfig {
@@ -108,6 +114,7 @@ impl CheckConfig {
             net: false,
             recovery: false,
             shards: 1,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -117,6 +124,10 @@ impl CheckConfig {
 pub enum Stage {
     /// The sequential phase's compressed trie (ONRTC output).
     Compressed,
+    /// A named lookup backend built from the compressed table (the
+    /// sequential phase probes every [`BackendKind`]), so a shrunken
+    /// trace is attributable to the backend that disagreed.
+    Backend(BackendKind),
     /// The concurrent router runtime's per-packet results.
     Router,
     /// The networked path (loopback TCP through `clue-net`).
@@ -131,6 +142,7 @@ impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Stage::Compressed => write!(f, "compressed trie"),
+            Stage::Backend(kind) => write!(f, "{kind} backend"),
             Stage::Router => write!(f, "router runtime"),
             Stage::Net => write!(f, "networked path"),
             Stage::Recovery => write!(f, "recovered state"),
@@ -427,6 +439,15 @@ pub fn check_trace(
             cfg.probe_random,
         );
         let compressed_trie = pipeline.fib().compressed();
+        // Every lookup backend, compiled from the same post-batch
+        // compressed table, must answer each probe identically — the
+        // differential harness verifies all of them in one pass, and a
+        // disagreement names the backend that produced it.
+        let compressed_table = pipeline.fib().compressed_table();
+        let planes: Vec<_> = BackendKind::ALL
+            .iter()
+            .map(|&k| plane_from_table(k, &compressed_table))
+            .collect();
         for addr in addrs {
             probes_run += 1;
             let expected = oracle.lookup(addr);
@@ -439,6 +460,19 @@ pub fn check_trace(
                     expected,
                     got,
                 });
+            }
+            for plane in &planes {
+                probes_run += 1;
+                let got = plane.next_hop(addr);
+                if got != expected {
+                    return Err(Divergence::Lookup {
+                        stage: Stage::Backend(plane.kind()),
+                        batch: bi,
+                        addr,
+                        expected,
+                        got,
+                    });
+                }
             }
         }
     }
@@ -580,6 +614,7 @@ pub fn check_router_phase(
         dred_capacity: cfg.dred_capacity,
         batch_size: cfg.batch,
         faults: cfg.faults,
+        backend: cfg.backend,
         ..RouterConfig::default()
     };
     let packets = if cfg.packets > 0 {
@@ -690,7 +725,8 @@ pub fn minimize_failure(failure: &CheckFailure, cfg: &CheckConfig) -> Reproducer
     };
     Reproducer {
         note: format!(
-            "divergence: {}\nseed={} routes={} updates={} batch={} chips={} dred={} faults={}",
+            "divergence: {}\nseed={} routes={} updates={} batch={} chips={} dred={} \
+             faults={} backend={}",
             failure.divergence,
             cfg.seed,
             cfg.routes,
@@ -700,6 +736,7 @@ pub fn minimize_failure(failure: &CheckFailure, cfg: &CheckConfig) -> Reproducer
             cfg.dred_capacity,
             cfg.faults
                 .map_or_else(|| "off".to_owned(), |f| format!("on(seed={})", f.seed)),
+            cfg.backend,
         ),
         table: table.clone(),
         trace: minimized,

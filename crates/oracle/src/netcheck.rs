@@ -73,6 +73,7 @@ pub fn check_net_phase(
             // Server-side faults stay off: the perturber below injects
             // them ahead of the wire, where the real world would.
             faults: None,
+            backend: cfg.backend,
             ..RouterConfig::default()
         },
         idle_poll: Duration::from_millis(10),

@@ -110,6 +110,7 @@ fn router_cfg(cfg: &CheckConfig) -> RouterConfig {
         workers: cfg.chips,
         dred_capacity: cfg.dred_capacity,
         batch_size: cfg.batch,
+        backend: cfg.backend,
         ..RouterConfig::default()
     }
 }

@@ -2,13 +2,20 @@
 //!
 //! The update plane never mutates a structure a worker is reading.
 //! Instead, after each applied batch it rebuilds the per-worker lookup
-//! tries from the new compressed table and publishes them as one
+//! planes from the new compressed table and publishes them as one
 //! immutable [`EpochState`] behind an `Arc`. Workers poll a relaxed
 //! atomic epoch counter once per packet and, only when it moved, swap
 //! their local `Arc` for the new one — so every worker observes a batch
 //! atomically (all of its entry changes or none) and two workers can
 //! never serve lookups from different halves of one batch *published*
 //! state.
+//!
+//! Each per-worker plane is one [`LookupPlane`] backend, selected by
+//! [`BackendKind`]: the cycle-cost TCAM sim (the default, the paper's
+//! hardware model), the flattened multibit trie, or the entropy-style
+//! compressed FIB. Because a plane is built fresh from the post-batch
+//! compressed table and never touched again, every backend gets the
+//! paper's update semantics for free — the epoch swap *is* the update.
 //!
 //! Partition cuts are **fixed at start-up** (CLUE's even-range split of
 //! the initial compressed table). Updates shift route boundaries, so a
@@ -22,7 +29,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use clue_fib::{NextHop, RouteTable, Trie};
+use clue_core::lookup::{build_plane, BackendKind, LookupPlane};
+use clue_fib::{Route, RouteTable};
 use clue_partition::{Indexer, RangeIndex};
 use parking_lot::Mutex;
 
@@ -31,9 +39,11 @@ use parking_lot::Mutex;
 pub struct EpochState {
     /// Monotonic generation number (0 = initial table).
     pub epoch: u64,
-    /// One trie per worker, holding its bucket of the compressed table
-    /// (plus replicas of cut-spanning routes).
-    pub tries: Vec<Trie<NextHop>>,
+    /// One lookup plane per worker, holding its bucket of the
+    /// compressed table (plus replicas of cut-spanning routes).
+    pub planes: Vec<Box<dyn LookupPlane>>,
+    /// Which backend the planes were built with.
+    pub backend: BackendKind,
     /// Entries in the compressed table this epoch was built from.
     pub entries: usize,
     /// Routes stored in more than one bucket (extra copies only):
@@ -44,31 +54,43 @@ pub struct EpochState {
 impl EpochState {
     /// Builds an epoch by distributing `compressed` (which must be
     /// non-overlapping) over `workers` buckets along `index`'s fixed
-    /// cuts, replicating any route that spans a cut.
+    /// cuts, replicating any route that spans a cut, then compiling
+    /// each bucket into a `backend` lookup plane.
     ///
     /// # Panics
     ///
     /// Panics if `workers` disagrees with `index.bucket_count()`.
     #[must_use]
-    pub fn build(epoch: u64, compressed: &RouteTable, index: &RangeIndex, workers: usize) -> Self {
+    pub fn build(
+        epoch: u64,
+        compressed: &RouteTable,
+        index: &RangeIndex,
+        workers: usize,
+        backend: BackendKind,
+    ) -> Self {
         assert_eq!(
             index.bucket_count(),
             workers,
             "index must have one bucket per worker"
         );
-        let mut tries: Vec<Trie<NextHop>> = (0..workers).map(|_| Trie::new()).collect();
+        let mut buckets: Vec<Vec<Route>> = (0..workers).map(|_| Vec::new()).collect();
         let mut replicated = 0u64;
         for r in compressed.iter() {
             let first = index.bucket_of(r.prefix.low());
             let last = index.bucket_of(r.prefix.high());
             replicated += (last - first) as u64;
-            for trie in &mut tries[first..=last] {
-                trie.insert(r.prefix, r.next_hop);
+            for bucket in &mut buckets[first..=last] {
+                bucket.push(r);
             }
         }
+        let planes = buckets
+            .iter()
+            .map(|routes| build_plane(backend, routes))
+            .collect();
         EpochState {
             epoch,
-            tries,
+            planes,
+            backend,
             entries: compressed.len(),
             replicated,
         }
@@ -132,7 +154,7 @@ impl EpochCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clue_fib::Prefix;
+    use clue_fib::{NextHop, Prefix};
     use clue_partition::EvenRangePartition;
 
     fn disjoint_table(count: u32) -> RouteTable {
@@ -145,10 +167,10 @@ mod tests {
     fn initial_epoch_has_zero_redundancy() {
         let t = disjoint_table(32);
         let index = EvenRangePartition::split(&t, 4).index().clone();
-        let e = EpochState::build(0, &t, &index, 4);
+        let e = EpochState::build(0, &t, &index, 4, BackendKind::Tcam);
         assert_eq!(e.replicated, 0, "cuts fall on route boundaries");
-        assert_eq!(e.tries.len(), 4);
-        let held: usize = e.tries.iter().map(Trie::len).sum();
+        assert_eq!(e.planes.len(), 4);
+        let held: usize = e.planes.iter().map(|p| p.len()).sum();
         assert_eq!(held, t.len());
     }
 
@@ -159,15 +181,35 @@ mod tests {
         // A later update merges a wide route across every cut.
         let mut evolved = RouteTable::new();
         evolved.insert(Prefix::new(0, 4), NextHop(9));
-        let e = EpochState::build(1, &evolved, &index, 4);
-        assert_eq!(e.replicated, 3, "one copy per extra bucket spanned");
-        // Every address's own bucket can resolve it locally.
-        for addr in [0u32, 9 << 16, 17 << 16, 30 << 16] {
+        for backend in BackendKind::ALL {
+            let e = EpochState::build(1, &evolved, &index, 4, backend);
+            assert_eq!(e.replicated, 3, "one copy per extra bucket spanned");
+            // Every address's own bucket can resolve it locally.
+            for addr in [0u32, 9 << 16, 17 << 16, 30 << 16] {
+                let b = index.bucket_of(addr);
+                assert_eq!(
+                    e.planes[b].next_hop(addr),
+                    Some(NextHop(9)),
+                    "addr {addr:#x} must resolve in bucket {b} ({backend})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_agrees_on_the_published_partition() {
+        let t = disjoint_table(64);
+        let index = EvenRangePartition::split(&t, 4).index().clone();
+        let states: Vec<EpochState> = BackendKind::ALL
+            .iter()
+            .map(|&k| EpochState::build(0, &t, &index, 4, k))
+            .collect();
+        for addr in (0u32..64 << 16).step_by(1 << 12) {
             let b = index.bucket_of(addr);
-            assert_eq!(
-                e.tries[b].lookup(addr).map(|(_, &nh)| nh),
-                Some(NextHop(9)),
-                "addr {addr:#x} must resolve in bucket {b}"
+            let answers: Vec<_> = states.iter().map(|e| e.planes[b].lookup(addr)).collect();
+            assert!(
+                answers.windows(2).all(|w| w[0] == w[1]),
+                "backends disagree at {addr:#x}: {answers:?}"
             );
         }
     }
@@ -176,10 +218,10 @@ mod tests {
     fn cell_publish_is_observed_via_refresh() {
         let t = disjoint_table(8);
         let index = EvenRangePartition::split(&t, 2).index().clone();
-        let cell = EpochCell::new(EpochState::build(0, &t, &index, 2));
+        let cell = EpochCell::new(EpochState::build(0, &t, &index, 2, BackendKind::Tcam));
         let mut local = cell.load();
         assert!(!cell.refresh(&mut local), "nothing published yet");
-        cell.publish(EpochState::build(1, &t, &index, 2));
+        cell.publish(EpochState::build(1, &t, &index, 2, BackendKind::Tcam));
         assert!(cell.refresh(&mut local));
         assert_eq!(local.epoch, 1);
         assert!(!cell.refresh(&mut local), "already current");
@@ -190,6 +232,6 @@ mod tests {
     fn build_rejects_mismatched_worker_count() {
         let t = disjoint_table(8);
         let index = EvenRangePartition::split(&t, 2).index().clone();
-        let _ = EpochState::build(0, &t, &index, 3);
+        let _ = EpochState::build(0, &t, &index, 3, BackendKind::Tcam);
     }
 }

@@ -30,6 +30,7 @@ pub mod runtime;
 pub mod service;
 pub mod stats;
 
+pub use clue_core::lookup::BackendKind;
 pub use coalesce::{coalesce, CoalescedBatch};
 pub use epoch::{EpochCell, EpochState};
 pub use faults::{FaultPlan, IngressPerturber, WriteStall};

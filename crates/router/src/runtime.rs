@@ -43,6 +43,7 @@
 
 use std::time::{Duration, Instant};
 
+use clue_core::lookup::BackendKind;
 use clue_fib::{NextHop, RouteTable, Update};
 
 use crate::faults::{FaultPlan, IngressPerturber};
@@ -80,6 +81,10 @@ pub struct RouterConfig {
     /// Seeded fault injection at the channel and TCAM-write seams
     /// (None = run clean). See [`FaultPlan`].
     pub faults: Option<FaultPlan>,
+    /// Which lookup backend the published epochs compile to (the
+    /// cycle-cost TCAM sim, the flattened multibit trie, or the
+    /// entropy-style compressed FIB).
+    pub backend: BackendKind,
 }
 
 impl Default for RouterConfig {
@@ -93,6 +98,7 @@ impl Default for RouterConfig {
             overflow: OverflowPolicy::Block,
             snapshot_every: None,
             faults: None,
+            backend: BackendKind::default(),
         }
     }
 }

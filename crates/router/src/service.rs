@@ -213,7 +213,7 @@ impl RouterService {
         let index: RangeIndex = EvenRangePartition::split(&compressed0, cfg.workers)
             .index()
             .clone();
-        let first_epoch = EpochState::build(epoch0, &compressed0, &index, cfg.workers);
+        let first_epoch = EpochState::build(epoch0, &compressed0, &index, cfg.workers, cfg.backend);
 
         let shared = Arc::new(Shared {
             dreds: (0..cfg.workers)
@@ -693,8 +693,13 @@ fn update_loop(
         // Publish the batch as one atomic epoch (skip if nothing moved).
         if touched {
             epoch += 1;
-            let state =
-                EpochState::build(epoch, &pipeline.fib().compressed_table(), index, workers);
+            let state = EpochState::build(
+                epoch,
+                &pipeline.fib().compressed_table(),
+                index,
+                workers,
+                cfg.backend,
+            );
             shared.epochs.publish(state);
             shared.stats.update().epochs += 1;
         }
@@ -778,9 +783,7 @@ fn worker_loop(
                 t0,
                 bounced,
             } => {
-                let matched = epoch.tries[chip]
-                    .lookup(addr)
-                    .map(|(p, &nh)| Route::new(p, nh));
+                let matched = epoch.planes[chip].lookup(addr);
                 if bounced {
                     if let Some(route) = matched {
                         // CLUE fill: every DRed except this chip's own.

@@ -11,6 +11,7 @@
 //! cargo run --release --example live_router
 //! ```
 
+use clue::core::BackendKind;
 use clue::fib::gen::FibGen;
 use clue::router::{run, OverflowPolicy, RouterConfig};
 use clue::traffic::{PacketGen, UpdateGen};
@@ -37,6 +38,7 @@ fn main() {
         overflow: OverflowPolicy::Block,
         snapshot_every: None,
         faults: None,
+        backend: BackendKind::default(),
     };
     let report = run(&rib, &packets, &updates, &cfg);
 

@@ -12,7 +12,7 @@
 //! clue replay       --data-dir DIR            (journal inspection: snapshot + WAL records)
 //! clue serve        --fib fib.txt --packets trace.txt --updates updates.txt [--workers N]
 //!                   [--dred N] [--fifo N] [--batch K] [--queue N] [--overflow block|drop]
-//!                   [--stats-ms N]
+//!                   [--stats-ms N] [--backend tcam|trie|cfib]
 //! clue serve        --fib fib.txt --listen ADDR [--data-dir DIR] [--workers N] [--dred N]
 //!                   [--fifo N] [--batch K] [--queue N] [--overflow block|drop] [--stats-ms N]
 //! clue serve        --listen ADDR --data-dir DIR --repl-listen ADDR [--fib fib.txt]
@@ -32,8 +32,8 @@
 //! clue stats        --addr HOST:PORT
 //! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
 //!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
-//!                   [--net on|off] [--recovery on|off] [--shards N] [--out repro.txt]
-//!                   [--replay repro.txt]
+//!                   [--net on|off] [--recovery on|off] [--shards N]
+//!                   [--backend tcam|trie|cfib] [--out repro.txt] [--replay repro.txt]
 //! ```
 //!
 //! All file formats are plain text: FIBs are `a.b.c.d/len nh` lines,
@@ -53,7 +53,7 @@ use clue::cluster::{
 use clue::compress::{compress_with_stats, leaf_push, onrtc, ortc};
 use clue::core::engine::{Engine, EngineConfig};
 use clue::core::update_pipeline::{mean_ttf, ClplPipeline, CluePipeline, TtfSample};
-use clue::core::DredConfig;
+use clue::core::{BackendKind, DredConfig};
 use clue::fib::gen::FibGen;
 use clue::fib::{RouteTable, Update};
 use clue::net::signal;
@@ -88,7 +88,7 @@ commands:
                 file-driven, or networked           --dred --fifo --batch --queue
                 with --listen HOST:PORT,             --overflow --stats-ms --listen
                 durable with --data-dir DIR,         --data-dir --repl-listen --sync-ms
-                a shard primary with --repl-listen,  --follow)
+                a shard primary with --repl-listen,  --follow --backend)
                 or a warm standby with --follow
   shardmap      derive a shard map from a FIB's     (--fib --shards; --standbys --out
                 even-range cuts, optionally          --split-dir)
@@ -108,7 +108,7 @@ commands:
   check         differential conformance check      (--seed --updates --routes --batch
                 against the naive oracle             --chips --dred --packets --faults
                                                      --fault-seed --net --recovery
-                                                     --shards --out --replay)
+                                                     --shards --backend --out --replay)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -522,6 +522,14 @@ fn replay(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Parses `--backend tcam|trie|cfib` (default: the TCAM sim).
+fn parse_backend(args: &Args) -> Result<BackendKind, ArgError> {
+    match args.optional("backend") {
+        None => Ok(BackendKind::default()),
+        Some(name) => name.parse().map_err(|e| ArgError(format!("{e}"))),
+    }
+}
+
 fn serve(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
         "fib",
@@ -539,6 +547,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         "repl-listen",
         "follow",
         "sync-ms",
+        "backend",
     ])?;
     let overflow = match args.optional("overflow").unwrap_or("block") {
         "block" => OverflowPolicy::Block,
@@ -546,6 +555,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         other => return Err(ArgError(format!("unknown overflow {other:?} (block|drop)"))),
     };
     let stats_ms: u64 = args.get_or("stats-ms", 0)?;
+    let backend = parse_backend(args)?;
     let cfg = RouterConfig {
         workers: args.get_or("workers", 4)?,
         fifo_capacity: args.get_or("fifo", 256)?,
@@ -555,6 +565,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         overflow,
         snapshot_every: (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms)),
         faults: None,
+        backend,
     };
     if cfg.workers == 0
         || cfg.fifo_capacity == 0
@@ -1343,6 +1354,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "shards",
         "out",
         "replay",
+        "backend",
     ])?;
     let seed: u64 = args.get_or("seed", 7)?;
     let updates: usize = args.get_or("updates", 5_000)?;
@@ -1373,6 +1385,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
             )))
         }
     };
+    cfg.backend = parse_backend(args)?;
     cfg.shards = args.get_or("shards", 1)?;
     if cfg.shards == 0 {
         return Err(ArgError(
@@ -1402,12 +1415,13 @@ fn check(args: &Args) -> Result<(), ArgError> {
 
     println!(
         "conformance check: seed {seed}, {} routes, {updates} updates (batch {}), \
-         {} chips, {} packets, faults {}",
+         {} chips, {} packets, faults {}, {} backend (all backends probed)",
         cfg.routes,
         cfg.batch,
         cfg.chips,
         cfg.packets,
         if cfg.faults.is_some() { "on" } else { "off" },
+        cfg.backend,
     );
     match run_check(&cfg) {
         Ok(report) => {
