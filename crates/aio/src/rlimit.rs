@@ -1,0 +1,106 @@
+//! File-descriptor limit introspection and best-effort raising.
+//!
+//! Tens of thousands of connections need tens of thousands of fds; a
+//! default soft limit of 1024 would make the accept loop live in
+//! EMFILE backoff. The serve path and the connections bench call
+//! [`raise_nofile`] at startup to lift the soft limit toward the hard
+//! limit — silently keeping whatever the kernel grants.
+
+use std::io;
+
+#[cfg(unix)]
+mod imp {
+    use super::io;
+    use core::ffi::c_int;
+
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: c_int = 8;
+
+    pub fn nofile() -> io::Result<(u64, u64)> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((lim.cur, lim.max))
+    }
+
+    pub fn raise(want: u64) -> u64 {
+        let Ok((cur, max)) = nofile() else { return 0 };
+        if cur >= want {
+            return cur;
+        }
+        let target = want.min(max);
+        let lim = RLimit { cur: target, max };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } == 0 {
+            target
+        } else {
+            cur
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::io;
+
+    pub fn nofile() -> io::Result<(u64, u64)> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "rlimit requires a Unix platform",
+        ))
+    }
+
+    pub fn raise(_want: u64) -> u64 {
+        0
+    }
+}
+
+/// Returns `(soft, hard)` RLIMIT_NOFILE.
+///
+/// # Errors
+///
+/// Fails off Unix or if the kernel call fails.
+pub fn nofile() -> io::Result<(u64, u64)> {
+    imp::nofile()
+}
+
+/// Raises the soft RLIMIT_NOFILE toward `want` (capped by the hard
+/// limit); returns the soft limit now in effect (best effort — never
+/// fails, may return less than `want`).
+pub fn raise_nofile(want: u64) -> u64 {
+    imp::raise(want)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofile_reports_sane_limits() {
+        let (soft, hard) = nofile().unwrap();
+        assert!(soft > 0 && hard >= soft, "soft={soft} hard={hard}");
+    }
+
+    #[test]
+    fn raise_is_monotone_and_capped() {
+        let (soft, hard) = nofile().unwrap();
+        let got = raise_nofile(soft);
+        assert!(got >= soft);
+        let got = raise_nofile(hard.saturating_mul(2));
+        assert!(got <= hard);
+        assert!(got >= soft);
+    }
+}

@@ -1,0 +1,191 @@
+//! Machine-readable connection-scaling numbers: transport ×
+//! connection count → lookups/sec, lookup latency percentiles, update
+//! ack latency, and loss counters (which must be zero). Emitted as
+//! `BENCH_connections.json` for CI artifacts and regression diffing
+//! (schema `clue-bench-connections/1`, documented in DESIGN.md §3).
+//!
+//! The swarm client multiplexes every connection on one reactor and
+//! holds all handshakes until the last dial resolves, so a point at N
+//! connections really is N simultaneously-established clients. The
+//! threaded transport runs up to the highest count it can reasonably
+//! sustain (one OS thread per connection); the evloop transport
+//! continues into the thousands on the same workload for the headline
+//! ratio.
+//!
+//! The artifact path defaults to `BENCH_connections.json` in the
+//! working directory; override with `CLUE_BENCH_CONNECTIONS_JSON`.
+
+use std::time::Duration;
+
+use clue_bench::{banner, scale};
+use clue_fib::gen::FibGen;
+use clue_fib::RouteTable;
+use clue_net::swarm::percentile_us;
+use clue_net::{run_swarm, Server, ServerConfig, SwarmConfig, SwarmReport, Transport};
+use clue_router::RouterConfig;
+use clue_traffic::{PacketGen, UpdateGen};
+
+fn server_cfg(transport: Transport) -> ServerConfig {
+    ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        router: RouterConfig {
+            workers: 2,
+            batch_size: 64,
+            ..RouterConfig::default()
+        },
+        idle_poll: Duration::from_millis(5),
+        transport,
+        ..ServerConfig::default()
+    }
+}
+
+struct Point {
+    transport: Transport,
+    connections: usize,
+    report: SwarmReport,
+}
+
+impl Point {
+    fn to_json(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{{\"transport\":\"{}\",\"connections\":{},\"connected\":{},\"peak_open\":{},\
+             \"lookups_sent\":{},\"lookups_per_sec\":{:.1},\
+             \"lookup_p50_us\":{:.1},\"lookup_p99_us\":{:.1},\
+             \"ack_p50_us\":{:.1},\"ack_p99_us\":{:.1},\
+             \"update_drops\":{},\"lost_answers\":{},\"lost_acks\":{},\
+             \"errors\":{},\"elapsed_ms\":{}}}",
+            self.transport.name(),
+            self.connections,
+            r.connected,
+            r.peak_open,
+            r.lookups_sent,
+            r.lookups_per_sec(),
+            percentile_us(&r.lookup_us, 50.0),
+            percentile_us(&r.lookup_us, 99.0),
+            percentile_us(&r.ack_us, 50.0),
+            percentile_us(&r.ack_us, 99.0),
+            r.updates_dropped,
+            r.lost_answers(),
+            r.lost_acks(),
+            r.errors,
+            r.elapsed.as_millis(),
+        )
+    }
+}
+
+/// One transport × connection-count point: fresh server, full swarm,
+/// clean drain. Panics on any lost answer/ack — loss is a correctness
+/// failure, not a slow result.
+fn point(
+    rib: &RouteTable,
+    addrs: &[u32],
+    updates: &[clue_fib::Update],
+    t: Transport,
+    n: usize,
+) -> Point {
+    let server = Server::start(rib, &server_cfg(t)).expect("server boots");
+    let cfg = SwarmConfig {
+        addr: server.local_addr().to_string(),
+        connections: n,
+        lookup_batch: 16,
+        rounds: 4,
+        updates_per_conn: 2,
+        ..SwarmConfig::default()
+    };
+    let report = run_swarm(&cfg, addrs, updates).expect("swarm runs");
+    assert_eq!(report.connected, n, "{t} at {n}: connect shortfall");
+    assert_eq!(report.peak_open, n, "{t} at {n}: not all concurrent");
+    assert_eq!(report.errors, 0, "{t} at {n}: errors");
+    assert_eq!(report.lost_answers(), 0, "{t} at {n}: lost answers");
+    assert_eq!(report.lost_acks(), 0, "{t} at {n}: lost acks");
+    server.drain().expect("server drains");
+    println!(
+        "{:>7} x {:>5} conns: {:>9.0} lookups/s | p50 {:>6.0} us | p99 {:>7.0} us | \
+         ack p99 {:>7.0} us | 0 lost",
+        t.name(),
+        n,
+        report.lookups_per_sec(),
+        percentile_us(&report.lookup_us, 50.0),
+        percentile_us(&report.lookup_us, 99.0),
+        percentile_us(&report.ack_us, 99.0),
+    );
+    Point {
+        transport: t,
+        connections: n,
+        report,
+    }
+}
+
+fn main() {
+    banner(
+        "Connections — transport x connection count -> lookups/s, latency, zero loss",
+        "writes BENCH_connections.json (override with CLUE_BENCH_CONNECTIONS_JSON)",
+    );
+    let s = scale();
+    let routes = ((20_000.0 * s) as usize).max(2_000);
+    let rib = FibGen::new(0xC10E_000A).routes(routes).generate();
+    let addrs = PacketGen::new(0xC10E_000B).generate(&rib, 8_192);
+    let updates = UpdateGen::new(0xC10E_000C).generate(&rib, 4_096);
+    let conns = |n: usize| ((n as f64 * s) as usize).max(16);
+
+    // Thread-per-connection tops out on OS-thread cost; run it at the
+    // highest count it sustains on CI hardware for a direct comparison.
+    let mut threads_ladder = vec![conns(64), conns(256)];
+    threads_ladder.dedup();
+    // The reactor's ladder continues past the acceptance floor of 5000
+    // simultaneously-established clients.
+    let mut evloop_ladder = vec![conns(256), conns(1_024), conns(6_000)];
+    evloop_ladder.dedup();
+
+    let mut points: Vec<Point> = Vec::new();
+    for &n in &threads_ladder {
+        points.push(point(&rib, &addrs, &updates, Transport::Threads, n));
+    }
+    for &n in &evloop_ladder {
+        points.push(point(&rib, &addrs, &updates, Transport::Evloop, n));
+    }
+
+    let threads_max = *threads_ladder.iter().max().expect("nonempty ladder");
+    let evloop_max = *evloop_ladder.iter().max().expect("nonempty ladder");
+    let rate_at = |t: Transport, n: usize| {
+        points
+            .iter()
+            .find(|p| p.transport == t && p.connections == n)
+            .map(|p| p.report.lookups_per_sec())
+            .unwrap_or(0.0)
+    };
+    let shared = conns(256);
+    println!(
+        "headline: evloop holds {evloop_max} concurrent clients ({:.1}x the threaded \
+         ceiling of {threads_max}) with zero lost answers/acks; at {shared} shared \
+         connections evloop/threads throughput ratio {:.2}",
+        evloop_max as f64 / threads_max as f64,
+        rate_at(Transport::Evloop, shared) / rate_at(Transport::Threads, shared).max(1e-9),
+    );
+
+    let body: Vec<String> = points.iter().map(Point::to_json).collect();
+    let json = format!(
+        "{{\"schema\":\"clue-bench-connections/1\",\"scale\":{s},\"routes\":{},\
+         \"points\":[{}],\
+         \"headline\":{{\"threads_max_connections\":{threads_max},\
+         \"evloop_max_connections\":{evloop_max},\
+         \"connection_ratio\":{:.2},\
+         \"shared_count\":{shared},\
+         \"throughput_ratio_at_shared\":{:.3},\
+         \"evloop_zero_loss_at_max\":true}}}}",
+        rib.len(),
+        body.join(","),
+        evloop_max as f64 / threads_max as f64,
+        rate_at(Transport::Evloop, shared) / rate_at(Transport::Threads, shared).max(1e-9),
+    );
+    let path = std::env::var("CLUE_BENCH_CONNECTIONS_JSON")
+        .unwrap_or_else(|_| "BENCH_connections.json".to_owned());
+    match std::fs::write(&path, format!("{json}\n")) {
+        Ok(()) => println!("connections bench written to {path}"),
+        Err(e) => {
+            eprintln!("connections bench write to {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

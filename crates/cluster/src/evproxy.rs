@@ -1,0 +1,410 @@
+//! The event-loop proxy transport: every client downstream multiplexed
+//! onto one `clue-aio` reactor thread, with a bridge pool of worker
+//! threads carrying the blocking backend fan-out.
+//!
+//! This is the proxy-side twin of `clue-net`'s evloop server, and the
+//! semantics mapping is the same:
+//!
+//! * **One frame in flight per client.** The threaded proxy reads a
+//!   frame, fans it out, writes the reply, then reads again.  Here a
+//!   dispatched frame pauses the client socket and its completion
+//!   resumes it, so a slow shard back-pressures exactly one client
+//!   while the loop keeps serving the rest.
+//! * **Backend connections stay per-client.** Each client connection
+//!   owns its [`Backends`] set (one lazily-dialed [`Connection`] per
+//!   shard), preserving the hop-by-hop seq/ack resume discipline the
+//!   threaded path has.  The set travels *with* the job to the bridge
+//!   worker and comes back in the completion, so no lock guards it —
+//!   the one-in-flight rule is the mutual exclusion.
+//! * **Cheap frames stay on the loop.** `Hello`, `Heartbeat`,
+//!   `ShardMapQuery`, and `Shutdown` involve no backend I/O and are
+//!   answered inline.
+//! * **Graceful drain** mirrors the threaded flag check: stop
+//!   listening, `Shutdown`-and-close idle clients, let in-flight
+//!   fan-outs finish, stop when the last client leaves (grace-timer
+//!   backstop).  Orphaned backend sets are closed on the bridge pool,
+//!   never on the loop thread.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use clue_aio::{CloseReason, ConnId, Ctl, Driver, EventLoop, LoopConfig, LoopHandle};
+use clue_net::frame::{Frame, FrameDecoder, FrameType};
+use clue_net::wire;
+use clue_net::Connection;
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::proxy::{handle_lookup, handle_update, proxy_stats_json, Backends, ProxyConfig, Shared};
+
+/// Periodic shutdown-flag poll.
+const TICK: u64 = 1;
+/// Drain-grace deadline: force-stop the loop if a fan-out wedges.
+const DRAIN_GRACE: u64 = 2;
+
+/// Messages injected into the loop from other threads.
+pub(crate) enum EvMsg {
+    /// A bridge worker finished the fan-out for `conn`.
+    Done {
+        /// The client the reply belongs to.
+        conn: ConnId,
+        /// The reply frame; `FrameType::Error` closes the line after
+        /// the write flushes, mirroring the threaded transport.
+        reply: Frame,
+        /// The client's backend set, returned from the worker.
+        backends: Backends,
+    },
+    /// Begin the graceful drain.
+    Shutdown,
+}
+
+/// Work shipped to the bridge pool.
+enum Job {
+    /// Fan one client frame out to the shards.
+    Frame {
+        conn: ConnId,
+        frame: Frame,
+        backends: Backends,
+    },
+    /// Close an orphaned backend set (its client is gone). Runs on a
+    /// worker because `Connection::close` performs blocking I/O.
+    Close { backends: Backends },
+}
+
+/// Per-client driver state.
+struct ConnState {
+    decoder: FrameDecoder,
+    /// A job for this client is on the bridge pool; reads are paused
+    /// and no further frame is dispatched until it completes.
+    in_flight: bool,
+    /// `None` exactly while a job (carrying the set) is in flight.
+    backends: Option<Backends>,
+}
+
+struct EvProxy {
+    cfg: ProxyConfig,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    jobs: Sender<Job>,
+    conns: HashMap<ConnId, ConnState>,
+    draining: bool,
+}
+
+impl EvProxy {
+    /// Decodes and dispatches frames until the client goes in-flight,
+    /// runs dry, or dies.
+    fn pump(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId) {
+        loop {
+            let Some(state) = self.conns.get_mut(&conn) else {
+                return;
+            };
+            if state.in_flight {
+                return;
+            }
+            if self.draining {
+                // Stop taking new work mid-drain, even if frames are
+                // already buffered — the threaded transport likewise
+                // discards unread socket data once the flag is up.
+                break;
+            }
+            match state.decoder.poll_frame() {
+                Ok(None) => break,
+                Err(_) => {
+                    // Lost framing: the threaded proxy closes silently.
+                    ctl.close(conn);
+                    return;
+                }
+                Ok(Some(frame)) => match frame.kind {
+                    FrameType::Hello => {
+                        let reply = Frame {
+                            kind: FrameType::HelloAck,
+                            seq: frame.seq,
+                            payload: wire::encode_u64(
+                                self.shared.last_acked.load(Ordering::SeqCst),
+                            ),
+                        };
+                        ctl.send(conn, &reply.encode());
+                    }
+                    FrameType::Heartbeat => {
+                        let reply = Frame::empty(FrameType::HeartbeatAck, frame.seq);
+                        ctl.send(conn, &reply.encode());
+                    }
+                    FrameType::ShardMapQuery => {
+                        let reply = Frame {
+                            kind: FrameType::ShardMapReply,
+                            seq: frame.seq,
+                            payload: self.shared.map.encode(),
+                        };
+                        ctl.send(conn, &reply.encode());
+                    }
+                    FrameType::Shutdown => {
+                        ctl.close(conn);
+                        return;
+                    }
+                    FrameType::Update | FrameType::Lookup | FrameType::StatsQuery => {
+                        // Backend I/O: pause reads (wire backpressure)
+                        // and ship to the bridge pool with the client's
+                        // backend set.
+                        let state = self.conns.get_mut(&conn).expect("checked above");
+                        state.in_flight = true;
+                        let Some(backends) = state.backends.take() else {
+                            ctl.close(conn);
+                            return;
+                        };
+                        ctl.pause(conn);
+                        if self
+                            .jobs
+                            .send(Job::Frame {
+                                conn,
+                                frame,
+                                backends,
+                            })
+                            .is_err()
+                        {
+                            // Bridge pool gone — only during teardown.
+                            ctl.close(conn);
+                        }
+                        return;
+                    }
+                    other => {
+                        // Same wording and fatality as the threaded arm.
+                        let reply = Frame {
+                            kind: FrameType::Error,
+                            seq: frame.seq,
+                            payload: format!("proxy does not serve {other:?}").into_bytes(),
+                        };
+                        ctl.send(conn, &reply.encode());
+                        ctl.close(conn);
+                        return;
+                    }
+                },
+            }
+        }
+        // Ran dry with nothing in flight.
+        if self.draining {
+            if self.conns.contains_key(&conn) {
+                ctl.send(conn, &Frame::empty(FrameType::Shutdown, 0).encode());
+                ctl.close(conn);
+            }
+        } else {
+            ctl.resume(conn);
+        }
+    }
+
+    fn begin_drain(&mut self, ctl: &mut Ctl<'_, EvMsg>) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.shutdown.store(true, Ordering::SeqCst);
+        ctl.stop_listening();
+        let idle: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, s)| !s.in_flight)
+            .map(|(&c, _)| c)
+            .collect();
+        for conn in idle {
+            ctl.send(conn, &Frame::empty(FrameType::Shutdown, 0).encode());
+            ctl.close(conn);
+        }
+        if ctl.conn_count() == 0 {
+            ctl.stop();
+        } else {
+            // Backstop: a fan-out stuck in backend retries must not
+            // wedge the drain forever.
+            let grace = self.cfg.io_timeout + self.cfg.io_timeout + self.cfg.idle_poll;
+            ctl.set_timer(grace, DRAIN_GRACE);
+        }
+    }
+}
+
+impl Driver for EvProxy {
+    type Msg = EvMsg;
+
+    fn on_accept(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId, _peer: SocketAddr) {
+        self.conns.insert(
+            conn,
+            ConnState {
+                decoder: FrameDecoder::new(),
+                in_flight: false,
+                backends: Some(Backends::new(self.shared.shards.len())),
+            },
+        );
+        if self.draining {
+            ctl.send(conn, &Frame::empty(FrameType::Shutdown, 0).encode());
+            ctl.close(conn);
+        }
+    }
+
+    fn on_data(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId, buf: &mut Vec<u8>) {
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.decoder.extend(buf);
+        }
+        buf.clear();
+        self.pump(ctl, conn);
+    }
+
+    fn on_close(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId, _reason: &CloseReason) {
+        if let Some(state) = self.conns.remove(&conn) {
+            if let Some(backends) = state.backends {
+                let _ = self.jobs.send(Job::Close { backends });
+            }
+        }
+        if self.draining && ctl.conn_count() == 0 {
+            ctl.stop();
+        }
+    }
+
+    fn on_msg(&mut self, ctl: &mut Ctl<'_, EvMsg>, msg: EvMsg) {
+        match msg {
+            EvMsg::Shutdown => self.begin_drain(ctl),
+            EvMsg::Done {
+                conn,
+                reply,
+                backends,
+            } => {
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    // The client died while its fan-out ran; the shard
+                    // side effects stand (resume covers the reply), but
+                    // its backend set must still be closed — off-loop.
+                    let _ = self.jobs.send(Job::Close { backends });
+                    return;
+                };
+                state.in_flight = false;
+                state.backends = Some(backends);
+                let fatal = reply.kind == FrameType::Error;
+                let sent = ctl.send(conn, &reply.encode());
+                if fatal || !sent {
+                    ctl.close(conn);
+                } else {
+                    self.pump(ctl, conn);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctl: &mut Ctl<'_, EvMsg>, tag: u64) {
+        match tag {
+            TICK => {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    self.begin_drain(ctl);
+                } else {
+                    ctl.set_timer(self.cfg.idle_poll, TICK);
+                }
+            }
+            DRAIN_GRACE if self.draining => ctl.stop(),
+            _ => {}
+        }
+    }
+}
+
+/// Fans one client frame out on a bridge worker; returns the reply.
+fn process_job(
+    frame: &Frame,
+    cfg: &ProxyConfig,
+    shared: &Shared,
+    backends: &mut Backends,
+) -> Frame {
+    match frame.kind {
+        FrameType::Update => handle_update(frame, cfg, shared, backends),
+        FrameType::Lookup => handle_lookup(frame, cfg, shared, backends),
+        FrameType::StatsQuery => {
+            let embeds: Vec<Option<String>> = (0..shared.shards.len())
+                .map(|i| backends.op(i, shared, cfg, Connection::stats_json).ok())
+                .collect();
+            Frame {
+                kind: FrameType::StatsReply,
+                seq: frame.seq,
+                payload: proxy_stats_json(shared, Some(embeds)).into_bytes(),
+            }
+        }
+        // The driver only ships the three kinds above.
+        _ => Frame {
+            kind: FrameType::Error,
+            seq: frame.seq,
+            payload: b"internal: unroutable frame on bridge pool".to_vec(),
+        },
+    }
+}
+
+fn bridge_worker(
+    jobs: &Receiver<Job>,
+    handle: &LoopHandle<EvMsg>,
+    cfg: &ProxyConfig,
+    shared: &Shared,
+) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Close { mut backends } => backends.close_all(),
+            Job::Frame {
+                conn,
+                frame,
+                mut backends,
+            } => {
+                let reply = process_job(&frame, cfg, shared, &mut backends);
+                if !handle.send(EvMsg::Done {
+                    conn,
+                    reply,
+                    backends,
+                }) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// What [`start`] hands back: the loop's injection handle, the loop
+/// thread itself, and the bridge workers (join the loop first).
+pub(crate) type EvProxyRuntime = (LoopHandle<EvMsg>, JoinHandle<()>, Vec<JoinHandle<()>>);
+
+/// Boots the event-loop proxy transport over an already-bound listener.
+/// Join the loop first: dropping the returned driver closes the job
+/// channel, which releases the workers (after they drain any pending
+/// backend-close jobs).
+pub(crate) fn start(
+    listener: TcpListener,
+    cfg: &ProxyConfig,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<EvProxyRuntime> {
+    // Lift the fd soft limit like the evloop server does: each client
+    // costs a downstream fd plus per-shard upstream fds.
+    clue_aio::rlimit::raise_nofile(65_536);
+    let (jobs_tx, jobs_rx) = channel::unbounded::<Job>();
+    let driver = EvProxy {
+        cfg: cfg.clone(),
+        shared: Arc::clone(shared),
+        shutdown: Arc::clone(shutdown),
+        jobs: jobs_tx,
+        conns: HashMap::new(),
+        draining: false,
+    };
+    let mut el = EventLoop::new(driver, LoopConfig::default())?;
+    el.add_listener(listener)?;
+    el.set_timer(cfg.idle_poll, TICK);
+    let handle = el.handle();
+
+    let workers = (0..cfg.bridge_threads.max(1))
+        .map(|_| {
+            let jobs = jobs_rx.clone();
+            let handle = el.handle();
+            let cfg = cfg.clone();
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || bridge_worker(&jobs, &handle, &cfg, &shared))
+        })
+        .collect();
+
+    let loop_thread = std::thread::spawn(move || {
+        // An Err here is an unrecoverable poller failure. Returning
+        // drops the driver, closing the job channel and releasing the
+        // bridge pool.
+        let _ = el.run();
+    });
+
+    Ok((handle, loop_thread, workers))
+}

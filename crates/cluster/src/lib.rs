@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod evproxy;
 pub mod primary;
 pub mod proxy;
 pub mod repl;

@@ -28,6 +28,16 @@
 //! eagerly — first one wins, the promotion lock makes it idempotent —
 //! then [`Connection::redirect`] re-points the stream and the resume
 //! handshake settles what the dead primary already acked.
+//!
+//! ## Transports
+//!
+//! [`ProxyConfig::transport`] picks the client-facing architecture:
+//! [`Transport::Threads`] serves each client on its own thread (one
+//! set of backend connections per thread), while [`Transport::Evloop`]
+//! multiplexes every client onto one `clue-aio` reactor and runs the
+//! blocking backend fan-out on a bridge pool (`crate::evproxy`), so a
+//! single proxy process holds tens of thousands of client downstreams
+//! plus all shard upstreams. Frame semantics are identical.
 
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,7 +49,7 @@ use std::time::{Duration, Instant};
 use clue_fib::Update;
 use clue_net::frame::{Frame, FrameType};
 use clue_net::wire;
-use clue_net::{ClientConfig, Connection};
+use clue_net::{ClientConfig, Connection, Transport};
 
 use crate::rpc;
 use crate::shardmap::ShardMap;
@@ -59,6 +69,13 @@ pub struct ProxyConfig {
     pub idle_poll: Duration,
     /// Per-socket I/O timeout.
     pub io_timeout: Duration,
+    /// Client-facing serving architecture: a thread per client, or
+    /// every client multiplexed on one `clue-aio` reactor with a
+    /// bridge pool for the blocking backend fan-out.
+    pub transport: Transport,
+    /// Bridge-pool size for [`Transport::Evloop`]; also the bound on
+    /// concurrently fanned-out client frames in that mode.
+    pub bridge_threads: usize,
 }
 
 impl ProxyConfig {
@@ -73,6 +90,8 @@ impl ProxyConfig {
             fail_after: 2,
             idle_poll: Duration::from_millis(20),
             io_timeout: Duration::from_secs(10),
+            transport: Transport::default(),
+            bridge_threads: 4,
         }
     }
 }
@@ -93,7 +112,7 @@ fn backend_cfg(addr: &str) -> ClientConfig {
     }
 }
 
-struct ShardEndpoint {
+pub(crate) struct ShardEndpoint {
     primary: String,
     standby: Option<String>,
     active: Mutex<String>,
@@ -105,10 +124,10 @@ struct ShardEndpoint {
     failover_ms: Mutex<Option<f64>>,
 }
 
-struct Shared {
-    map: ShardMap,
-    shards: Vec<ShardEndpoint>,
-    last_acked: AtomicU64,
+pub(crate) struct Shared {
+    pub(crate) map: ShardMap,
+    pub(crate) shards: Vec<ShardEndpoint>,
+    pub(crate) last_acked: AtomicU64,
     lookups: AtomicU64,
     updates: AtomicU64,
     update_fanout: AtomicU64,
@@ -162,12 +181,24 @@ impl Shared {
     }
 }
 
+/// The transport-specific running half of a [`Proxy`].
+enum Runtime {
+    /// Thread-per-client: the accept loop joins its workers on exit.
+    Threads { accept: JoinHandle<()> },
+    /// Every client on one reactor; backend fan-out on a bridge pool.
+    Evloop {
+        handle: clue_aio::LoopHandle<crate::evproxy::EvMsg>,
+        event_loop: JoinHandle<()>,
+        workers: Vec<JoinHandle<()>>,
+    },
+}
+
 /// A running proxy.
 pub struct Proxy {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    runtime: Option<Runtime>,
     monitor: Option<JoinHandle<()>>,
 }
 
@@ -179,7 +210,6 @@ impl Proxy {
     /// Bind failures.
     pub fn start(cfg: ProxyConfig) -> io::Result<Proxy> {
         let listener = TcpListener::bind(&cfg.listen)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shards = cfg
             .map
@@ -208,11 +238,25 @@ impl Proxy {
             started: Instant::now(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
-        let accept = {
-            let cfg = cfg.clone();
-            let shared = Arc::clone(&shared);
-            let shutdown = Arc::clone(&shutdown);
-            thread::spawn(move || accept_loop(&listener, &cfg, &shared, &shutdown))
+        let runtime = match cfg.transport {
+            Transport::Threads => {
+                listener.set_nonblocking(true)?;
+                let cfg = cfg.clone();
+                let shared = Arc::clone(&shared);
+                let shutdown = Arc::clone(&shutdown);
+                Runtime::Threads {
+                    accept: thread::spawn(move || accept_loop(&listener, &cfg, &shared, &shutdown)),
+                }
+            }
+            Transport::Evloop => {
+                let (handle, event_loop, workers) =
+                    crate::evproxy::start(listener, &cfg, &shared, &shutdown)?;
+                Runtime::Evloop {
+                    handle,
+                    event_loop,
+                    workers,
+                }
+            }
         };
         let monitor = {
             let cfg = cfg.clone();
@@ -224,7 +268,7 @@ impl Proxy {
             local_addr,
             shared,
             shutdown,
-            accept: Some(accept),
+            runtime: Some(runtime),
             monitor: Some(monitor),
         })
     }
@@ -278,8 +322,22 @@ impl Proxy {
         if let Some(h) = self.monitor.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        match self.runtime.take() {
+            Some(Runtime::Threads { accept }) => {
+                let _ = accept.join();
+            }
+            Some(Runtime::Evloop {
+                handle,
+                event_loop,
+                workers,
+            }) => {
+                let _ = handle.send(crate::evproxy::EvMsg::Shutdown);
+                let _ = event_loop.join();
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+            None => {}
         }
     }
 }
@@ -293,7 +351,7 @@ impl Drop for Proxy {
 /// Stable-ordered proxy stats. `backends` supplies each shard's
 /// verbatim stats JSON when available (the per-connection stats path
 /// queries live backends; the local path embeds `null`).
-fn proxy_stats_json(shared: &Shared, backends: Option<Vec<Option<String>>>) -> String {
+pub(crate) fn proxy_stats_json(shared: &Shared, backends: Option<Vec<Option<String>>>) -> String {
     let mut out = format!(
         "{{\"role\":\"proxy\",\"uptime_ms\":{},\"shards\":{},\"acked_hw\":{},\
          \"lookups\":{},\"updates\":{},\"update_fanout\":{},\"failovers\":{},\"per_shard\":[",
@@ -404,12 +462,12 @@ fn accept_loop(
 
 /// Per-client backend connections, opened lazily, re-pointed on
 /// failover.
-struct Backends {
+pub(crate) struct Backends {
     conns: Vec<Option<Connection>>,
 }
 
 impl Backends {
-    fn new(n: usize) -> Backends {
+    pub(crate) fn new(n: usize) -> Backends {
         Backends {
             conns: (0..n).map(|_| None).collect(),
         }
@@ -417,7 +475,7 @@ impl Backends {
 
     /// Runs `op` against shard `i`'s active backend, promoting the
     /// shard's standby and retrying when the backend fails.
-    fn op<T>(
+    pub(crate) fn op<T>(
         &mut self,
         i: usize,
         shared: &Shared,
@@ -458,7 +516,7 @@ impl Backends {
         Err(last_err.unwrap_or_else(|| io::Error::other("backend op failed")))
     }
 
-    fn close_all(&mut self) {
+    pub(crate) fn close_all(&mut self) {
         for c in &mut self.conns {
             if let Some(conn) = c.take() {
                 let _ = conn.close();
@@ -551,7 +609,7 @@ fn serve_client_frames(
 /// Fans an update batch out by range intersection and acks the client
 /// only after every involved shard acked its sub-batch (each shard ack
 /// meaning journaled + replicated).
-fn handle_update(
+pub(crate) fn handle_update(
     frame: &Frame,
     cfg: &ProxyConfig,
     shared: &Shared,
@@ -613,7 +671,7 @@ fn handle_update(
 
 /// Routes each address to its owning shard and reassembles the answers
 /// in request order.
-fn handle_lookup(
+pub(crate) fn handle_lookup(
     frame: &Frame,
     cfg: &ProxyConfig,
     shared: &Shared,

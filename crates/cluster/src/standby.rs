@@ -299,6 +299,7 @@ fn frontend_loop(
                 router: cfg.router,
                 idle_poll: cfg.idle_poll,
                 io_timeout: cfg.io_timeout,
+                ..ServerConfig::default()
             };
             let server = Server::start_with_service(svc, recovered.seq_hw, &scfg)?;
             promoted.store(true, Ordering::Release);

@@ -13,7 +13,7 @@ use clue_cluster::{
 };
 use clue_fib::gen::FibGen;
 use clue_fib::{RouteTable, Update};
-use clue_net::{ClientConfig, Connection};
+use clue_net::{ClientConfig, Connection, Transport};
 use clue_store::StoreConfig;
 use clue_traffic::UpdateGen;
 
@@ -41,7 +41,7 @@ struct Cluster {
 
 /// Boots `n` shard primaries (each seeded with its own slice of `fib`),
 /// one standby per shard, and a proxy over the lot.
-fn boot(name: &str, fib: &RouteTable, n: usize) -> Cluster {
+fn boot(name: &str, fib: &RouteTable, n: usize, transport: Transport) -> Cluster {
     // Derive cuts against placeholder endpoints first: the real ones
     // only exist once the servers are up.
     let placeholder = ShardMap::derive(fib, vec![ShardSpec::primary_only("x:0"); n]).unwrap();
@@ -96,6 +96,7 @@ fn boot(name: &str, fib: &RouteTable, n: usize) -> Cluster {
 
     let mut proxy_cfg = ProxyConfig::new(map.clone());
     proxy_cfg.heartbeat_every = Duration::from_millis(50);
+    proxy_cfg.transport = transport;
     let proxy = Proxy::start(proxy_cfg).unwrap();
     Cluster {
         dirs,
@@ -134,9 +135,18 @@ fn assert_lookups_match(conn: &mut Connection, expect: &RouteTable, addrs: &[u32
 
 #[test]
 fn sharded_cluster_matches_flat_router() {
+    sharded_cluster_matches_flat_router_on(Transport::Threads);
+}
+
+#[test]
+fn sharded_cluster_matches_flat_router_evloop() {
+    sharded_cluster_matches_flat_router_on(Transport::Evloop);
+}
+
+fn sharded_cluster_matches_flat_router_on(transport: Transport) {
     let fib = FibGen::new(71).routes(600).generate();
     let trace = UpdateGen::new(72).generate(&fib, 500);
-    let mut cluster = boot("flat", &fib, 3);
+    let mut cluster = boot(&format!("flat-{transport}"), &fib, 3, transport);
 
     let mut conn = Connection::connect(ClientConfig::to_addr(
         cluster.proxy.local_addr().to_string(),
@@ -178,10 +188,19 @@ fn sharded_cluster_matches_flat_router() {
 
 #[test]
 fn killing_a_primary_mid_burst_loses_no_acks() {
+    killing_a_primary_mid_burst_loses_no_acks_on(Transport::Threads);
+}
+
+#[test]
+fn killing_a_primary_mid_burst_loses_no_acks_evloop() {
+    killing_a_primary_mid_burst_loses_no_acks_on(Transport::Evloop);
+}
+
+fn killing_a_primary_mid_burst_loses_no_acks_on(transport: Transport) {
     let fib = FibGen::new(91).routes(600).generate();
     let trace = UpdateGen::new(92).generate(&fib, 600);
     let (first, second) = trace.split_at(trace.len() / 2);
-    let mut cluster = boot("kill", &fib, 2);
+    let mut cluster = boot(&format!("kill-{transport}"), &fib, 2, transport);
 
     let mut conn = Connection::connect(ClientConfig::to_addr(
         cluster.proxy.local_addr().to_string(),

@@ -1,0 +1,494 @@
+//! The event-loop transport: every connection multiplexed onto one
+//! `clue-aio` reactor thread, with a small *bridge pool* of worker
+//! threads for the blocking router calls.
+//!
+//! Semantics parity with the threaded transport is the whole point —
+//! the oracle checks them, so the mapping is explicit:
+//!
+//! * **One frame in flight per connection.** The threaded server reads
+//!   a frame, performs the router call, writes the reply, and only then
+//!   reads again. Here, dispatching a frame to the bridge pool pauses
+//!   the connection ([`Ctl::pause`] drops read interest), and the
+//!   completion resumes it — so under
+//!   [`OverflowPolicy::Block`](clue_router::OverflowPolicy) a blocked
+//!   `submit_update` stops the socket from draining, the kernel buffer
+//!   fills, and the peer's TCP window closes, exactly as before.
+//! * **Cheap frames stay on the loop.** `Hello`, `Heartbeat`, and
+//!   `Shutdown` never touch the router; they are answered inline.
+//! * **Acks are computed on the worker** — including the journal-gated
+//!   ack wait and the `last_acked` high-water bump — so exactly-once
+//!   resume semantics are byte-identical to the threaded path.
+//! * **Graceful drain**: stop listening, tell every idle connection
+//!   `Shutdown` and flush-close it, let in-flight router calls finish
+//!   (their completions close the line), and stop the loop when the
+//!   last connection leaves — with a grace deadline as a backstop.
+//!
+//! The shutdown flag is polled on a loop timer (tag [`TICK`]) so that
+//! external flag writers (signal watchers holding
+//! [`Server::shutdown_flag`](crate::Server::shutdown_flag)) drain the
+//! server even though they cannot send a loop message.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use clue_aio::{CloseReason, ConnId, Ctl, Driver, EventLoop, LoopConfig, LoopHandle};
+use clue_router::{RouterService, SubmitOutcome};
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::frame::{Frame, FrameDecoder, FrameType};
+use crate::server::ServerConfig;
+use crate::stats::NetStats;
+use crate::wire;
+
+/// Periodic shutdown-flag poll.
+const TICK: u64 = 1;
+/// Drain-grace deadline: force-stop the loop if in-flight work wedges.
+const DRAIN_GRACE: u64 = 2;
+
+/// Messages injected into the loop from other threads.
+pub(crate) enum EvMsg {
+    /// A bridge worker finished the router call for `conn`.
+    Done {
+        /// The connection the reply belongs to.
+        conn: ConnId,
+        /// The reply frame; `FrameType::Error` closes the line after
+        /// the write flushes, mirroring the threaded transport.
+        reply: Frame,
+    },
+    /// Begin the graceful drain.
+    Shutdown,
+}
+
+/// One frame's worth of blocking work, shipped to the bridge pool.
+struct Job {
+    conn: ConnId,
+    net_id: u64,
+    frame: Frame,
+}
+
+/// Per-connection driver state.
+struct ConnState {
+    net_id: u64,
+    decoder: FrameDecoder,
+    /// A job for this connection is on the bridge pool; reads are
+    /// paused and no further frame is dispatched until it completes.
+    in_flight: bool,
+}
+
+struct EvServer {
+    cfg: ServerConfig,
+    net: Arc<NetStats>,
+    last_acked: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    jobs: Sender<Job>,
+    conns: HashMap<ConnId, ConnState>,
+    draining: bool,
+}
+
+impl EvServer {
+    fn send_frame(&self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId, net_id: u64, frame: &Frame) {
+        if ctl.send(conn, &frame.encode()) {
+            self.net.count_frame_out(net_id);
+        }
+    }
+
+    /// Decodes and dispatches frames until the connection goes
+    /// in-flight, runs dry, or dies.
+    fn pump(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId) {
+        loop {
+            let Some(state) = self.conns.get_mut(&conn) else {
+                return;
+            };
+            if state.in_flight {
+                return;
+            }
+            if self.draining {
+                // Stop taking new work mid-drain, even if frames are
+                // already buffered — the threaded transport likewise
+                // discards unread socket data once the flag is up.
+                break;
+            }
+            let net_id = state.net_id;
+            match state.decoder.poll_frame() {
+                Ok(None) => break,
+                Err(e) => {
+                    // Lost framing is connection-fatal: report and close,
+                    // as the threaded path does.
+                    self.net.count_protocol_error(net_id);
+                    let reply = Frame {
+                        kind: FrameType::Error,
+                        seq: 0,
+                        payload: e.to_string().into_bytes(),
+                    };
+                    self.send_frame(ctl, conn, net_id, &reply);
+                    ctl.close(conn);
+                    return;
+                }
+                Ok(Some(frame)) => {
+                    self.net.count_frame_in(net_id);
+                    match frame.kind {
+                        FrameType::Hello => {
+                            let reply = Frame {
+                                kind: FrameType::HelloAck,
+                                seq: frame.seq,
+                                payload: wire::encode_u64(self.last_acked.load(Ordering::SeqCst)),
+                            };
+                            self.send_frame(ctl, conn, net_id, &reply);
+                        }
+                        FrameType::Heartbeat => {
+                            let reply = Frame::empty(FrameType::HeartbeatAck, frame.seq);
+                            self.send_frame(ctl, conn, net_id, &reply);
+                        }
+                        FrameType::Shutdown => {
+                            ctl.close(conn);
+                            return;
+                        }
+                        FrameType::Update | FrameType::Lookup | FrameType::StatsQuery => {
+                            // Blocking router work: pause reads (wire
+                            // backpressure) and ship to the bridge pool.
+                            let state = self.conns.get_mut(&conn).expect("checked above");
+                            state.in_flight = true;
+                            ctl.pause(conn);
+                            if self
+                                .jobs
+                                .send(Job {
+                                    conn,
+                                    net_id,
+                                    frame,
+                                })
+                                .is_err()
+                            {
+                                // Bridge pool gone — only during teardown.
+                                ctl.close(conn);
+                            }
+                            return;
+                        }
+                        FrameType::HelloAck
+                        | FrameType::UpdateAck
+                        | FrameType::LookupResult
+                        | FrameType::StatsReply
+                        | FrameType::HeartbeatAck
+                        | FrameType::Error
+                        | FrameType::ReplicaHello
+                        | FrameType::SnapshotChunk
+                        | FrameType::WalShip
+                        | FrameType::ShardMapQuery
+                        | FrameType::ShardMapReply
+                        | FrameType::Promote
+                        | FrameType::PromoteAck => {
+                            self.net.count_protocol_error(net_id);
+                            let reply = Frame {
+                                kind: FrameType::Error,
+                                seq: frame.seq,
+                                payload: format!("unexpected client frame {:?}", frame.kind)
+                                    .into_bytes(),
+                            };
+                            self.send_frame(ctl, conn, net_id, &reply);
+                            ctl.close(conn);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        // Ran dry with nothing in flight.
+        if self.draining {
+            if let Some(state) = self.conns.get(&conn) {
+                let net_id = state.net_id;
+                self.send_frame(ctl, conn, net_id, &Frame::empty(FrameType::Shutdown, 0));
+                ctl.close(conn);
+            }
+        } else {
+            ctl.resume(conn);
+        }
+    }
+
+    fn begin_drain(&mut self, ctl: &mut Ctl<'_, EvMsg>) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.shutdown.store(true, Ordering::SeqCst);
+        ctl.stop_listening();
+        let idle: Vec<(ConnId, u64)> = self
+            .conns
+            .iter()
+            .filter(|(_, s)| !s.in_flight)
+            .map(|(&c, s)| (c, s.net_id))
+            .collect();
+        for (conn, net_id) in idle {
+            self.send_frame(ctl, conn, net_id, &Frame::empty(FrameType::Shutdown, 0));
+            ctl.close(conn);
+        }
+        if ctl.conn_count() == 0 {
+            ctl.stop();
+        } else {
+            // Backstop: an in-flight call that outlives the journal
+            // timeout (or a peer that never drains its socket) must not
+            // wedge the drain forever.
+            let grace = self.cfg.io_timeout + self.cfg.io_timeout + self.cfg.idle_poll;
+            ctl.set_timer(grace, DRAIN_GRACE);
+        }
+    }
+}
+
+impl Driver for EvServer {
+    type Msg = EvMsg;
+
+    fn on_accept(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId, peer: SocketAddr) {
+        let net_id = self.net.register(peer.to_string());
+        self.conns.insert(
+            conn,
+            ConnState {
+                net_id,
+                decoder: FrameDecoder::new(),
+                in_flight: false,
+            },
+        );
+        if self.draining {
+            self.send_frame(ctl, conn, net_id, &Frame::empty(FrameType::Shutdown, 0));
+            ctl.close(conn);
+        }
+    }
+
+    fn on_accept_error(&mut self, _ctl: &mut Ctl<'_, EvMsg>, _err: &io::Error) {
+        // The reactor already applied its capped backoff; just count.
+        self.net.count_accept_error();
+    }
+
+    fn on_data(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId, buf: &mut Vec<u8>) {
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.decoder.extend(buf);
+        }
+        buf.clear();
+        self.pump(ctl, conn);
+    }
+
+    fn on_close(&mut self, ctl: &mut Ctl<'_, EvMsg>, conn: ConnId, reason: &CloseReason) {
+        if let Some(state) = self.conns.remove(&conn) {
+            if matches!(reason, CloseReason::Err(_)) {
+                self.net.count_io_error(state.net_id);
+            }
+            self.net.close(state.net_id);
+        }
+        if self.draining && ctl.conn_count() == 0 {
+            ctl.stop();
+        }
+    }
+
+    fn on_msg(&mut self, ctl: &mut Ctl<'_, EvMsg>, msg: EvMsg) {
+        match msg {
+            EvMsg::Shutdown => self.begin_drain(ctl),
+            EvMsg::Done { conn, reply } => {
+                // The connection may have died while its job ran; the
+                // router side effects stand (the client resumes from
+                // last_acked), the reply just has nowhere to go.
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                state.in_flight = false;
+                let net_id = state.net_id;
+                let fatal = reply.kind == FrameType::Error;
+                self.send_frame(ctl, conn, net_id, &reply);
+                if fatal {
+                    ctl.close(conn);
+                } else {
+                    self.pump(ctl, conn);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctl: &mut Ctl<'_, EvMsg>, tag: u64) {
+        match tag {
+            TICK => {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    self.begin_drain(ctl);
+                } else {
+                    ctl.set_timer(self.cfg.idle_poll, TICK);
+                }
+            }
+            DRAIN_GRACE if self.draining => ctl.stop(),
+            _ => {}
+        }
+    }
+}
+
+/// Executes the blocking router calls for one frame; returns the reply
+/// frame (`FrameType::Error` replies are connection-fatal).
+fn process_job(
+    job: &Job,
+    svc: &RouterService,
+    net: &NetStats,
+    last_acked: &AtomicU64,
+    io_timeout: Duration,
+    started: Instant,
+) -> Frame {
+    let frame = &job.frame;
+    let net_id = job.net_id;
+    match frame.kind {
+        FrameType::Update => match wire::decode_updates(&frame.payload) {
+            Ok(batch) => {
+                let mut accepted = 0u32;
+                let mut dropped = 0u32;
+                for u in batch {
+                    // Under Block this call parks the *worker*; the loop
+                    // keeps serving other connections while this one's
+                    // paused socket throttles its peer.
+                    match svc.submit_update_tagged(u, frame.seq) {
+                        SubmitOutcome::Accepted => accepted += 1,
+                        SubmitOutcome::Dropped => dropped += 1,
+                    }
+                }
+                net.with_conn(net_id, |c| {
+                    c.updates += u64::from(accepted);
+                    c.update_drops += u64::from(dropped);
+                });
+                // Ack ⇒ journaled, same contract as the threaded path.
+                if accepted > 0 && !svc.wait_journaled(frame.seq, io_timeout) {
+                    net.count_io_error(net_id);
+                    Frame {
+                        kind: FrameType::Error,
+                        seq: frame.seq,
+                        payload: b"journal write did not complete; batch unacknowledged".to_vec(),
+                    }
+                } else {
+                    last_acked.fetch_max(frame.seq, Ordering::SeqCst);
+                    Frame {
+                        kind: FrameType::UpdateAck,
+                        seq: frame.seq,
+                        payload: wire::encode_ack(wire::UpdateAck { accepted, dropped }),
+                    }
+                }
+            }
+            Err(e) => {
+                net.count_protocol_error(net_id);
+                Frame {
+                    kind: FrameType::Error,
+                    seq: frame.seq,
+                    payload: e.to_string().into_bytes(),
+                }
+            }
+        },
+        FrameType::Lookup => match wire::decode_lookup(&frame.payload) {
+            Ok(addrs) => {
+                net.with_conn(net_id, |c| c.lookups += addrs.len() as u64);
+                let results = svc.lookup_batch(addrs);
+                Frame {
+                    kind: FrameType::LookupResult,
+                    seq: frame.seq,
+                    payload: wire::encode_results(&results),
+                }
+            }
+            Err(e) => {
+                net.count_protocol_error(net_id);
+                Frame {
+                    kind: FrameType::Error,
+                    seq: frame.seq,
+                    payload: e.to_string().into_bytes(),
+                }
+            }
+        },
+        FrameType::StatsQuery => Frame {
+            kind: FrameType::StatsReply,
+            seq: frame.seq,
+            payload: format!(
+                "{{\"uptime_ms\":{},\"router\":{},\"net\":{}}}",
+                started.elapsed().as_millis(),
+                svc.stats().to_json(),
+                net.to_json()
+            )
+            .into_bytes(),
+        },
+        // The driver only ships the three kinds above.
+        _ => Frame {
+            kind: FrameType::Error,
+            seq: frame.seq,
+            payload: b"internal: unroutable frame on bridge pool".to_vec(),
+        },
+    }
+}
+
+fn bridge_worker(
+    jobs: &Receiver<Job>,
+    handle: &LoopHandle<EvMsg>,
+    svc: &RouterService,
+    net: &NetStats,
+    last_acked: &AtomicU64,
+    io_timeout: Duration,
+    started: Instant,
+) {
+    while let Ok(job) = jobs.recv() {
+        let reply = process_job(&job, svc, net, last_acked, io_timeout, started);
+        if !handle.send(EvMsg::Done {
+            conn: job.conn,
+            reply,
+        }) {
+            return;
+        }
+    }
+}
+
+/// The running halves of a booted evloop transport: the loop's
+/// injection handle, the loop thread, and the bridge-pool threads.
+pub(crate) type EvRuntime = (LoopHandle<EvMsg>, JoinHandle<()>, Vec<JoinHandle<()>>);
+
+/// Boots the event-loop transport over an already-bound listener.
+/// Join the loop first: dropping the returned driver closes the job
+/// channel, which releases the workers.
+pub(crate) fn start(
+    listener: TcpListener,
+    cfg: &ServerConfig,
+    svc: &Arc<RouterService>,
+    net: &Arc<NetStats>,
+    last_acked: &Arc<AtomicU64>,
+    shutdown: &Arc<AtomicBool>,
+    started: Instant,
+) -> io::Result<EvRuntime> {
+    // The whole point of this transport is tens of thousands of
+    // connections; a stock 1024-fd soft limit would park the accept
+    // loop in EMFILE backoff long before that.
+    clue_aio::rlimit::raise_nofile(65_536);
+    let (jobs_tx, jobs_rx) = channel::unbounded::<Job>();
+    let driver = EvServer {
+        cfg: cfg.clone(),
+        net: Arc::clone(net),
+        last_acked: Arc::clone(last_acked),
+        shutdown: Arc::clone(shutdown),
+        jobs: jobs_tx,
+        conns: HashMap::new(),
+        draining: false,
+    };
+    let mut el = EventLoop::new(driver, LoopConfig::default())?;
+    el.add_listener(listener)?;
+    el.set_timer(cfg.idle_poll, TICK);
+    let handle = el.handle();
+
+    let workers = (0..cfg.bridge_threads.max(1))
+        .map(|_| {
+            let jobs = jobs_rx.clone();
+            let handle = el.handle();
+            let svc = Arc::clone(svc);
+            let net = Arc::clone(net);
+            let last_acked = Arc::clone(last_acked);
+            let io_timeout = cfg.io_timeout;
+            std::thread::spawn(move || {
+                bridge_worker(&jobs, &handle, &svc, &net, &last_acked, io_timeout, started);
+            })
+        })
+        .collect();
+
+    let loop_thread = std::thread::spawn(move || {
+        // An Err here is an unrecoverable poller failure; the Server
+        // counts the failed join. Returning drops the driver, closing
+        // the job channel and releasing the bridge pool.
+        let _ = el.run();
+    });
+
+    Ok((handle, loop_thread, workers))
+}

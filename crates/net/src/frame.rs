@@ -220,6 +220,146 @@ impl Frame {
     }
 }
 
+impl Frame {
+    /// Attempts to decode one frame from the front of `buf` without
+    /// blocking: the incremental counterpart of [`Frame::read_from`]
+    /// for nonblocking sockets, where a frame arrives in arbitrary
+    /// slices.
+    ///
+    /// Returns `Ok(Some((frame, consumed)))` when a complete valid
+    /// frame sits at the front, `Ok(None)` when more bytes are needed,
+    /// and `Err(InvalidData)` as soon as the prefix *cannot* become a
+    /// valid frame — bad magic bytes, version, type, or an oversized
+    /// length fail before the rest of the frame (or even the rest of
+    /// the header) arrives, so garbage is rejected without being
+    /// buffered to a frame boundary that will never come.
+    ///
+    /// # Errors
+    ///
+    /// `ErrorKind::InvalidData` exactly where [`Frame::read_after_lead`]
+    /// would fail: bad magic/version/type, oversized length, or CRC
+    /// mismatch.
+    pub fn try_decode(buf: &[u8]) -> io::Result<Option<(Frame, usize)>> {
+        // Validate the fixed fields as their bytes arrive.
+        let magic_bytes = MAGIC.to_be_bytes();
+        for (i, &b) in buf.iter().take(4).enumerate() {
+            if b != magic_bytes[i] {
+                let got = u32::from_be_bytes([
+                    *buf.first().unwrap_or(&0),
+                    *buf.get(1).unwrap_or(&0),
+                    *buf.get(2).unwrap_or(&0),
+                    *buf.get(3).unwrap_or(&0),
+                ]);
+                return Err(bad(format!("bad magic {got:#010x}")));
+            }
+        }
+        if let Some(&version) = buf.get(4) {
+            if version != VERSION {
+                return Err(bad(format!("unsupported protocol version {version}")));
+            }
+        }
+        let kind = match buf.get(5) {
+            None => return Ok(None),
+            Some(&t) => {
+                FrameType::from_u8(t).ok_or_else(|| bad(format!("unknown frame type {t}")))?
+            }
+        };
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let seq = u64::from_be_bytes(buf[6..14].try_into().unwrap());
+        let len = u32::from_be_bytes(buf[14..18].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Err(bad(format!("payload length {len} exceeds {MAX_PAYLOAD}")));
+        }
+        let total = HEADER_LEN + len as usize + 4;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let got = u32::from_be_bytes(buf[total - 4..total].try_into().unwrap());
+        let expect = crc32(&buf[..total - 4]);
+        if got != expect {
+            return Err(bad(format!(
+                "crc mismatch: got {got:#010x}, want {expect:#010x}"
+            )));
+        }
+        Ok(Some((
+            Frame {
+                kind,
+                seq,
+                payload: buf[HEADER_LEN..total - 4].to_vec(),
+            },
+            total,
+        )))
+    }
+}
+
+/// Per-connection incremental frame decoder: feed byte slices as the
+/// socket produces them, pull complete frames out.
+///
+/// Equivalent to [`Frame::read_from`] over the concatenation of
+/// everything fed (the equivalence is property-tested against the
+/// corruption corpus), but never blocks and never needs the stream
+/// positioned at a frame boundary. A decode error is sticky — once the
+/// stream has lost framing every subsequent poll reports the same
+/// error, matching the connection-fatal semantics of the blocking
+/// path.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix, compacted lazily so per-frame drains stay O(1)
+    /// amortized.
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes fed but not yet decoded into frames.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pulls the next complete frame, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// `ErrorKind::InvalidData` once the stream cannot decode (sticky:
+    /// repeats on every later call).
+    pub fn poll_frame(&mut self) -> io::Result<Option<Frame>> {
+        if self.poisoned {
+            return Err(bad("frame stream previously lost framing".to_string()));
+        }
+        match Frame::try_decode(&self.buf[self.pos..]) {
+            Ok(Some((frame, used))) => {
+                self.pos += used;
+                if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                Ok(Some(frame))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,22 +25,28 @@
 //!   with seq/ack resume;
 //! * [`loadgen`] — multi-threaded paced replay of `clue-traffic`
 //!   workloads;
+//! * [`swarm`] — a reactor-multiplexed connection swarm holding
+//!   thousands of clients open simultaneously (the `--connections`
+//!   load mode);
 //! * [`signal`] — SIGINT/SIGTERM to a pollable flag, dependency-free.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod crc;
+mod evserver;
 pub mod frame;
 pub mod loadgen;
 pub mod server;
 pub mod signal;
 pub mod stats;
+pub mod swarm;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientReport, Connection};
-pub use frame::{Frame, FrameType};
+pub use frame::{Frame, FrameDecoder, FrameType};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, Transport};
 pub use stats::NetStats;
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 pub use wire::UpdateAck;

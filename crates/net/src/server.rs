@@ -18,6 +18,12 @@
 //! `Shutdown` frame is sent to the peer), joins them, and then drains
 //! the router — applying every queued update and publishing the final
 //! epoch — before returning the final [`RouterReport`].
+//!
+//! Two [`Transport`]s implement these semantics: the per-connection
+//! thread model in this module, and the `clue-aio` event-loop reactor
+//! in [`evserver`](crate::evserver) (selected via
+//! [`ServerConfig::transport`]) which multiplexes every connection
+//! onto one loop thread and scales to tens of thousands of clients.
 
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,6 +39,55 @@ use crate::frame::{Frame, FrameType};
 use crate::stats::NetStats;
 use crate::wire;
 
+/// Which connection transport a [`Server`] runs.
+///
+/// Both transports speak the same wire protocol with the same
+/// backpressure, ack, and drain semantics; they differ only in how
+/// concurrency is organized — and therefore in how many connections
+/// one process can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One blocking reader thread per connection (the original design):
+    /// simple, but each connection costs a thread stack.
+    #[default]
+    Threads,
+    /// One `clue-aio` event-loop thread multiplexing every connection,
+    /// plus a small bridge pool for the blocking router calls — tens of
+    /// thousands of connections per process.
+    Evloop,
+}
+
+impl Transport {
+    /// The CLI spelling (`threads` / `evloop`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Threads => "threads",
+            Transport::Evloop => "evloop",
+        }
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" | "threaded" => Ok(Transport::Threads),
+            "evloop" | "event-loop" | "eventloop" => Ok(Transport::Evloop),
+            other => Err(format!(
+                "unknown transport {other:?} (expected threads|evloop)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -46,6 +101,12 @@ pub struct ServerConfig {
     /// Timeout for finishing a frame whose first byte arrived, and for
     /// socket writes.
     pub io_timeout: Duration,
+    /// Connection transport (`Threads` per-connection threads, or the
+    /// `Evloop` reactor).
+    pub transport: Transport,
+    /// Bridge-pool size for the `Evloop` transport: how many router
+    /// calls may block concurrently (ignored under `Threads`).
+    pub bridge_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +116,8 @@ impl Default for ServerConfig {
             router: RouterConfig::default(),
             idle_poll: Duration::from_millis(50),
             io_timeout: Duration::from_secs(10),
+            transport: Transport::Threads,
+            bridge_threads: 4,
         }
     }
 }
@@ -68,8 +131,20 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     svc: Option<Arc<RouterService>>,
     net: Arc<NetStats>,
-    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    runtime: Option<Runtime>,
     started: Instant,
+}
+
+/// The transport-specific running half of a [`Server`].
+enum Runtime {
+    Threads {
+        accept: JoinHandle<Vec<JoinHandle<()>>>,
+    },
+    Evloop {
+        handle: clue_aio::LoopHandle<crate::evserver::EvMsg>,
+        event_loop: JoinHandle<()>,
+        workers: Vec<JoinHandle<()>>,
+    },
 }
 
 impl Server {
@@ -99,7 +174,6 @@ impl Server {
         cfg: &ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.listen)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
         let svc = Arc::new(svc);
@@ -108,15 +182,35 @@ impl Server {
         let last_acked = Arc::new(AtomicU64::new(initial_seq));
 
         let started = Instant::now();
-        let accept = {
-            let svc = Arc::clone(&svc);
-            let shutdown = Arc::clone(&shutdown);
-            let net = Arc::clone(&net);
-            let last_acked = Arc::clone(&last_acked);
-            let cfg = cfg.clone();
-            std::thread::spawn(move || {
-                accept_loop(&listener, &cfg, &svc, &net, &last_acked, &shutdown, started)
-            })
+        let runtime = match cfg.transport {
+            Transport::Threads => {
+                listener.set_nonblocking(true)?;
+                let svc = Arc::clone(&svc);
+                let shutdown = Arc::clone(&shutdown);
+                let net = Arc::clone(&net);
+                let last_acked = Arc::clone(&last_acked);
+                let cfg = cfg.clone();
+                let accept = std::thread::spawn(move || {
+                    accept_loop(&listener, &cfg, &svc, &net, &last_acked, &shutdown, started)
+                });
+                Runtime::Threads { accept }
+            }
+            Transport::Evloop => {
+                let (handle, event_loop, workers) = crate::evserver::start(
+                    listener,
+                    cfg,
+                    &svc,
+                    &net,
+                    &last_acked,
+                    &shutdown,
+                    started,
+                )?;
+                Runtime::Evloop {
+                    handle,
+                    event_loop,
+                    workers,
+                }
+            }
         };
 
         Ok(Server {
@@ -124,7 +218,7 @@ impl Server {
             shutdown,
             svc: Some(svc),
             net,
-            accept: Some(accept),
+            runtime: Some(runtime),
             started,
         })
     }
@@ -146,6 +240,11 @@ impl Server {
     /// Requests shutdown without blocking.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(Runtime::Evloop { handle, .. }) = &self.runtime {
+            // Wake the loop so the drain starts now rather than at the
+            // next shutdown-poll tick.
+            let _ = handle.send(crate::evserver::EvMsg::Shutdown);
+        }
     }
 
     /// True once shutdown has been requested.
@@ -201,8 +300,9 @@ impl Server {
 
     fn stop_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(accept) = self.accept.take() {
-            match accept.join() {
+        match self.runtime.take() {
+            None => {}
+            Some(Runtime::Threads { accept }) => match accept.join() {
                 Ok(handlers) => {
                     for h in handlers {
                         if h.join().is_err() {
@@ -213,6 +313,23 @@ impl Server {
                     }
                 }
                 Err(_) => self.net.count_io_error(u64::MAX),
+            },
+            Some(Runtime::Evloop {
+                handle,
+                event_loop,
+                workers,
+            }) => {
+                let _ = handle.send(crate::evserver::EvMsg::Shutdown);
+                // The loop drains and exits; dropping its driver closes
+                // the bridge-pool job channel, releasing the workers.
+                if event_loop.join().is_err() {
+                    self.net.count_io_error(u64::MAX);
+                }
+                for w in workers {
+                    if w.join().is_err() {
+                        self.net.count_io_error(u64::MAX);
+                    }
+                }
             }
         }
     }
@@ -236,10 +353,18 @@ fn accept_loop(
     shutdown: &Arc<AtomicBool>,
     started: Instant,
 ) -> Vec<JoinHandle<()>> {
+    // Transient accept() failures (EMFILE/ENFILE fd exhaustion, aborted
+    // handshakes) get a capped exponential pause instead of a hot spin:
+    // fd pressure only clears when some connection closes, so retrying
+    // instantly just burns the core that could be serving.
+    const BACKOFF_BASE: Duration = Duration::from_millis(5);
+    const BACKOFF_CAP: Duration = Duration::from_secs(1);
+    let mut backoff = Duration::ZERO;
     let mut handlers = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, peer)) => {
+                backoff = Duration::ZERO;
                 let conn_id = net.register(peer.to_string());
                 let svc = Arc::clone(svc);
                 let net = Arc::clone(net);
@@ -261,13 +386,17 @@ fn accept_loop(
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                backoff = Duration::ZERO;
                 std::thread::sleep(cfg.idle_poll);
             }
             Err(_) => {
-                // Transient accept failure; count it against no
-                // particular connection and keep listening.
-                net.count_io_error(u64::MAX);
-                std::thread::sleep(cfg.idle_poll);
+                net.count_accept_error();
+                backoff = if backoff.is_zero() {
+                    BACKOFF_BASE
+                } else {
+                    (backoff * 2).min(BACKOFF_CAP)
+                };
+                std::thread::sleep(backoff);
             }
         }
     }

@@ -61,6 +61,7 @@ pub struct NetStats {
     frames_out: AtomicU64,
     protocol_errors: AtomicU64,
     io_errors: AtomicU64,
+    accept_errors: AtomicU64,
     conns: Mutex<Vec<ConnStats>>,
 }
 
@@ -124,6 +125,14 @@ impl NetStats {
         self.with_conn(id, |c| c.io_errors += 1);
     }
 
+    /// Counts a failed `accept()` call (e.g. EMFILE/ENFILE fd
+    /// exhaustion). These belong to no connection, so they live only in
+    /// the aggregate — the accept loop pairs each one with a capped
+    /// backoff sleep instead of spinning.
+    pub fn count_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Marks connection `id` closed.
     pub fn close(&self, id: u64) {
         self.active.fetch_sub(1, Ordering::Relaxed);
@@ -148,6 +157,12 @@ impl NetStats {
         self.protocol_errors.load(Ordering::Relaxed)
     }
 
+    /// Total failed `accept()` calls.
+    #[must_use]
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
     /// Renders the registry as one JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -159,13 +174,15 @@ impl NetStats {
             .join(",");
         format!(
             "{{\"accepted\":{},\"active\":{},\"frames_in\":{},\"frames_out\":{},\
-             \"protocol_errors\":{},\"io_errors\":{},\"connections\":[{}]}}",
+             \"protocol_errors\":{},\"io_errors\":{},\"accept_errors\":{},\
+             \"connections\":[{}]}}",
             self.accepted.load(Ordering::Relaxed),
             self.active.load(Ordering::Relaxed),
             self.frames_in.load(Ordering::Relaxed),
             self.frames_out.load(Ordering::Relaxed),
             self.protocol_errors.load(Ordering::Relaxed),
             self.io_errors.load(Ordering::Relaxed),
+            self.accept_errors.load(Ordering::Relaxed),
             entries,
         )
     }
@@ -185,15 +202,18 @@ mod tests {
         stats.count_frame_in(a);
         stats.count_frame_out(a);
         stats.count_protocol_error(b);
+        stats.count_accept_error();
         stats.close(b);
         assert_eq!(stats.accepted(), 2);
         assert_eq!(stats.active(), 1);
         assert_eq!(stats.protocol_errors(), 1);
+        assert_eq!(stats.accept_errors(), 1);
 
         let json = stats.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"accepted\":2"), "{json}");
         assert!(json.contains("\"frames_in\":2,\"frames_out\":1"), "{json}");
+        assert!(json.contains("\"accept_errors\":1"), "{json}");
         assert!(json.contains("\"protocol_errors\":1,\"io_errors\":0,\"open\":false"));
     }
 }

@@ -7,22 +7,31 @@ use std::time::Duration;
 use clue_fib::gen::FibGen;
 use clue_fib::RouteTable;
 use clue_net::frame::{Frame, FrameType};
-use clue_net::{ClientConfig, Connection, LoadConfig, Server, ServerConfig};
+use clue_net::{ClientConfig, Connection, LoadConfig, Server, ServerConfig, Transport};
 use clue_router::{OverflowPolicy, RouterConfig};
 use clue_traffic::{PacketGen, UpdateGen};
+
+/// Semantics-critical tests run over both transports: the evloop server
+/// must be observably identical to the per-connection-thread original.
+const TRANSPORTS: [Transport; 2] = [Transport::Threads, Transport::Evloop];
 
 fn small_fib(seed: u64, routes: usize) -> RouteTable {
     FibGen::new(seed).routes(routes).generate()
 }
 
-fn local_server(table: &RouteTable, router: RouterConfig) -> Server {
+fn local_server_on(table: &RouteTable, router: RouterConfig, transport: Transport) -> Server {
     let cfg = ServerConfig {
         listen: "127.0.0.1:0".to_string(),
         router,
         idle_poll: Duration::from_millis(10),
+        transport,
         ..ServerConfig::default()
     };
     Server::start(table, &cfg).expect("bind loopback")
+}
+
+fn local_server(table: &RouteTable, router: RouterConfig) -> Server {
+    local_server_on(table, router, Transport::Threads)
 }
 
 fn client_for(server: &Server) -> Connection {
@@ -38,135 +47,167 @@ fn lookups_over_tcp_match_the_reference_trie() {
     let packets = PacketGen::new(602).generate(&fib, 4_000);
     let reference = clue_compress::onrtc(&fib).to_trie();
 
-    let server = local_server(&fib, RouterConfig::default());
-    let mut conn = client_for(&server);
-    for batch in packets.chunks(256) {
-        let got = conn.lookup(batch).expect("lookup batch");
-        assert_eq!(got.len(), batch.len());
-        for (&addr, nh) in batch.iter().zip(&got) {
-            assert_eq!(
-                *nh,
-                reference.lookup(addr).map(|(_, &v)| v),
-                "addr {addr:#x}"
-            );
+    for transport in TRANSPORTS {
+        let server = local_server_on(&fib, RouterConfig::default(), transport);
+        let mut conn = client_for(&server);
+        for batch in packets.chunks(256) {
+            let got = conn.lookup(batch).expect("lookup batch");
+            assert_eq!(got.len(), batch.len());
+            for (&addr, nh) in batch.iter().zip(&got) {
+                assert_eq!(
+                    *nh,
+                    reference.lookup(addr).map(|(_, &v)| v),
+                    "{transport}: addr {addr:#x}"
+                );
+            }
         }
-    }
-    conn.heartbeat().expect("heartbeat");
-    let report = conn.close().expect("close");
-    assert_eq!(report.reconnects, 0);
+        conn.heartbeat().expect("heartbeat");
+        let report = conn.close().expect("close");
+        assert_eq!(report.reconnects, 0, "{transport}");
 
-    let final_report = server.drain().expect("server drains cleanly");
-    assert_eq!(final_report.snapshot.completions, packets.len() as u64);
+        let final_report = server.drain().expect("server drains cleanly");
+        assert_eq!(
+            final_report.snapshot.completions,
+            packets.len() as u64,
+            "{transport}"
+        );
+    }
 }
 
 #[test]
 fn updates_over_tcp_reach_the_sequential_fib_with_zero_loss_under_block() {
     let fib = small_fib(611, 1_000);
     let updates = UpdateGen::new(612).generate(&fib, 2_500);
-    // A tiny ingress queue forces the Block policy to push back on the
-    // wire; every update must still arrive.
-    let router = RouterConfig {
-        update_queue: 8,
-        batch_size: 4,
-        overflow: OverflowPolicy::Block,
-        ..RouterConfig::default()
-    };
-    let server = local_server(&fib, router);
-    let mut conn = client_for(&server);
-    for batch in updates.chunks(32) {
-        conn.send_updates(batch).expect("send updates");
-    }
-    conn.flush_acks().expect("flush");
-    let client_report = conn.close().expect("close");
-    assert_eq!(client_report.accepted, updates.len() as u64);
-    assert_eq!(client_report.dropped, 0);
-
-    let report = server.drain().expect("server drains cleanly");
     let mut expect = fib.clone();
     for &u in &updates {
         expect.apply(u);
     }
-    assert_eq!(report.final_table, expect);
-    assert_eq!(report.snapshot.update_drops, 0);
-    assert_eq!(report.snapshot.updates_received, updates.len() as u64);
+    // A tiny ingress queue forces the Block policy to push back on the
+    // wire; every update must still arrive — on both transports (the
+    // evloop maps the blocked router call onto a paused socket).
+    for transport in TRANSPORTS {
+        let router = RouterConfig {
+            update_queue: 8,
+            batch_size: 4,
+            overflow: OverflowPolicy::Block,
+            ..RouterConfig::default()
+        };
+        let server = local_server_on(&fib, router, transport);
+        let mut conn = client_for(&server);
+        for batch in updates.chunks(32) {
+            conn.send_updates(batch).expect("send updates");
+        }
+        conn.flush_acks().expect("flush");
+        let client_report = conn.close().expect("close");
+        assert_eq!(client_report.accepted, updates.len() as u64, "{transport}");
+        assert_eq!(client_report.dropped, 0, "{transport}");
+
+        let report = server.drain().expect("server drains cleanly");
+        assert_eq!(report.final_table, expect, "{transport}");
+        assert_eq!(report.snapshot.update_drops, 0, "{transport}");
+        assert_eq!(
+            report.snapshot.updates_received,
+            updates.len() as u64,
+            "{transport}"
+        );
+    }
 }
 
 #[test]
 fn drop_newest_over_tcp_accounts_for_every_update() {
     let fib = small_fib(621, 800);
     let updates = UpdateGen::new(622).generate(&fib, 3_000);
-    let router = RouterConfig {
-        update_queue: 4,
-        batch_size: 2,
-        overflow: OverflowPolicy::DropNewest,
-        ..RouterConfig::default()
-    };
-    let server = local_server(&fib, router);
-    let mut conn = client_for(&server);
-    for batch in updates.chunks(64) {
-        conn.send_updates(batch).expect("send updates");
-    }
-    conn.flush_acks().expect("flush");
-    let client_report = conn.close().expect("close");
-    // Nothing silently lost: every update is acked as either accepted
-    // or dropped, and the server's own counter agrees.
-    assert_eq!(
-        client_report.accepted + client_report.dropped,
-        updates.len() as u64
-    );
-    assert!(client_report.dropped > 0, "tiny queue must drop something");
+    for transport in TRANSPORTS {
+        let router = RouterConfig {
+            update_queue: 4,
+            batch_size: 2,
+            overflow: OverflowPolicy::DropNewest,
+            ..RouterConfig::default()
+        };
+        let server = local_server_on(&fib, router, transport);
+        let mut conn = client_for(&server);
+        for batch in updates.chunks(64) {
+            conn.send_updates(batch).expect("send updates");
+        }
+        conn.flush_acks().expect("flush");
+        let client_report = conn.close().expect("close");
+        // Nothing silently lost: every update is acked as either accepted
+        // or dropped, and the server's own counter agrees.
+        assert_eq!(
+            client_report.accepted + client_report.dropped,
+            updates.len() as u64,
+            "{transport}"
+        );
+        assert!(
+            client_report.dropped > 0,
+            "{transport}: tiny queue must drop something"
+        );
 
-    let report = server.drain().expect("server drains cleanly");
-    assert_eq!(report.snapshot.update_drops, client_report.dropped);
-    assert_eq!(report.snapshot.updates_received, client_report.accepted);
+        let report = server.drain().expect("server drains cleanly");
+        assert_eq!(
+            report.snapshot.update_drops, client_report.dropped,
+            "{transport}"
+        );
+        assert_eq!(
+            report.snapshot.updates_received, client_report.accepted,
+            "{transport}"
+        );
+    }
 }
 
 #[test]
 fn stats_query_exposes_net_ledger_and_overflow_counters() {
     let fib = small_fib(631, 600);
-    let server = local_server(&fib, RouterConfig::default());
-    let mut conn = client_for(&server);
-    let _ = conn.lookup(&[0x0A00_0001, 0xC0A8_0101]).expect("lookup");
-    let json = conn.stats_json().expect("stats");
-    for key in [
-        "\"uptime_ms\":",
-        "\"router\":",
-        "\"overflow\":{\"update_drops\":",
-        "\"net\":",
-        "\"connections\":[",
-        "\"protocol_errors\":",
-        "\"io_errors\":",
-        "\"lookups\":2",
-    ] {
-        assert!(json.contains(key), "missing {key} in {json}");
+    for transport in TRANSPORTS {
+        let server = local_server_on(&fib, RouterConfig::default(), transport);
+        let mut conn = client_for(&server);
+        let _ = conn.lookup(&[0x0A00_0001, 0xC0A8_0101]).expect("lookup");
+        let json = conn.stats_json().expect("stats");
+        for key in [
+            "\"uptime_ms\":",
+            "\"router\":",
+            "\"overflow\":{\"update_drops\":",
+            "\"net\":",
+            "\"connections\":[",
+            "\"protocol_errors\":",
+            "\"io_errors\":",
+            "\"accept_errors\":",
+            "\"plane\":{\"backend\":\"tcam\"",
+            "\"heap_bytes\":",
+            "\"lookups\":2",
+        ] {
+            assert!(json.contains(key), "{transport}: missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let _ = conn.close().expect("close");
+        let _ = server.drain().expect("server drains cleanly");
     }
-    assert_eq!(json.matches('{').count(), json.matches('}').count());
-    let _ = conn.close().expect("close");
-    let _ = server.drain().expect("server drains cleanly");
 }
 
 #[test]
 fn garbage_bytes_get_an_error_frame_and_a_counted_protocol_error() {
     let fib = small_fib(641, 500);
-    let server = local_server(&fib, RouterConfig::default());
-    let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
-    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-    raw.write_all(b"this is definitely not a CLUE frame....")
-        .expect("write garbage");
-    let reply = Frame::read_from(&mut raw).expect("server replies before closing");
-    assert_eq!(reply.kind, FrameType::Error);
-    // The server hangs up after a protocol error.
-    let mut rest = Vec::new();
-    let _ = raw.read_to_end(&mut rest);
-    assert!(rest.is_empty());
+    for transport in TRANSPORTS {
+        let server = local_server_on(&fib, RouterConfig::default(), transport);
+        let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.write_all(b"this is definitely not a CLUE frame....")
+            .expect("write garbage");
+        let reply = Frame::read_from(&mut raw).expect("server replies before closing");
+        assert_eq!(reply.kind, FrameType::Error, "{transport}");
+        // The server hangs up after a protocol error.
+        let mut rest = Vec::new();
+        let _ = raw.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "{transport}");
 
-    // The error shows up in the per-connection ledger.
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while server.net_stats().protocol_errors() == 0 && std::time::Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(10));
+        // The error shows up in the per-connection ledger.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.net_stats().protocol_errors() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.net_stats().protocol_errors(), 1, "{transport}");
+        let _ = server.drain().expect("server drains cleanly");
     }
-    assert_eq!(server.net_stats().protocol_errors(), 1);
-    let _ = server.drain().expect("server drains cleanly");
 }
 
 #[test]
@@ -175,53 +216,59 @@ fn client_reconnects_and_resumes_after_a_server_restart() {
     let updates = UpdateGen::new(652).generate(&fib, 600);
     let (first, second) = updates.split_at(300);
 
-    let server1 = local_server(&fib, RouterConfig::default());
-    let addr = server1.local_addr();
-    let mut cfg = ClientConfig::to_addr(addr.to_string());
-    cfg.initial_backoff = Duration::from_millis(10);
-    cfg.max_backoff = Duration::from_millis(100);
-    cfg.max_reconnect_attempts = 50;
-    let mut conn = Connection::connect(cfg).expect("connect");
+    for transport in TRANSPORTS {
+        let server1 = local_server_on(&fib, RouterConfig::default(), transport);
+        let addr = server1.local_addr();
+        let mut cfg = ClientConfig::to_addr(addr.to_string());
+        cfg.initial_backoff = Duration::from_millis(10);
+        cfg.max_backoff = Duration::from_millis(100);
+        cfg.max_reconnect_attempts = 50;
+        let mut conn = Connection::connect(cfg).expect("connect");
 
-    for batch in first.chunks(32) {
-        conn.send_updates(batch).expect("send to first server");
-    }
-    conn.flush_acks().expect("flush");
-    let report1 = server1.drain().expect("server drains cleanly");
-    let mut expect = fib.clone();
-    for &u in first {
-        expect.apply(u);
-    }
-    assert_eq!(report1.final_table, expect);
+        for batch in first.chunks(32) {
+            conn.send_updates(batch).expect("send to first server");
+        }
+        conn.flush_acks().expect("flush");
+        let report1 = server1.drain().expect("server drains cleanly");
+        let mut expect = fib.clone();
+        for &u in first {
+            expect.apply(u);
+        }
+        assert_eq!(report1.final_table, expect, "{transport}");
 
-    // Same port, resumed table: the world the client reconnects into.
-    let cfg2 = ServerConfig {
-        listen: addr.to_string(),
-        idle_poll: Duration::from_millis(10),
-        ..ServerConfig::default()
-    };
-    let server2 = Server::start(&report1.final_table, &cfg2).expect("rebind same port");
+        // Same port, resumed table: the world the client reconnects into.
+        let cfg2 = ServerConfig {
+            listen: addr.to_string(),
+            idle_poll: Duration::from_millis(10),
+            transport,
+            ..ServerConfig::default()
+        };
+        let server2 = Server::start(&report1.final_table, &cfg2).expect("rebind same port");
 
-    for batch in second.chunks(32) {
-        conn.send_updates(batch).expect("send across restart");
-    }
-    conn.flush_acks().expect("flush after resume");
-    assert!(conn.reconnects() >= 1, "restart must force a reconnect");
-    let client_report = conn.close().expect("close");
-    assert_eq!(
-        client_report.accepted,
-        updates.len() as u64,
-        "every update acked despite the restart"
-    );
+        for batch in second.chunks(32) {
+            conn.send_updates(batch).expect("send across restart");
+        }
+        conn.flush_acks().expect("flush after resume");
+        assert!(
+            conn.reconnects() >= 1,
+            "{transport}: restart must force a reconnect"
+        );
+        let client_report = conn.close().expect("close");
+        assert_eq!(
+            client_report.accepted,
+            updates.len() as u64,
+            "{transport}: every update acked despite the restart"
+        );
 
-    let report2 = server2.drain().expect("server drains cleanly");
-    for &u in second {
-        expect.apply(u);
+        let report2 = server2.drain().expect("server drains cleanly");
+        for &u in second {
+            expect.apply(u);
+        }
+        assert_eq!(
+            report2.final_table, expect,
+            "{transport}: converges to the oracle's final table across the reconnect"
+        );
     }
-    assert_eq!(
-        report2.final_table, expect,
-        "converges to the oracle's final table across the reconnect"
-    );
 }
 
 #[test]
@@ -263,33 +310,35 @@ fn loadgen_sustains_a_mixed_workload_and_drains_cleanly() {
 fn graceful_drain_refuses_new_work_but_keeps_its_promises() {
     let fib = small_fib(671, 700);
     let updates = UpdateGen::new(672).generate(&fib, 200);
-    let server = local_server(&fib, RouterConfig::default());
-    let mut cfg = ClientConfig::to_addr(server.local_addr().to_string());
-    // Short reconnect budget: once drained nothing listens, and the
-    // failure assert below should not take ten backoff rounds.
-    cfg.initial_backoff = Duration::from_millis(5);
-    cfg.max_backoff = Duration::from_millis(20);
-    cfg.max_reconnect_attempts = 2;
-    let mut conn = Connection::connect(cfg).expect("connect");
-    for batch in updates.chunks(32) {
-        conn.send_updates(batch).expect("send");
-    }
-    conn.flush_acks().expect("flush");
-
-    server.request_shutdown();
-    assert!(server.shutdown_requested());
-    let report = server.drain().expect("server drains cleanly");
-    // Everything acked before the drain is in the final table.
     let mut expect = fib.clone();
     for &u in &updates {
         expect.apply(u);
     }
-    assert_eq!(report.final_table, expect);
+    for transport in TRANSPORTS {
+        let server = local_server_on(&fib, RouterConfig::default(), transport);
+        let mut cfg = ClientConfig::to_addr(server.local_addr().to_string());
+        // Short reconnect budget: once drained nothing listens, and the
+        // failure assert below should not take ten backoff rounds.
+        cfg.initial_backoff = Duration::from_millis(5);
+        cfg.max_backoff = Duration::from_millis(20);
+        cfg.max_reconnect_attempts = 2;
+        let mut conn = Connection::connect(cfg).expect("connect");
+        for batch in updates.chunks(32) {
+            conn.send_updates(batch).expect("send");
+        }
+        conn.flush_acks().expect("flush");
 
-    // The accept loop is gone; the old connection observes the
-    // shutdown on its next operation and cannot reconnect.
-    let next = conn.lookup(&[0x0A00_0001]);
-    assert!(next.is_err(), "post-drain lookups must fail");
+        server.request_shutdown();
+        assert!(server.shutdown_requested());
+        let report = server.drain().expect("server drains cleanly");
+        // Everything acked before the drain is in the final table.
+        assert_eq!(report.final_table, expect, "{transport}");
+
+        // The accept loop is gone; the old connection observes the
+        // shutdown on its next operation and cannot reconnect.
+        let next = conn.lookup(&[0x0A00_0001]);
+        assert!(next.is_err(), "{transport}: post-drain lookups must fail");
+    }
 }
 
 #[test]
@@ -334,4 +383,75 @@ fn non_default_backends_serve_identical_answers_over_tcp() {
         }
         assert_eq!(report.final_table, expect, "{backend} backend");
     }
+}
+
+#[test]
+fn evloop_multiplexes_many_clients_on_one_loop_thread() {
+    // The point of the evloop transport: every connection shares one
+    // reactor thread (plus the small bridge pool) instead of costing a
+    // thread each. A herd of parallel clients doing interleaved lookups
+    // and updates must all get correct, exactly-once-acked answers.
+    let fib = small_fib(691, 1_000);
+    let reference = clue_compress::onrtc(&fib).to_trie();
+    let packets = PacketGen::new(692).generate(&fib, 1_024);
+    let server = local_server_on(&fib, RouterConfig::default(), Transport::Evloop);
+    let addr = server.local_addr().to_string();
+
+    const CLIENTS: usize = 32;
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let addr = addr.clone();
+            let reference = &reference;
+            let packets = &packets;
+            s.spawn(move || {
+                let mut cfg = ClientConfig::to_addr(addr);
+                cfg.initial_backoff = Duration::from_millis(10);
+                let mut conn = Connection::connect(cfg).expect("connect");
+                // A different slice of the packet trace per client.
+                let slice = &packets[t * 16..t * 16 + 64.min(packets.len() - t * 16)];
+                for batch in slice.chunks(16) {
+                    let got = conn.lookup(batch).expect("lookup");
+                    for (&a, nh) in batch.iter().zip(&got) {
+                        assert_eq!(*nh, reference.lookup(a).map(|(_, &v)| v), "client {t}");
+                    }
+                }
+                conn.heartbeat().expect("heartbeat");
+                let report = conn.close().expect("close");
+                assert_eq!(report.reconnects, 0, "client {t}");
+            });
+        }
+    });
+
+    assert_eq!(server.net_stats().accepted(), CLIENTS as u64);
+    // Client-side close() returns before the loop has reaped the EOF;
+    // give the reactor a moment to retire every connection.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.net_stats().active() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.net_stats().active(), 0);
+    let _ = server.drain().expect("server drains cleanly");
+}
+
+#[test]
+fn evloop_drain_notifies_idle_connected_clients() {
+    // A connected-but-quiet client must receive the Shutdown frame and
+    // see the line closed when the server drains out from under it.
+    let fib = small_fib(701, 400);
+    let server = local_server_on(&fib, RouterConfig::default(), Transport::Evloop);
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    Frame::empty(FrameType::Hello, 0)
+        .write_to(&mut raw)
+        .expect("hello");
+    let ack = Frame::read_from(&mut raw).expect("hello ack");
+    assert_eq!(ack.kind, FrameType::HelloAck);
+
+    server.request_shutdown();
+    let notice = Frame::read_from(&mut raw).expect("shutdown notice");
+    assert_eq!(notice.kind, FrameType::Shutdown);
+    let mut rest = Vec::new();
+    let _ = raw.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "line closes after the shutdown notice");
+    let _ = server.drain().expect("server drains cleanly");
 }

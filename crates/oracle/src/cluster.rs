@@ -109,7 +109,10 @@ pub fn check_cluster_phase(
             ..ReplConfig::default()
         },
         sync_timeout: Duration::from_secs(5),
-        ..PrimaryConfig::default()
+        server: clue_net::ServerConfig {
+            transport: cfg.transport,
+            ..clue_net::ServerConfig::default()
+        },
     };
     let mut dirs = Vec::new();
     let mut primaries: Vec<Option<Primary>> = Vec::new();
@@ -152,6 +155,7 @@ pub fn check_cluster_phase(
 
     let mut proxy_cfg = ProxyConfig::new(map.clone());
     proxy_cfg.heartbeat_every = Duration::from_millis(100);
+    proxy_cfg.transport = cfg.transport;
     let proxy = Proxy::start(proxy_cfg).map_err(|e| cl_div(format!("starting proxy: {e}")))?;
     let addr = proxy.local_addr().to_string();
 

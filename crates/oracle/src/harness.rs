@@ -36,6 +36,7 @@ use clue_core::lookup::{plane_from_table, BackendKind};
 use clue_core::update_pipeline::CluePipeline;
 use clue_fib::gen::FibGen;
 use clue_fib::{NextHop, Prefix, RouteTable, Update};
+use clue_net::Transport;
 use clue_partition::{EvenRangePartition, Indexer};
 use clue_router::{FaultPlan, RouterConfig};
 use clue_tcam::TcamTiming;
@@ -93,6 +94,10 @@ pub struct CheckConfig {
     /// backends against the oracle, so a divergence is attributed to
     /// the specific backend that disagreed.
     pub backend: BackendKind,
+    /// Serving transport the networked phases (net, cluster) run their
+    /// servers and proxy with; the workload and every assertion are
+    /// transport-independent.
+    pub transport: Transport,
 }
 
 impl CheckConfig {
@@ -115,6 +120,7 @@ impl CheckConfig {
             recovery: false,
             shards: 1,
             backend: BackendKind::default(),
+            transport: Transport::default(),
         }
     }
 }

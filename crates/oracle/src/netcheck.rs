@@ -77,6 +77,7 @@ pub fn check_net_phase(
             ..RouterConfig::default()
         },
         idle_poll: Duration::from_millis(10),
+        transport: cfg.transport,
         ..ServerConfig::default()
     };
     let server = Server::start(table, &scfg).map_err(net_div)?;

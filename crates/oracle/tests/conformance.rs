@@ -6,6 +6,7 @@
 //! fault injection. Sizes are chosen to stay fast unoptimized; the CI
 //! conformance job runs the larger `clue check` workloads in release.
 
+use clue_net::Transport;
 use clue_oracle::harness::{check_router_phase, check_trace, minimize_failure, replay};
 use clue_oracle::{run_check, CheckConfig, CheckFailure, Divergence, Oracle, Reproducer, Stage};
 use clue_router::FaultPlan;
@@ -176,6 +177,58 @@ fn net_check_passes_under_client_side_faults() {
         run_check(&cfg).unwrap_or_else(|f| panic!("faulted net check diverged: {}", f.divergence));
     assert!(report.faulted);
     assert_eq!(report.net_lookups, cfg.packets * 2);
+}
+
+/// The networked phase with the server on the evloop transport: the
+/// wire semantics the oracle asserts (Block backpressure, seq/ack
+/// exactly-once, drain) must be transport-invariant.
+#[test]
+fn net_check_passes_with_evloop_transport() {
+    let cfg = CheckConfig {
+        net: true,
+        transport: Transport::Evloop,
+        updates: 256,
+        packets: 1_500,
+        ..small(37)
+    };
+    let report =
+        run_check(&cfg).unwrap_or_else(|f| panic!("evloop net check diverged: {}", f.divergence));
+    assert_eq!(report.net_lookups, cfg.packets * 2);
+    assert_eq!(report.net_reconnects, 0, "loopback should not reconnect");
+}
+
+#[test]
+fn net_check_passes_with_evloop_transport_under_faults() {
+    let cfg = CheckConfig {
+        net: true,
+        transport: Transport::Evloop,
+        faults: Some(FaultPlan::chaos(151)),
+        updates: 256,
+        packets: 1_000,
+        ..small(43)
+    };
+    let report = run_check(&cfg)
+        .unwrap_or_else(|f| panic!("faulted evloop net check diverged: {}", f.divergence));
+    assert!(report.faulted);
+    assert_eq!(report.net_lookups, cfg.packets * 2);
+}
+
+/// The cluster phase end to end on the evloop transport: shard servers
+/// *and* the proxy all multiplex on reactors, with the mid-burst
+/// primary kill still promoting without a lost ack.
+#[test]
+fn sharded_check_passes_with_evloop_transport() {
+    let cfg = CheckConfig {
+        shards: 2,
+        transport: Transport::Evloop,
+        packets: 1_500,
+        ..small(47)
+    };
+    let report = run_check(&cfg)
+        .unwrap_or_else(|f| panic!("evloop sharded check diverged: {}", f.divergence));
+    assert_eq!(report.cluster_shards, 2);
+    assert_eq!(report.cluster_failovers, 1);
+    assert!(report.cluster_lookups > 0);
 }
 
 #[test]

@@ -37,4 +37,4 @@ pub use faults::{FaultPlan, IngressPerturber, WriteStall};
 pub use journal::{CheckpointView, JournalBatch, RecoveredState, UpdateJournal};
 pub use runtime::{run, OverflowPolicy, RouterConfig, RouterReport};
 pub use service::{RouterService, SubmitOutcome};
-pub use stats::{RouterStats, StatsSnapshot};
+pub use stats::{PlaneInfo, RouterStats, StatsSnapshot};

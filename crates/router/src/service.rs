@@ -405,10 +405,21 @@ impl RouterService {
         reply_rx.recv().expect("dispatcher replies")
     }
 
-    /// A point-in-time aggregated stats snapshot.
+    /// A point-in-time aggregated stats snapshot, enriched with the
+    /// published lookup plane's identity (backend, epoch, entry count,
+    /// heap footprint, dynamic redundancy).
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut snap = self.shared.stats.snapshot();
+        let epoch = self.shared.epochs.load();
+        snap.plane = Some(crate::stats::PlaneInfo {
+            backend: epoch.backend,
+            epoch: epoch.epoch,
+            entries: epoch.entries,
+            heap_bytes: epoch.planes.iter().map(|p| p.heap_bytes()).sum(),
+            replicated: epoch.replicated,
+        });
+        snap
     }
 
     /// The currently published epoch number.

@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use clue_core::lookup::BackendKind;
 use clue_core::metrics::Histogram;
 use parking_lot::Mutex;
 
@@ -184,7 +185,44 @@ impl RouterStats {
             update_drops: self.update_drops.load(Ordering::Relaxed),
             journal_appends: self.journal_appends.load(Ordering::Relaxed),
             journal_errors: self.journal_errors.load(Ordering::Relaxed),
+            plane: None,
         }
+    }
+}
+
+/// What the currently published lookup plane looks like: which backend
+/// compiled it, how big it is, and what it costs in memory. Collected
+/// from the live [`EpochState`](crate::EpochState) by
+/// [`RouterService::stats`](crate::RouterService::stats); `None` in
+/// snapshots taken straight off a [`RouterStats`] registry, which has
+/// no view of the epoch.
+#[derive(Debug, Clone)]
+pub struct PlaneInfo {
+    /// Backend compiling every per-chip plane of this epoch.
+    pub backend: BackendKind,
+    /// The published epoch number.
+    pub epoch: u64,
+    /// Entries in the compressed table the epoch was built from.
+    pub entries: usize,
+    /// Total heap bytes across all per-chip planes.
+    pub heap_bytes: usize,
+    /// Routes stored in more than one bucket (dynamic redundancy).
+    pub replicated: u64,
+}
+
+impl PlaneInfo {
+    /// Renders as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"epoch\":{},\"entries\":{},\
+             \"heap_bytes\":{},\"replicated\":{}}}",
+            self.backend.name(),
+            self.epoch,
+            self.entries,
+            self.heap_bytes,
+            self.replicated,
+        )
     }
 }
 
@@ -236,6 +274,10 @@ pub struct StatsSnapshot {
     /// Failed journal appends/checkpoints (acks held back, batches
     /// still applied).
     pub journal_errors: u64,
+    /// The published lookup plane (backend, size, heap) — filled by
+    /// [`RouterService::stats`](crate::RouterService::stats), `None`
+    /// from a bare registry snapshot.
+    pub plane: Option<PlaneInfo>,
 }
 
 impl StatsSnapshot {
@@ -258,7 +300,8 @@ impl StatsSnapshot {
              \"overflow\":{{\"update_drops\":{}}},\
              \"journal\":{{\"appends\":{},\"errors\":{}}},\
              \"packets\":{{\"arrivals\":{},\"completions\":{},\"diversions\":{},\
-             \"dred_hits\":{},\"dred_misses\":{}}}}}",
+             \"dred_hits\":{},\"dred_misses\":{}}},\
+             \"plane\":{}}}",
             self.workers,
             self.lookup_ns.to_json(),
             self.queue_depth.to_json(),
@@ -282,6 +325,9 @@ impl StatsSnapshot {
             self.diversions,
             self.dred_hits,
             self.dred_misses,
+            self.plane
+                .as_ref()
+                .map_or_else(|| "null".to_string(), PlaneInfo::to_json),
         )
     }
 }

@@ -9,6 +9,7 @@
 
 use clue_core::codec::encode_updates;
 use clue_fib::{NextHop, Prefix, Update};
+use clue_net::frame::FrameDecoder;
 use clue_net::{Frame, FrameType};
 use clue_store::{decode_record, encode_record, WalRecord};
 
@@ -115,6 +116,52 @@ fn frame_decoder_survives_the_corpus() {
         // Same contract: clean error or a byte-identical re-decode.
         if let Ok(frame) = Frame::read_from(&mut &bytes[..]) {
             assert_eq!(frame.encode(), good, "case {label}");
+        }
+    }
+}
+
+#[test]
+fn incremental_frame_decoder_survives_the_corpus() {
+    // The third framed decoder in the workspace: the nonblocking
+    // incremental decoder must uphold the same contract as the
+    // blocking reader over the same corpus — clean error or a
+    // byte-identical re-decode, fed one byte at a time.
+    let good = Frame {
+        kind: FrameType::Update,
+        seq: 9,
+        payload: encode_updates(&sample_ops()),
+    }
+    .encode();
+
+    for (label, bytes) in corpus(&good) {
+        let mut dec = FrameDecoder::new();
+        let mut decoded = None;
+        let mut failed = false;
+        for &b in &bytes {
+            dec.extend(&[b]);
+            match dec.poll_frame() {
+                Ok(Some(f)) => {
+                    decoded = Some(f);
+                    break;
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if let Some(frame) = decoded {
+            assert_eq!(frame.encode(), good, "case {label}");
+        } else {
+            // Starved or cleanly failed — both acceptable; what is
+            // not acceptable is a panic or a wrong frame, and the
+            // blocking decoder must agree that this input is bad.
+            let blocking = Frame::read_from(&mut &bytes[..]);
+            assert!(
+                blocking.is_err() || failed,
+                "case {label}: incremental starved where blocking decoded"
+            );
         }
     }
 }

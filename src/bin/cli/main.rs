@@ -15,6 +15,7 @@
 //!                   [--stats-ms N] [--backend tcam|trie|cfib]
 //! clue serve        --fib fib.txt --listen ADDR [--data-dir DIR] [--workers N] [--dred N]
 //!                   [--fifo N] [--batch K] [--queue N] [--overflow block|drop] [--stats-ms N]
+//!                   [--transport threads|evloop]
 //! clue serve        --listen ADDR --data-dir DIR --repl-listen ADDR [--fib fib.txt]
 //!                   [--sync-ms N] [router flags]   (shard primary: WAL-shipping replication)
 //! clue serve        --listen ADDR --follow PRIMARY_REPL [router flags]   (warm standby)
@@ -22,6 +23,7 @@
 //!                   [--split-dir DIR]          (derive cuts, write map + per-shard FIBs)
 //! clue proxy        --map map.bin | --fib fib.txt --shards a,b,c [--standbys x,y,z]
 //!                   [--listen ADDR] [--heartbeat-ms N] [--fail-after N] [--stats-ms N]
+//!                   [--transport threads|evloop] [--bridge-threads N]
 //! clue promote      --addr HOST:PORT           (promote a standby to a serving primary)
 //! clue snapshot     --data-dir DIR            (fold the journal into a snapshot, prune WAL)
 //! clue restore      --data-dir DIR [--fib out.txt] [--verify-fib fib.txt
@@ -29,11 +31,13 @@
 //! clue loadgen      --addr HOST:PORT [--packets trace.txt] [--updates updates.txt]
 //!                   [--rate PPS] [--update-rate UPS] [--threads N]
 //!                   [--lookup-batch K] [--update-batch K]
+//!                   [--connections N]         (swarm mode: N concurrent reactor clients)
 //! clue stats        --addr HOST:PORT
 //! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
 //!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
 //!                   [--net on|off] [--recovery on|off] [--shards N]
-//!                   [--backend tcam|trie|cfib] [--out repro.txt] [--replay repro.txt]
+//!                   [--backend tcam|trie|cfib] [--transport threads|evloop]
+//!                   [--out repro.txt] [--replay repro.txt]
 //! ```
 //!
 //! All file formats are plain text: FIBs are `a.b.c.d/len nh` lines,
@@ -59,7 +63,8 @@ use clue::fib::{RouteTable, Update};
 use clue::net::signal;
 use clue::net::wire;
 use clue::net::{
-    run_load, ClientConfig, Connection, Frame, FrameType, LoadConfig, Server, ServerConfig,
+    run_load, run_swarm, ClientConfig, Connection, Frame, FrameType, LoadConfig, Server,
+    ServerConfig, SwarmConfig, Transport,
 };
 use clue::oracle::harness;
 use clue::oracle::{run_check, CheckConfig, Reproducer};
@@ -88,27 +93,29 @@ commands:
                 file-driven, or networked           --dred --fifo --batch --queue
                 with --listen HOST:PORT,             --overflow --stats-ms --listen
                 durable with --data-dir DIR,         --data-dir --repl-listen --sync-ms
-                a shard primary with --repl-listen,  --follow --backend)
+                a shard primary with --repl-listen,  --follow --backend --transport)
                 or a warm standby with --follow
   shardmap      derive a shard map from a FIB's     (--fib --shards; --standbys --out
                 even-range cuts, optionally          --split-dir)
                 splitting per-shard FIBs
   proxy         front N shards as one router with   (--map or --fib --shards --standbys;
                 fan-out, health checks, and          --listen --heartbeat-ms --fail-after
-                standby failover                     --stats-ms)
+                standby failover                     --stats-ms --transport --bridge-threads)
   promote       promote a standby to serving        (--addr)
   snapshot      fold a data dir's journal into a    (--data-dir)
                 fresh snapshot and prune the WAL
   restore       recover a data dir offline and      (--data-dir; --fib --verify-fib
                 report/export/verify the state       --verify-updates)
   loadgen       offer a workload to a server        (--addr; --packets --updates --rate
-                over TCP at a target rate            --update-rate --threads
-                                                     --lookup-batch --update-batch)
+                over TCP at a target rate, or        --update-rate --threads
+                swarm N concurrent connections       --lookup-batch --update-batch
+                                                     --connections)
   stats         query a running server's counters   (--addr)
   check         differential conformance check      (--seed --updates --routes --batch
                 against the naive oracle             --chips --dred --packets --faults
                                                      --fault-seed --net --recovery
-                                                     --shards --backend --out --replay)
+                                                     --shards --backend --transport
+                                                     --out --replay)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -530,6 +537,14 @@ fn parse_backend(args: &Args) -> Result<BackendKind, ArgError> {
     }
 }
 
+/// Parses `--transport threads|evloop` (default: per-connection threads).
+fn parse_transport(args: &Args) -> Result<Transport, ArgError> {
+    match args.optional("transport") {
+        None => Ok(Transport::default()),
+        Some(name) => name.parse().map_err(ArgError),
+    }
+}
+
 fn serve(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
         "fib",
@@ -548,6 +563,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         "follow",
         "sync-ms",
         "backend",
+        "transport",
     ])?;
     let overflow = match args.optional("overflow").unwrap_or("block") {
         "block" => OverflowPolicy::Block,
@@ -556,6 +572,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
     };
     let stats_ms: u64 = args.get_or("stats-ms", 0)?;
     let backend = parse_backend(args)?;
+    let transport = parse_transport(args)?;
     let cfg = RouterConfig {
         workers: args.get_or("workers", 4)?,
         fifo_capacity: args.get_or("fifo", 256)?,
@@ -590,6 +607,11 @@ fn serve(args: &Args) -> Result<(), ArgError> {
                 )));
             }
         }
+        if args.optional("transport").is_some() {
+            return Err(ArgError(
+                "--transport applies to a serving endpoint, not a standby follower".into(),
+            ));
+        }
         let listen = args.required("listen")?;
         return serve_follow(listen, primary_repl, cfg, stats_ms);
     }
@@ -613,6 +635,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
             cfg,
             stats_ms,
             sync_ms,
+            transport,
         );
     }
     if args.optional("sync-ms").is_some() {
@@ -633,6 +656,7 @@ fn serve(args: &Args) -> Result<(), ArgError> {
             args.optional("data-dir"),
             cfg,
             stats_ms,
+            transport,
         );
     }
     if args.optional("data-dir").is_some() {
@@ -689,6 +713,7 @@ fn serve_net(
     data_dir: Option<&str>,
     mut router: RouterConfig,
     stats_ms: u64,
+    transport: Transport,
 ) -> Result<(), ArgError> {
     // Periodic reporting in network mode goes through the combined
     // uptime/router/net JSON below, not the runtime's own printer.
@@ -696,6 +721,7 @@ fn serve_net(
     let scfg = ServerConfig {
         listen: listen.to_owned(),
         router,
+        transport,
         ..ServerConfig::default()
     };
     let (server, routes) = match data_dir {
@@ -801,6 +827,7 @@ fn serve_net(
 /// The shard-primary `serve` path: durable store + replication
 /// endpoint + serving frontend, composed by [`Primary`] so a client
 /// ack implies journaled *and* applied on every live standby.
+#[allow(clippy::too_many_arguments)]
 fn serve_primary(
     fib: Option<&RouteTable>,
     listen: &str,
@@ -809,12 +836,14 @@ fn serve_primary(
     mut router: RouterConfig,
     stats_ms: u64,
     sync_ms: u64,
+    transport: Transport,
 ) -> Result<(), ArgError> {
     router.snapshot_every = None;
     let cfg = PrimaryConfig {
         server: ServerConfig {
             listen: listen.to_owned(),
             router,
+            transport,
             ..ServerConfig::default()
         },
         repl: ReplConfig {
@@ -1048,6 +1077,8 @@ fn proxy(args: &Args) -> Result<(), ArgError> {
         "heartbeat-ms",
         "fail-after",
         "stats-ms",
+        "transport",
+        "bridge-threads",
     ])?;
     let map = match args.optional("map") {
         Some(path) => {
@@ -1075,13 +1106,20 @@ fn proxy(args: &Args) -> Result<(), ArgError> {
     if cfg.fail_after == 0 {
         return Err(ArgError("--fail-after must be positive".into()));
     }
+    cfg.transport = parse_transport(args)?;
+    cfg.bridge_threads = args.get_or("bridge-threads", cfg.bridge_threads)?;
+    if cfg.bridge_threads == 0 {
+        return Err(ArgError("--bridge-threads must be positive".into()));
+    }
     let stats_ms: u64 = args.get_or("stats-ms", 0)?;
+    let transport = cfg.transport;
     let listen = cfg.listen.clone();
     let proxy = Proxy::start(cfg).map_err(|e| io_err(&listen, &e))?;
     signal::install();
     println!(
-        "proxy on {} fronting {shards} shards; SIGINT/SIGTERM stops",
+        "proxy on {} ({} transport) fronting {shards} shards; SIGINT/SIGTERM stops",
         proxy.local_addr(),
+        transport.name(),
     );
     let every = (stats_ms > 0).then(|| std::time::Duration::from_millis(stats_ms));
     let mut last = std::time::Instant::now();
@@ -1288,6 +1326,7 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
         "threads",
         "lookup-batch",
         "update-batch",
+        "connections",
     ])?;
     let addr = args.required("addr")?;
     let packets = match args.optional("packets") {
@@ -1302,6 +1341,40 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError(
             "nothing to offer: give --packets and/or --updates".into(),
         ));
+    }
+    let connections: usize = args.get_or("connections", 0)?;
+    if connections > 0 {
+        // Swarm mode: N concurrent connections on one reactor, the
+        // whole traces swept once across them.
+        for bad in ["rate", "update-rate", "threads"] {
+            if args.optional(bad).is_some() {
+                return Err(ArgError(format!(
+                    "--{bad} applies to the paced load generator, not --connections"
+                )));
+            }
+        }
+        let lookup_batch: usize = args.get_or("lookup-batch", 64)?;
+        if lookup_batch == 0 {
+            return Err(ArgError("all sizes must be positive".into()));
+        }
+        let cfg = SwarmConfig {
+            addr: addr.to_owned(),
+            connections,
+            lookup_batch,
+            rounds: packets.len().div_ceil(connections * lookup_batch),
+            updates_per_conn: updates
+                .len()
+                .div_ceil(connections.max(1))
+                .min(updates.len()),
+            ..SwarmConfig::default()
+        };
+        eprintln!(
+            "swarming {connections} connections at {addr}: {} lookup rounds x {} addrs, {} updates/conn",
+            cfg.rounds, cfg.lookup_batch, cfg.updates_per_conn,
+        );
+        let report = run_swarm(&cfg, &packets, &updates).map_err(|e| io_err(addr, &e))?;
+        println!("{}", report.to_json());
+        return Ok(());
     }
     let cfg = LoadConfig {
         client: ClientConfig::to_addr(addr),
@@ -1332,8 +1405,58 @@ fn stats(args: &Args) -> Result<(), ArgError> {
         Connection::connect(ClientConfig::to_addr(addr)).map_err(|e| io_err(addr, &e))?;
     let json = conn.stats_json().map_err(|e| io_err(addr, &e))?;
     println!("{json}");
+    // A human-readable line for the active lookup plane, pulled out of
+    // the JSON (the workspace carries no serde; the fields are ours).
+    if let Some(plane) = json_object(&json, "\"plane\":") {
+        if plane != "null" {
+            let field = |key: &str| json_scalar(plane, key).unwrap_or("?");
+            let heap: f64 = field("\"heap_bytes\":").parse().unwrap_or(0.0);
+            println!(
+                "plane: backend={} epoch={} entries={} heap={:.1} KiB replicated={}",
+                field("\"backend\":\"").trim_end_matches('"'),
+                field("\"epoch\":"),
+                field("\"entries\":"),
+                heap / 1024.0,
+                field("\"replicated\":"),
+            );
+        }
+    }
     let _ = conn.close();
     Ok(())
+}
+
+/// Extracts the value following `key` in `json`: a brace-balanced
+/// object, or a bare scalar up to the next `,`/`}`.
+fn json_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let start = json.find(key)? + key.len();
+    let rest = &json[start..];
+    if rest.starts_with('{') {
+        let mut depth = 0usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&rest[..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+/// Extracts a scalar field (number or string) after `key`.
+fn json_scalar<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let start = json.find(key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+    Some(&rest[..end])
 }
 
 fn check(args: &Args) -> Result<(), ArgError> {
@@ -1355,6 +1478,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "out",
         "replay",
         "backend",
+        "transport",
     ])?;
     let seed: u64 = args.get_or("seed", 7)?;
     let updates: usize = args.get_or("updates", 5_000)?;
@@ -1386,6 +1510,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
         }
     };
     cfg.backend = parse_backend(args)?;
+    cfg.transport = parse_transport(args)?;
     cfg.shards = args.get_or("shards", 1)?;
     if cfg.shards == 0 {
         return Err(ArgError(

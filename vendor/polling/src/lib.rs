@@ -1,0 +1,448 @@
+//! A minimal mio-style readiness poller with no external dependencies.
+//!
+//! Two interchangeable backends behind one [`Poller`] type:
+//!
+//! * **epoll** (Linux) — the kernel keeps the interest set; each
+//!   registered fd carries its [`Token`] in the event payload, so a
+//!   wait returns ready tokens directly. Level-triggered.
+//! * **poll(2)** (portable Unix fallback) — the poller keeps the
+//!   interest set in user space and rebuilds the `pollfd` array per
+//!   wait. Semantically identical (level-triggered), O(n) per wait.
+//!
+//! Everything is raw `extern "C"` FFI against the C runtime the
+//! process already links (same approach as `clue-net`'s signal
+//! handling): no libc crate, no registry access. The [`Waker`] is a
+//! nonblocking pipe whose read end is registered like any other
+//! source, so other threads can interrupt a blocked wait.
+//!
+//! Readiness is a *hint*: callers must be prepared for spurious wakeups
+//! (a subsequent read/write may still return `WouldBlock`). All
+//! registration is level-triggered — an fd that stays readable keeps
+//! reporting readable until drained or deregistered.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sys;
+#[cfg(unix)]
+mod waker;
+
+#[cfg(unix)]
+pub use waker::Waker;
+
+/// Caller-chosen identifier attached to a registered fd; waits report
+/// readiness as `(Token, readable/writable)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness classes a registration asks for.
+///
+/// `Interest::NONE` keeps the fd registered but reports nothing — the
+/// idiom for "paused" sources (a reactor suppressing reads for
+/// backpressure keeps the slot and flips interest back later).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Report nothing (registration placeholder).
+    pub const NONE: Interest = Interest(0);
+    /// Report read readiness.
+    pub const READABLE: Interest = Interest(1);
+    /// Report write readiness.
+    pub const WRITABLE: Interest = Interest(2);
+    /// Report both.
+    pub const BOTH: Interest = Interest(3);
+
+    /// Does this interest include reads?
+    #[must_use]
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Does this interest include writes?
+    #[must_use]
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// This interest plus `other`.
+    #[must_use]
+    pub fn with(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// This interest minus `other`.
+    #[must_use]
+    pub fn without(self, other: Interest) -> Interest {
+        Interest(self.0 & !other.0)
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: Token,
+    /// Read readiness (includes incoming connections and EOF).
+    pub readable: bool,
+    /// Write readiness.
+    pub writable: bool,
+    /// The fd is in an error state (`EPOLLERR`/`POLLERR`); a read or
+    /// write will surface the concrete `io::Error`.
+    pub error: bool,
+    /// Peer hung up (`EPOLLHUP`/`POLLHUP`); treat as readable-to-EOF.
+    pub hup: bool,
+}
+
+impl Event {
+    /// True when the source should be read (data, EOF, or error to
+    /// collect).
+    #[must_use]
+    pub fn wants_read(&self) -> bool {
+        self.readable || self.error || self.hup
+    }
+}
+
+/// Which kernel interface backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pick the best available: epoll on Linux, poll(2) elsewhere.
+    #[default]
+    Auto,
+    /// Linux epoll (fails at construction off Linux).
+    Epoll,
+    /// Portable poll(2).
+    Poll,
+}
+
+impl Backend {
+    /// Parses `epoll` / `poll` / `auto` (the `CLUE_AIO_BACKEND`
+    /// override values).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Backend> {
+        match s {
+            "auto" => Some(Backend::Auto),
+            "epoll" => Some(Backend::Epoll),
+            "poll" => Some(Backend::Poll),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Auto => "auto",
+            Backend::Epoll => "epoll",
+            Backend::Poll => "poll",
+        })
+    }
+}
+
+/// A raw file descriptor (kept as a plain `i32` so the crate works on
+/// anything Unix-shaped without `std::os` type gymnastics).
+pub type RawFd = i32;
+
+#[cfg(unix)]
+enum Imp {
+    Epoll(sys::EpollPoller),
+    Poll(sys::PollPoller),
+}
+
+/// The readiness poller: an interest set plus a wait call.
+///
+/// Registration functions take `&self` is not offered — the poller is
+/// designed to be owned by a single event-loop thread; cross-thread
+/// interruption goes through [`Waker`], never through the poller.
+pub struct Poller {
+    #[cfg(unix)]
+    imp: Imp,
+}
+
+impl fmt::Debug for Poller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish()
+    }
+}
+
+#[cfg(unix)]
+impl Poller {
+    /// Opens a poller on the given backend.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend is unavailable (epoll off Linux) or the
+    /// kernel refuses the handle (fd exhaustion).
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let imp = match backend {
+            Backend::Auto => {
+                if cfg!(target_os = "linux") {
+                    match sys::EpollPoller::new() {
+                        Ok(e) => Imp::Epoll(e),
+                        Err(_) => Imp::Poll(sys::PollPoller::new()),
+                    }
+                } else {
+                    Imp::Poll(sys::PollPoller::new())
+                }
+            }
+            Backend::Epoll => Imp::Epoll(sys::EpollPoller::new()?),
+            Backend::Poll => Imp::Poll(sys::PollPoller::new()),
+        };
+        Ok(Poller { imp })
+    }
+
+    /// Opens a poller on the best available backend.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on kernel handle exhaustion.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(Backend::Auto)
+    }
+
+    /// The backend actually in use (`Auto` resolves at construction).
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        match self.imp {
+            Imp::Epoll(_) => Backend::Epoll,
+            Imp::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Adds `fd` to the interest set under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the fd is invalid or already registered (epoll
+    /// `EEXIST`).
+    pub fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            Imp::Epoll(p) => p.register(fd, token, interest),
+            Imp::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Replaces the interest/token of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the fd was never registered.
+    pub fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            Imp::Epoll(p) => p.reregister(fd, token, interest),
+            Imp::Poll(p) => p.reregister(fd, token, interest),
+        }
+    }
+
+    /// Removes `fd` from the interest set. Safe to call for fds that
+    /// are about to be closed (must happen *before* the close for the
+    /// poll backend, which would otherwise keep polling a dead slot).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the fd was never registered.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.imp {
+            Imp::Epoll(p) => p.deregister(fd),
+            Imp::Poll(p) => p.deregister(fd),
+        }
+    }
+
+    /// Blocks until at least one source is ready or `timeout` elapses
+    /// (`None` = forever), appending reports to `events` (cleared
+    /// first). Returns the number of events delivered; `Ok(0)` means
+    /// timeout or a benign `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on kernel-level wait errors other than `EINTR`.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        match &mut self.imp {
+            Imp::Epoll(p) => p.wait(events, timeout),
+            Imp::Poll(p) => p.wait(events, timeout),
+        }
+    }
+}
+
+#[cfg(not(unix))]
+impl Poller {
+    /// Unsupported off Unix.
+    pub fn with_backend(_backend: Backend) -> io::Result<Poller> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling requires a Unix platform",
+        ))
+    }
+
+    /// Unsupported off Unix.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(Backend::Auto)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    #[test]
+    fn timeout_returns_zero_events() {
+        for b in backends() {
+            let mut p = Poller::with_backend(b).unwrap();
+            let mut events = Vec::new();
+            let n = p
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "backend {b}");
+            assert!(events.is_empty());
+        }
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        for b in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let addr = listener.local_addr().unwrap();
+
+            let mut p = Poller::with_backend(b).unwrap();
+            p.register(listener.as_raw_fd(), Token(7), Interest::READABLE)
+                .unwrap();
+
+            let mut events = Vec::new();
+            let n = p
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert_eq!(n, 0, "quiet listener must not report, backend {b}");
+
+            let _client = TcpStream::connect(addr).unwrap();
+            let n = p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(n >= 1, "backend {b}");
+            assert_eq!(events[0].token, Token(7));
+            assert!(events[0].wants_read());
+        }
+    }
+
+    #[test]
+    fn stream_data_and_interest_changes() {
+        for b in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            server_side.set_nonblocking(true).unwrap();
+
+            let mut p = Poller::with_backend(b).unwrap();
+            let fd = server_side.as_raw_fd();
+            p.register(fd, Token(1), Interest::READABLE).unwrap();
+
+            client.write_all(b"ping").unwrap();
+            let mut events = Vec::new();
+            p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(
+                events.iter().any(|e| e.token == Token(1) && e.readable),
+                "backend {b}: {events:?}"
+            );
+
+            // NONE interest silences the still-readable fd.
+            p.reregister(fd, Token(1), Interest::NONE).unwrap();
+            let n = p
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert_eq!(n, 0, "backend {b}: paused fd reported {events:?}");
+
+            // Write interest on an idle socket reports immediately
+            // (send buffer empty = writable), and the data is still
+            // there when read interest comes back.
+            p.reregister(fd, Token(1), Interest::BOTH).unwrap();
+            p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            let ev = events.iter().find(|e| e.token == Token(1)).unwrap();
+            assert!(ev.readable && ev.writable, "backend {b}: {ev:?}");
+
+            p.deregister(fd).unwrap();
+            let n = p
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert_eq!(n, 0, "backend {b}: deregistered fd reported");
+        }
+    }
+
+    #[test]
+    fn hup_is_reported_or_readable() {
+        for b in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            server_side.set_nonblocking(true).unwrap();
+
+            let mut p = Poller::with_backend(b).unwrap();
+            p.register(server_side.as_raw_fd(), Token(3), Interest::READABLE)
+                .unwrap();
+            drop(client);
+
+            let mut events = Vec::new();
+            p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            let ev = events.iter().find(|e| e.token == Token(3)).unwrap();
+            assert!(ev.wants_read(), "backend {b}: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        for b in backends() {
+            let mut p = Poller::with_backend(b).unwrap();
+            let waker = std::sync::Arc::new(Waker::new().unwrap());
+            waker.register(&mut p, Token(0)).unwrap();
+
+            let w = std::sync::Arc::clone(&waker);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                w.wake().unwrap();
+            });
+
+            let mut events = Vec::new();
+            let n = p.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            assert!(n >= 1, "backend {b}");
+            assert_eq!(events[0].token, Token(0));
+            waker.drain();
+
+            // Drained waker goes quiet again.
+            let n = p
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "backend {b}");
+
+            // Coalesced wakes still deliver one readiness report.
+            waker.wake().unwrap();
+            waker.wake().unwrap();
+            waker.wake().unwrap();
+            let n = p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(n >= 1, "backend {b}");
+            waker.drain();
+            t.join().unwrap();
+        }
+    }
+}

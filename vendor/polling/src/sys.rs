@@ -1,0 +1,397 @@
+//! Raw syscall FFI and the two poller backends.
+//!
+//! Constants are the Linux generic ABI values (and the common BSD
+//! values for the poll(2) fallback constants, which happen to agree on
+//! every Unix this workspace targets: `POLLIN`/`POLLOUT`/`POLLERR`/
+//! `POLLHUP` are universal).
+
+use std::io;
+use std::time::Duration;
+
+use core::ffi::{c_int, c_short, c_void};
+
+use crate::{Event, Interest, RawFd, Token};
+
+// --- shared FFI ---------------------------------------------------------
+
+extern "C" {
+    pub(crate) fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    pub(crate) fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    pub(crate) fn close(fd: c_int) -> c_int;
+    pub(crate) fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn pipe(pipefd: *mut c_int) -> c_int;
+}
+
+pub(crate) const F_GETFL: c_int = 3;
+pub(crate) const F_SETFL: c_int = 4;
+#[cfg(target_os = "linux")]
+pub(crate) const O_NONBLOCK: c_int = 0o4000;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub(crate) const O_NONBLOCK: c_int = 0x0004;
+
+/// Creates a nonblocking pipe, returning `(read_fd, write_fd)`.
+pub(crate) fn nonblocking_pipe() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0 as c_int; 2];
+    if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    for fd in fds {
+        let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+        if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+            let e = io::Error::last_os_error();
+            unsafe {
+                close(fds[0]);
+                close(fds[1]);
+            }
+            return Err(e);
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Rounds a timeout up to whole milliseconds for the kernel (rounding
+/// down would turn a 0.4 ms deadline into a busy spin).
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_micros().div_ceil(1000).min(c_int::MAX as u128);
+            ms as c_int
+        }
+    }
+}
+
+// --- epoll backend (Linux) ----------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll_ffi {
+    use core::ffi::c_int;
+
+    // x86-64 is the one ABI where the kernel packs epoll_event.
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(crate) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub(crate) fn epoll_create1(flags: c_int) -> c_int;
+        pub(crate) fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent)
+            -> c_int;
+        pub(crate) fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    pub(crate) const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+    pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+    pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+    pub(crate) const EPOLLIN: u32 = 0x001;
+    pub(crate) const EPOLLOUT: u32 = 0x004;
+    pub(crate) const EPOLLERR: u32 = 0x008;
+    pub(crate) const EPOLLHUP: u32 = 0x010;
+}
+
+/// The epoll-backed interest set.
+#[cfg(target_os = "linux")]
+pub(crate) struct EpollPoller {
+    epfd: RawFd,
+    /// Reused kernel-event buffer; grows if a wait fills it.
+    buf: Vec<epoll_ffi::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    pub(crate) fn new() -> io::Result<EpollPoller> {
+        let epfd = unsafe { epoll_ffi::epoll_create1(epoll_ffi::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollPoller {
+            epfd,
+            buf: vec![epoll_ffi::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.is_readable() {
+            m |= epoll_ffi::EPOLLIN;
+        }
+        if interest.is_writable() {
+            m |= epoll_ffi::EPOLLOUT;
+        }
+        m
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = epoll_ffi::EpollEvent {
+            events: Self::mask(interest),
+            data: token.0 as u64,
+        };
+        let ptr = if op == epoll_ffi::EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev
+        };
+        if unsafe { epoll_ffi::epoll_ctl(self.epfd, op, fd, ptr) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn register(
+        &mut self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(epoll_ffi::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    pub(crate) fn reregister(
+        &mut self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(epoll_ffi::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    pub(crate) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.ctl(epoll_ffi::EPOLL_CTL_DEL, fd, Token(0), Interest::NONE)
+    }
+
+    pub(crate) fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_ffi::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as c_int,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            return if e.kind() == io::ErrorKind::Interrupted {
+                Ok(0)
+            } else {
+                Err(e)
+            };
+        }
+        let n = n as usize;
+        for raw in &self.buf[..n] {
+            let bits = raw.events;
+            events.push(Event {
+                token: Token(raw.data as usize),
+                readable: bits & epoll_ffi::EPOLLIN != 0,
+                writable: bits & epoll_ffi::EPOLLOUT != 0,
+                error: bits & epoll_ffi::EPOLLERR != 0,
+                hup: bits & epoll_ffi::EPOLLHUP != 0,
+            });
+        }
+        if n == self.buf.len() {
+            // A full buffer may have starved later fds; give the next
+            // wait more room.
+            self.buf.resize(
+                self.buf.len() * 2,
+                epoll_ffi::EpollEvent { events: 0, data: 0 },
+            );
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// Off Linux the epoll backend is an always-failing stub so `Backend::
+/// Epoll` gives a clean construction error instead of a link failure.
+#[cfg(not(target_os = "linux"))]
+pub(crate) struct EpollPoller;
+
+#[cfg(not(target_os = "linux"))]
+impl EpollPoller {
+    pub(crate) fn new() -> io::Result<EpollPoller> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is Linux-only; use Backend::Poll",
+        ))
+    }
+
+    pub(crate) fn register(&mut self, _: RawFd, _: Token, _: Interest) -> io::Result<()> {
+        unreachable!("stub EpollPoller cannot be constructed")
+    }
+
+    pub(crate) fn reregister(&mut self, _: RawFd, _: Token, _: Interest) -> io::Result<()> {
+        unreachable!("stub EpollPoller cannot be constructed")
+    }
+
+    pub(crate) fn deregister(&mut self, _: RawFd) -> io::Result<()> {
+        unreachable!("stub EpollPoller cannot be constructed")
+    }
+
+    pub(crate) fn wait(&mut self, _: &mut Vec<Event>, _: Option<Duration>) -> io::Result<usize> {
+        unreachable!("stub EpollPoller cannot be constructed")
+    }
+}
+
+// --- poll(2) backend (portable) -----------------------------------------
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+#[cfg(target_os = "linux")]
+type NFds = core::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NFds = core::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+}
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+const POLLNVAL: c_short = 0x020;
+
+/// The user-space interest set for the poll(2) backend.
+pub(crate) struct PollPoller {
+    /// `(fd, token, interest)` in registration order; linear scans are
+    /// fine — poll(2) itself is O(n) per wait anyway.
+    registry: Vec<(RawFd, Token, Interest)>,
+    /// Reused pollfd array, rebuilt per wait.
+    fds: Vec<PollFd>,
+}
+
+impl PollPoller {
+    pub(crate) fn new() -> PollPoller {
+        PollPoller {
+            registry: Vec::new(),
+            fds: Vec::new(),
+        }
+    }
+
+    fn already(&self, fd: RawFd) -> bool {
+        self.registry.iter().any(|(f, _, _)| *f == fd)
+    }
+
+    pub(crate) fn register(
+        &mut self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        if self.already(fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("fd {fd} already registered"),
+            ));
+        }
+        self.registry.push((fd, token, interest));
+        Ok(())
+    }
+
+    pub(crate) fn reregister(
+        &mut self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        for slot in &mut self.registry {
+            if slot.0 == fd {
+                *slot = (fd, token, interest);
+                return Ok(());
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("fd {fd} not registered"),
+        ))
+    }
+
+    pub(crate) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let before = self.registry.len();
+        self.registry.retain(|(f, _, _)| *f != fd);
+        if self.registry.len() == before {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} not registered"),
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        self.fds.clear();
+        for (fd, _, interest) in &self.registry {
+            let mut ev: c_short = 0;
+            if interest.is_readable() {
+                ev |= POLLIN;
+            }
+            if interest.is_writable() {
+                ev |= POLLOUT;
+            }
+            self.fds.push(PollFd {
+                fd: *fd,
+                events: ev,
+                revents: 0,
+            });
+        }
+        let n = unsafe {
+            poll(
+                self.fds.as_mut_ptr(),
+                self.fds.len() as NFds,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            return if e.kind() == io::ErrorKind::Interrupted {
+                Ok(0)
+            } else {
+                Err(e)
+            };
+        }
+        for (slot, (_, token, _)) in self.fds.iter().zip(&self.registry) {
+            let r = slot.revents;
+            if r == 0 {
+                continue;
+            }
+            events.push(Event {
+                token: *token,
+                readable: r & POLLIN != 0,
+                writable: r & POLLOUT != 0,
+                error: r & (POLLERR | POLLNVAL) != 0,
+                hup: r & POLLHUP != 0,
+            });
+        }
+        Ok(events.len())
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-thread wakeups for a blocked [`Poller::wait`](crate::Poller::wait).
+
+use std::io;
+
+use core::ffi::c_void;
+
+use crate::sys;
+use crate::{Interest, Poller, RawFd, Token};
+
+/// A nonblocking pipe whose read end sits in the poller's interest set:
+/// any thread holding the waker can interrupt the event loop's wait by
+/// writing a byte. Wakes coalesce — a full pipe means a wake is already
+/// pending, which is success, not an error.
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// Raw fds are freely shareable; all operations are single syscalls.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Creates the pipe (both ends nonblocking).
+    ///
+    /// # Errors
+    ///
+    /// Fails on fd exhaustion.
+    pub fn new() -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::nonblocking_pipe()?;
+        Ok(Waker { read_fd, write_fd })
+    }
+
+    /// Registers the read end under `token` (conventionally the loop's
+    /// reserved token 0).
+    ///
+    /// # Errors
+    ///
+    /// Fails if registration fails at the kernel.
+    pub fn register(&self, poller: &mut Poller, token: Token) -> io::Result<()> {
+        poller.register(self.read_fd, token, Interest::READABLE)
+    }
+
+    /// Interrupts the next (or current) wait.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on real I/O errors — a full pipe (wake already
+    /// pending) is success.
+    pub fn wake(&self) -> io::Result<()> {
+        let byte = [1u8];
+        let n = unsafe { sys::write(self.write_fd, byte.as_ptr().cast::<c_void>(), 1) };
+        if n == 1 {
+            return Ok(());
+        }
+        let e = io::Error::last_os_error();
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(()),
+            _ => Err(e),
+        }
+    }
+
+    /// Consumes pending wake bytes so the readiness report clears;
+    /// the event loop calls this whenever the waker token fires.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n =
+                unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
