@@ -1,0 +1,142 @@
+//! Machine-readable adversarial-workload numbers: every named
+//! `clue-trace` scenario driven through the update pipeline and the
+//! router runtime, emitted as `BENCH_scenarios.json` for CI artifacts
+//! and regression diffing (schema documented in DESIGN.md §3).
+//!
+//! Captures, per scenario, at the current `CLUE_BENCH_SCALE`:
+//!
+//! * the router's coalesce ratio under the scheduled burst shape (fed
+//!   flat out — the ratio measures how much a storm's redundancy the
+//!   ingress absorbs, not wall-clock pacing);
+//! * TTF p50/p99 through the three-stage CLUE pipeline;
+//! * compression-ratio drift: ONRTC ratio over the base table vs over
+//!   the post-schedule table (does the workload degrade compression?);
+//! * end-to-end lookups/sec over the scenario's packet trace.
+//!
+//! The artifact path defaults to `BENCH_scenarios.json` in the working
+//! directory; override it with `CLUE_BENCH_SCENARIOS_JSON=/path`.
+
+use std::time::Instant;
+
+use clue_bench::{banner, scale};
+use clue_compress::onrtc;
+use clue_core::update_pipeline::CluePipeline;
+use clue_router::{RouterConfig, RouterService};
+use clue_trace::{Scenario, ScenarioConfig, ScenarioKind};
+
+/// The `q`-th percentile of `samples` (nanoseconds), or 0.0 when empty.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite TTF"));
+    let rank = (q / 100.0 * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+/// ONRTC entry count over route count — the paper's compression ratio
+/// (lower is better); 0.0 for an empty table.
+fn compression_ratio(table: &clue_fib::RouteTable) -> f64 {
+    if table.is_empty() {
+        return 0.0;
+    }
+    onrtc(table).len() as f64 / table.len() as f64
+}
+
+fn main() {
+    banner(
+        "Scenarios — coalesce ratio, TTF percentiles, compression drift, lookups/sec",
+        "writes BENCH_scenarios.json (override with CLUE_BENCH_SCENARIOS_JSON)",
+    );
+    let s = scale();
+    let cfg = ScenarioConfig {
+        routes: ((20_000.0 * s) as usize).max(1_000),
+        updates: ((40_000.0 * s) as usize).max(2_000),
+        packets: ((200_000.0 * s) as usize).max(10_000),
+        ..ScenarioConfig::default()
+    };
+    println!(
+        "scale {s}: ~{} routes, ~{} updates, {} packets per scenario\n",
+        cfg.routes, cfg.updates, cfg.packets,
+    );
+
+    let mut entries = String::new();
+    for kind in ScenarioKind::ALL {
+        let scn = Scenario::build(kind, &cfg);
+        let updates = scn.updates();
+
+        let ratio_before = compression_ratio(&scn.base);
+        let mut final_table = scn.base.clone();
+        for &u in &updates {
+            final_table.apply(u);
+        }
+        let ratio_after = compression_ratio(&final_table);
+        let drift = ratio_after - ratio_before;
+
+        // TTF through the three-stage pipeline, one sample per update.
+        let mut pipeline = CluePipeline::new(&scn.base, 4, 1024, scn.base.len());
+        let mut ttf_ns: Vec<f64> = updates
+            .iter()
+            .map(|&u| pipeline.apply(u).total_ns())
+            .collect();
+        let ttf_p50_us = percentile(&mut ttf_ns, 50.0) / 1e3;
+        let ttf_p99_us = percentile(&mut ttf_ns, 99.0) / 1e3;
+
+        // Router runtime: schedule fed flat out (coalesce ratio), then
+        // the packet trace looked up in batches (lookups/sec).
+        let svc = RouterService::start(&scn.base, &RouterConfig::default());
+        let t = Instant::now();
+        for ev in &scn.schedule.events {
+            svc.submit_update(ev.update);
+        }
+        let feed_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let mut answered = 0usize;
+        for chunk in scn.packets.chunks(256) {
+            answered += svc.lookup_batch(chunk.to_vec()).len();
+        }
+        let lookup_secs = t.elapsed().as_secs_f64().max(1e-9);
+        let lookups_per_sec = answered as f64 / lookup_secs;
+        let snap = svc.stats();
+        let coalesce = snap.coalesce_ratio;
+        let applied = snap.updates_applied;
+        let _ = svc.drain();
+
+        println!(
+            "{kind:>14}: {} events fed in {feed_ms:.1} ms, coalesce {coalesce:.3} \
+             ({applied} applied) | TTF p50 {ttf_p50_us:.2} us p99 {ttf_p99_us:.2} us | \
+             compression {ratio_before:.4} -> {ratio_after:.4} (drift {drift:+.4}) | \
+             {lookups_per_sec:.0} lookups/s",
+            scn.schedule.len(),
+        );
+
+        if !entries.is_empty() {
+            entries.push(',');
+        }
+        entries.push_str(&format!(
+            "{{\"scenario\":\"{kind}\",\"base_routes\":{},\"events\":{},\
+             \"packets\":{answered},\"coalesce_ratio\":{coalesce:.4},\
+             \"updates_applied\":{applied},\"feed_ms\":{feed_ms:.3},\
+             \"ttf_p50_us\":{ttf_p50_us:.3},\"ttf_p99_us\":{ttf_p99_us:.3},\
+             \"compression_ratio_before\":{ratio_before:.5},\
+             \"compression_ratio_after\":{ratio_after:.5},\
+             \"compression_drift\":{drift:.5},\
+             \"lookups_per_sec\":{lookups_per_sec:.1}}}",
+            scn.base.len(),
+            scn.schedule.len(),
+        ));
+    }
+
+    let json = format!(
+        "{{\"schema\":\"clue-bench-scenarios/1\",\"scale\":{s},\"scenarios\":[{entries}]}}"
+    );
+    let path = std::env::var("CLUE_BENCH_SCENARIOS_JSON")
+        .unwrap_or_else(|_| "BENCH_scenarios.json".to_owned());
+    match std::fs::write(&path, format!("{json}\n")) {
+        Ok(()) => println!("\nscenario bench written to {path}"),
+        Err(e) => {
+            eprintln!("scenario bench write to {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -66,6 +66,9 @@ pub struct LoadReport {
     pub updates_dropped: u64,
     /// Reconnects across every connection.
     pub reconnects: u64,
+    /// Workers whose initial dial failed (their slice of the workload
+    /// went unoffered; the rest of the run continued).
+    pub dial_errors: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Achieved lookup rate, addresses/second.
@@ -81,7 +84,7 @@ impl LoadReport {
         format!(
             "{{\"lookups_sent\":{},\"lookups_answered\":{},\"lookup_misses\":{},\
              \"updates_sent\":{},\"updates_accepted\":{},\"updates_dropped\":{},\
-             \"reconnects\":{},\"elapsed_ms\":{},\
+             \"reconnects\":{},\"dial_errors\":{},\"elapsed_ms\":{},\
              \"achieved_lookup_rate\":{:.1},\"achieved_update_rate\":{:.1}}}",
             self.lookups_sent,
             self.lookups_answered,
@@ -90,6 +93,7 @@ impl LoadReport {
             self.updates_accepted,
             self.updates_dropped,
             self.reconnects,
+            self.dial_errors,
             self.elapsed.as_millis(),
             self.achieved_lookup_rate,
             self.achieved_update_rate,
@@ -97,26 +101,36 @@ impl LoadReport {
     }
 }
 
+#[derive(Default)]
 struct LookupTally {
     sent: u64,
     answered: u64,
     misses: u64,
     reconnects: u64,
+    dial_errors: u64,
 }
 
+#[derive(Default)]
 struct UpdateTally {
     sent: u64,
     accepted: u64,
     dropped: u64,
     reconnects: u64,
+    dial_errors: u64,
 }
 
 /// Replays `packets` and `updates` against `cfg.client.addr`.
 ///
+/// A worker whose *initial* dial fails (past the connection's own
+/// retry budget) is counted in [`LoadReport::dial_errors`] and its
+/// slice of the workload is skipped — the rest of the run continues,
+/// so a server that caps concurrent connections still yields a report
+/// instead of aborting the whole offer.
+///
 /// # Errors
 ///
-/// Fails if any connection cannot be established or dies beyond its
-/// reconnect budget; partial progress is discarded.
+/// Fails if an *established* connection dies beyond its reconnect
+/// budget; partial progress is discarded.
 pub fn run_load(packets: &[u32], updates: &[Update], cfg: &LoadConfig) -> io::Result<LoadReport> {
     let start = Instant::now();
     let threads = cfg.lookup_threads.max(1);
@@ -151,6 +165,7 @@ pub fn run_load(packets: &[u32], updates: &[Update], cfg: &LoadConfig) -> io::Re
         report.updates_accepted = t.accepted;
         report.updates_dropped = t.dropped;
         report.reconnects += t.reconnects;
+        report.dial_errors += t.dial_errors;
     }
     for res in lookup_res {
         let t = res?;
@@ -158,6 +173,7 @@ pub fn run_load(packets: &[u32], updates: &[Update], cfg: &LoadConfig) -> io::Re
         report.lookups_answered += t.answered;
         report.lookup_misses += t.misses;
         report.reconnects += t.reconnects;
+        report.dial_errors += t.dial_errors;
     }
     let secs = report.elapsed.as_secs_f64().max(1e-9);
     report.achieved_lookup_rate = report.lookups_answered as f64 / secs;
@@ -166,7 +182,15 @@ pub fn run_load(packets: &[u32], updates: &[Update], cfg: &LoadConfig) -> io::Re
 }
 
 fn update_worker(updates: &[Update], cfg: &LoadConfig) -> io::Result<UpdateTally> {
-    let mut conn = Connection::connect(cfg.client.clone())?;
+    let mut conn = match Connection::connect(cfg.client.clone()) {
+        Ok(conn) => conn,
+        Err(_) => {
+            return Ok(UpdateTally {
+                dial_errors: 1,
+                ..UpdateTally::default()
+            })
+        }
+    };
     let mut pacer = Pacer::new(cfg.update_rate);
     let mut sent = 0u64;
     for batch in updates.chunks(cfg.update_batch.max(1)) {
@@ -187,18 +211,22 @@ fn update_worker(updates: &[Update], cfg: &LoadConfig) -> io::Result<UpdateTally
         accepted: report.accepted,
         dropped: report.dropped,
         reconnects: report.reconnects,
+        dial_errors: 0,
     })
 }
 
 fn lookup_worker(packets: &[u32], cfg: &LoadConfig, rate: f64) -> io::Result<LookupTally> {
-    let mut conn = Connection::connect(cfg.client.clone())?;
-    let mut pacer = Pacer::new(rate);
-    let mut tally = LookupTally {
-        sent: 0,
-        answered: 0,
-        misses: 0,
-        reconnects: 0,
+    let mut conn = match Connection::connect(cfg.client.clone()) {
+        Ok(conn) => conn,
+        Err(_) => {
+            return Ok(LookupTally {
+                dial_errors: 1,
+                ..LookupTally::default()
+            })
+        }
     };
+    let mut pacer = Pacer::new(rate);
+    let mut tally = LookupTally::default();
     for batch in packets.chunks(cfg.lookup_batch.max(1)) {
         let mut wait = Duration::ZERO;
         for _ in batch {

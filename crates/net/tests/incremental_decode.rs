@@ -8,7 +8,7 @@ use std::io::ErrorKind;
 
 use clue_core::codec::encode_updates;
 use clue_fib::{NextHop, Prefix, Update};
-use clue_net::frame::{FrameDecoder, HEADER_LEN};
+use clue_net::frame::{FrameDecoder, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
 use clue_net::{Frame, FrameType};
 
 fn sample_frames() -> Vec<Frame> {
@@ -224,6 +224,110 @@ fn corpus_equivalence_with_blocking_decoder() {
                 ));
                 assert_eq!(ie.kind(), ErrorKind::InvalidData, "case {label}");
             }
+        }
+    }
+}
+
+/// A well-formed 18-byte header claiming a `len`-byte payload (no
+/// payload or CRC attached).
+fn forged_header(len: u32) -> Vec<u8> {
+    let mut h = Vec::with_capacity(HEADER_LEN);
+    h.extend_from_slice(&MAGIC.to_be_bytes());
+    h.push(VERSION);
+    h.push(FrameType::Lookup as u8);
+    h.extend_from_slice(&77u64.to_be_bytes());
+    h.extend_from_slice(&len.to_be_bytes());
+    h
+}
+
+#[test]
+fn exactly_max_payload_is_accepted() {
+    // The boundary itself must work: a frame whose payload is exactly
+    // MAX_PAYLOAD round-trips through the incremental decoder.
+    let frame = Frame {
+        kind: FrameType::StatsReply,
+        seq: 3,
+        payload: vec![0x5A; MAX_PAYLOAD as usize],
+    };
+    let bytes = frame.encode();
+    let mut dec = FrameDecoder::new();
+    dec.extend(&bytes);
+    let got = dec
+        .poll_frame()
+        .expect("max-size frame decodes")
+        .expect("frame complete");
+    assert_eq!(got.kind, frame.kind);
+    assert_eq!(got.payload.len(), MAX_PAYLOAD as usize);
+    assert_eq!(got, frame);
+    assert_eq!(dec.poll_frame().unwrap(), None, "no residue");
+}
+
+#[test]
+fn max_plus_one_is_rejected_from_the_header_alone() {
+    // A forged length of MAX_PAYLOAD + 1 must be rejected the moment
+    // the 18-byte header is complete — before any payload arrives, so
+    // the decoder never allocates the claimed 16 MiB + 1.
+    let mut dec = FrameDecoder::new();
+    dec.extend(&forged_header(MAX_PAYLOAD + 1));
+    let err = dec
+        .poll_frame()
+        .expect_err("oversize length must fail with only the header buffered");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(
+        dec.buffered() <= HEADER_LEN,
+        "decoder buffered {} bytes for a frame it rejected",
+        dec.buffered()
+    );
+    // Same rejection from the blocking one-shot path.
+    let err = Frame::try_decode(&forged_header(MAX_PAYLOAD + 1))
+        .expect_err("try_decode must reject an oversize header");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    // u32::MAX — the classic corrupt-length pattern — likewise.
+    assert!(Frame::try_decode(&forged_header(u32::MAX)).is_err());
+}
+
+#[test]
+fn truncated_length_header_fuzz_corpus() {
+    // Every proper prefix of a header carrying each interesting length
+    // value: the decoder must either wait for more bytes (Ok(None)) or
+    // reject cleanly (InvalidData) — never panic, never surface a
+    // frame. The full oversize header must reject; the full max-size
+    // header must keep waiting for its payload.
+    let lengths = [
+        0,
+        1,
+        MAX_PAYLOAD - 1,
+        MAX_PAYLOAD,
+        MAX_PAYLOAD + 1,
+        0x7FFF_FFFF,
+        u32::MAX,
+    ];
+    for len in lengths {
+        let header = forged_header(len);
+        for cut in 0..header.len() {
+            let mut dec = FrameDecoder::new();
+            dec.extend(&header[..cut]);
+            match dec.poll_frame() {
+                Ok(None) => {}
+                Ok(Some(f)) => panic!("len {len} cut {cut}: phantom frame {f:?}"),
+                Err(e) => assert_eq!(
+                    e.kind(),
+                    ErrorKind::InvalidData,
+                    "len {len} cut {cut}: wrong error kind"
+                ),
+            }
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&header);
+        let polled = dec.poll_frame();
+        if len > MAX_PAYLOAD {
+            assert!(polled.is_err(), "len {len}: oversize header accepted");
+        } else {
+            assert_eq!(
+                polled.expect("in-range length header is a valid prefix"),
+                None,
+                "len {len}: frame surfaced without payload"
+            );
         }
     }
 }

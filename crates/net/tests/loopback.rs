@@ -307,6 +307,34 @@ fn loadgen_sustains_a_mixed_workload_and_drains_cleanly() {
 }
 
 #[test]
+fn loadgen_counts_failed_dials_instead_of_aborting() {
+    // A port with nothing listening: bind, note the address, drop the
+    // listener. Every dial is refused immediately.
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let fib = small_fib(665, 400);
+    let packets = PacketGen::new(666).generate(&fib, 500);
+    let updates = UpdateGen::new(667).generate(&fib, 100);
+    let load = LoadConfig {
+        client: ClientConfig::to_addr(dead_addr),
+        lookup_threads: 2,
+        ..LoadConfig::default()
+    };
+    let report = clue_net::run_load(&packets, &updates, &load).expect("run yields a report");
+    // One update worker + two lookup workers, all refused.
+    assert_eq!(report.dial_errors, 3, "every failed dial counted");
+    assert_eq!(report.lookups_sent, 0);
+    assert_eq!(report.updates_sent, 0);
+    assert!(
+        report.to_json().contains("\"dial_errors\":3"),
+        "{}",
+        report.to_json()
+    );
+}
+
+#[test]
 fn graceful_drain_refuses_new_work_but_keeps_its_promises() {
     let fib = small_fib(671, 700);
     let updates = UpdateGen::new(672).generate(&fib, 200);

@@ -142,6 +142,9 @@ pub enum Stage {
     Recovery,
     /// The sharded cluster path (proxy fan-out over `clue-cluster`).
     Cluster,
+    /// The scenario phase (`clue-trace` workloads replayed live over
+    /// the wire; see [`crate::scenario`]).
+    Scenario,
 }
 
 impl fmt::Display for Stage {
@@ -153,6 +156,7 @@ impl fmt::Display for Stage {
             Stage::Net => write!(f, "networked path"),
             Stage::Recovery => write!(f, "recovered state"),
             Stage::Cluster => write!(f, "sharded cluster"),
+            Stage::Scenario => write!(f, "scenario replay"),
         }
     }
 }
@@ -203,7 +207,7 @@ impl Divergence {
             self,
             Divergence::Router { .. }
                 | Divergence::Lookup {
-                    stage: Stage::Router | Stage::Net | Stage::Cluster,
+                    stage: Stage::Router | Stage::Net | Stage::Cluster | Stage::Scenario,
                     ..
                 }
         )

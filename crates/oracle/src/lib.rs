@@ -30,6 +30,12 @@
 //!   `clue-cluster` proxy over N shard primaries with warm standbys, a
 //!   primary killed mid-burst and its standby promoted, asserting zero
 //!   lost acks and per-shard bit-identical convergence;
+//! * [`scenario`] — the adversarial-scenario phase: named `clue-trace`
+//!   workloads (update storms, withdraw floods, flap storms, skewed
+//!   lookups, MRT replays) checked sequentially against the oracle on
+//!   every backend, then replayed live over the wire — single-node per
+//!   backend and optionally sharded — asserting probe agreement and
+//!   zero lost acks;
 //! * [`shrink`] — greedy update-trace minimization and the reproducer
 //!   file format a failing `clue check` run emits.
 //!
@@ -45,6 +51,7 @@ pub mod model;
 pub mod netcheck;
 pub mod probes;
 pub mod recovery;
+pub mod scenario;
 pub mod shrink;
 
 pub use cluster::{check_cluster_phase, ClusterOutcome};
@@ -52,4 +59,5 @@ pub use harness::{run_check, CheckConfig, CheckFailure, CheckReport, Divergence,
 pub use model::Oracle;
 pub use netcheck::{check_net_phase, NetOutcome};
 pub use recovery::{check_recovery_phase, RecoveryOutcome};
+pub use scenario::{run_scenario_check, ScenarioOutcome};
 pub use shrink::{shrink_trace, Reproducer};

@@ -1,0 +1,65 @@
+//! `#[test]` entry points for the adversarial-scenario phase.
+//!
+//! These are the CI-facing versions of `clue check --scenario`: every
+//! named `clue-trace` workload through the sequential differential
+//! check and the live per-backend replay, plus one sharded and one
+//! faulted variant. Sizes stay debug-build friendly; the CI
+//! scenario-smoke job runs the larger CLI workloads in release.
+
+use clue_oracle::{run_scenario_check, CheckConfig};
+use clue_router::FaultPlan;
+use clue_trace::ScenarioKind;
+
+/// Debug-friendly sizes: a 400-route base, ~600 scheduled updates,
+/// 2 000 lookup keys.
+fn small(seed: u64) -> CheckConfig {
+    CheckConfig {
+        routes: 400,
+        updates: 600,
+        packets: 2_000,
+        batch: 32,
+        probe_sample: 16,
+        probe_random: 32,
+        ..CheckConfig::new(seed, 600)
+    }
+}
+
+#[test]
+fn every_scenario_passes_clean() {
+    for kind in ScenarioKind::ALL {
+        let cfg = small(7);
+        let report = run_scenario_check(&cfg, kind)
+            .unwrap_or_else(|f| panic!("{kind} diverged: {}", f.divergence));
+        assert_eq!(report.kind, kind);
+        assert!(report.applied > 0, "{kind}: empty schedule");
+        assert!(report.probes > 0, "{kind}: vacuous sequential probes");
+        assert_eq!(report.live_runs, 3, "{kind}: one live run per backend");
+        assert!(report.live_lookups > 0, "{kind}: no live lookups");
+        assert!(report.live_probes > 0, "{kind}: vacuous live probes");
+        assert_eq!(report.shards, 0);
+    }
+}
+
+#[test]
+fn flap_storm_survives_faults() {
+    let cfg = CheckConfig {
+        faults: Some(FaultPlan::chaos(99)),
+        ..small(11)
+    };
+    let report = run_scenario_check(&cfg, ScenarioKind::FlapStorm)
+        .unwrap_or_else(|f| panic!("faulted flap-storm diverged: {}", f.divergence));
+    assert!(report.live_lookups > 0);
+}
+
+#[test]
+fn withdraw_flood_passes_sharded() {
+    let cfg = CheckConfig {
+        shards: 3,
+        packets: 1_500,
+        ..small(13)
+    };
+    let report = run_scenario_check(&cfg, ScenarioKind::WithdrawFlood)
+        .unwrap_or_else(|f| panic!("sharded withdraw-flood diverged: {}", f.divergence));
+    assert_eq!(report.shards, 3);
+    assert!(report.shard_lookups > 0, "no proxied lookups");
+}

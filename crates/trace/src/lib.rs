@@ -1,0 +1,41 @@
+//! `clue-trace` — real-trace ingestion and the adversarial scenario
+//! engine.
+//!
+//! Every other result in the workspace is measured against calibrated
+//! *synthetic* generators, but the paper's claims are about real
+//! routing tables, and compression/entropy behaviour depends heavily on
+//! real prefix distributions (PAPERS.md — Rétvári et al. evaluate
+//! exclusively on real RIB dumps). This crate closes that gap with two
+//! halves:
+//!
+//! * [`mrt`] — a dependency-free, bounds-checked binary codec for MRT
+//!   (RFC 6396): TABLE_DUMP_V2 RIB dumps (`PEER_INDEX_TABLE` +
+//!   `RIB_IPV4_UNICAST` → an initial FIB) and BGP4MP update messages
+//!   (announce/withdraw with timestamps → a timed [`UpdateTrace`]).
+//!   A matching *encoder* generates canonical fixtures, so the
+//!   round-trip property — `encode(parse(bytes)) == bytes` — is
+//!   verified fully offline, with no network and no committed
+//!   third-party dumps; real dumps parse when present.
+//! * [`scenario`] — a [`Scenario`] abstraction composing a base table,
+//!   a timed update schedule, and a packet-key distribution into named
+//!   first-class workloads: `update-storm`, `withdraw-flood`,
+//!   `flap-storm`, `ddos-skew`, and `mrt-replay`.
+//!
+//! The CLI front ends are `clue trace info|gen|replay`,
+//! `clue loadgen --scenario`, and `clue check --scenario`; the oracle's
+//! scenario phase (`clue-oracle`) drives every scenario through all
+//! three lookup backends and asserts zero lost acks.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod mrt;
+pub mod scenario;
+mod timed;
+
+pub use mrt::{
+    parse_rib, parse_updates, BgpUpdate, MrtPeer, MrtRib, MrtUpdates, NextHopDict, PeerIp,
+    RibEntry, RibRecord,
+};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioKind};
+pub use timed::{TimedUpdate, UpdateTrace};

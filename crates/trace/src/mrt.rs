@@ -1,0 +1,861 @@
+//! A dependency-free, bounds-checked MRT (RFC 6396) codec.
+//!
+//! Two record families matter for driving the CLUE stack:
+//!
+//! * **TABLE_DUMP_V2** RIB dumps (type 13) — a `PEER_INDEX_TABLE`
+//!   record followed by `RIB_IPV4_UNICAST` records, each carrying one
+//!   prefix and its per-peer BGP attribute sets. [`parse_rib`] turns a
+//!   dump into an [`MrtRib`]; [`MrtRib::to_table`] extracts the initial
+//!   FIB (prefix → first peer's `NEXT_HOP`, interned through a
+//!   [`NextHopDict`]).
+//! * **BGP4MP / BGP4MP_ET** update streams (types 16/17) — one BGP
+//!   UPDATE message per record with announce NLRI, withdrawn routes,
+//!   and second (plus microsecond, for `_ET`) timestamps.
+//!   [`parse_updates`] turns a stream into an [`MrtUpdates`];
+//!   [`MrtUpdates::to_trace`] produces the timed
+//!   [`UpdateTrace`](crate::UpdateTrace) a scenario replays.
+//!
+//! The matching encoders ([`MrtRib::encode`], [`MrtUpdates::encode`])
+//! exist so fixtures are generated and verified **fully offline**: for
+//! any structure the encoders emit, `encode(parse(bytes)) == bytes`
+//! holds bit-for-bit. Real collector dumps parse too — unknown record
+//! types, IPv6 subtypes, non-UPDATE BGP messages, and unmodeled path
+//! attributes are skipped (counted in `skipped`), so only the
+//! round-trip of *canonical* fixtures is guaranteed.
+//!
+//! Every read is bounds-checked through [`clue_core::codec::Cursor`];
+//! truncated or bit-flipped input fails with `InvalidData`, never a
+//! panic (the shared corruption-corpus tests in `tests/roundtrip.rs`
+//! pin this down).
+
+use std::collections::BTreeMap;
+use std::io;
+
+use clue_core::codec::{bad_data, Cursor};
+use clue_fib::{NextHop, Prefix, Route, RouteTable, Update};
+
+use crate::timed::{TimedUpdate, UpdateTrace};
+
+/// MRT type: TABLE_DUMP_V2 (RFC 6396 §4.3).
+pub const MRT_TABLE_DUMP_V2: u16 = 13;
+/// MRT type: BGP4MP (RFC 6396 §4.4).
+pub const MRT_BGP4MP: u16 = 16;
+/// MRT type: BGP4MP_ET — BGP4MP with a microsecond timestamp extension
+/// (RFC 6396 §3; the canonical encoder always uses this form so timed
+/// traces survive a round trip at millisecond precision).
+pub const MRT_BGP4MP_ET: u16 = 17;
+
+/// TABLE_DUMP_V2 subtype: the peer index table.
+pub const TDV2_PEER_INDEX_TABLE: u16 = 1;
+/// TABLE_DUMP_V2 subtype: one IPv4-unicast RIB prefix.
+pub const TDV2_RIB_IPV4_UNICAST: u16 = 2;
+
+/// BGP4MP subtype: BGP message, 2-byte AS numbers.
+pub const BGP4MP_MESSAGE: u16 = 1;
+/// BGP4MP subtype: BGP message, 4-byte AS numbers.
+pub const BGP4MP_MESSAGE_AS4: u16 = 4;
+
+/// BGP path attribute: NEXT_HOP (the only attribute the FIB needs).
+const ATTR_NEXT_HOP: u8 = 3;
+/// BGP attribute flag: two-byte (extended) length field.
+const ATTR_EXT_LEN: u8 = 0x10;
+/// BGP message type: UPDATE.
+const BGP_UPDATE: u8 = 2;
+/// BGP message fixed header: 16-byte marker + length + type.
+const BGP_HEADER: usize = 19;
+/// Address family: IPv4.
+const AFI_IPV4: u16 = 1;
+
+/// A BGP peer's address, as wide as the dump recorded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerIp {
+    /// IPv4 peer address.
+    V4(u32),
+    /// IPv6 peer address (parsed for fidelity; the FIB side is IPv4).
+    V6([u8; 16]),
+}
+
+/// One entry of the `PEER_INDEX_TABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrtPeer {
+    /// The peer's BGP identifier.
+    pub bgp_id: u32,
+    /// The peer's address.
+    pub ip: PeerIp,
+    /// The peer's AS number.
+    pub asn: u32,
+    /// Whether the dump recorded a 4-byte AS number (preserved so a
+    /// parsed record re-encodes bit-identically).
+    pub as4: bool,
+}
+
+/// One peer's view of a RIB prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Index into [`MrtRib::peers`].
+    pub peer_index: u16,
+    /// When the route was originated (seconds since the epoch).
+    pub originated: u32,
+    /// The `NEXT_HOP` attribute's IPv4 address, when present. Other
+    /// path attributes are not modeled (and are dropped on parse).
+    pub next_hop: Option<u32>,
+}
+
+/// One `RIB_IPV4_UNICAST` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibRecord {
+    /// The MRT record timestamp (seconds since the epoch).
+    pub timestamp: u32,
+    /// The dump's sequence number for this prefix.
+    pub seq: u32,
+    /// The prefix itself.
+    pub prefix: Prefix,
+    /// Per-peer entries (real dumps carry one per peer that announced
+    /// the prefix; canonical fixtures carry exactly one).
+    pub entries: Vec<RibEntry>,
+}
+
+/// A parsed TABLE_DUMP_V2 RIB dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRib {
+    /// Timestamp of the `PEER_INDEX_TABLE` record.
+    pub timestamp: u32,
+    /// The collector's BGP identifier.
+    pub collector: u32,
+    /// The dump's view name (usually empty or `"rib"`).
+    pub view_name: String,
+    /// The peer index table.
+    pub peers: Vec<MrtPeer>,
+    /// The per-prefix records, in dump order.
+    pub records: Vec<RibRecord>,
+    /// Records the parser skipped (IPv6 subtypes, unknown types).
+    /// Always 0 for canonical fixtures; not part of the encoding.
+    pub skipped: u64,
+}
+
+/// One BGP UPDATE message from a BGP4MP stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpUpdate {
+    /// MRT record timestamp (seconds since the epoch).
+    pub timestamp: u32,
+    /// Microsecond remainder (0 unless the record was BGP4MP_ET).
+    pub micros: u32,
+    /// Whether the record was BGP4MP_ET (preserved for round-trip).
+    pub et: bool,
+    /// Whether AS numbers were 4-byte (`BGP4MP_MESSAGE_AS4`).
+    pub as4: bool,
+    /// The announcing peer's AS.
+    pub peer_as: u32,
+    /// The collector's AS.
+    pub local_as: u32,
+    /// Interface index (0 in practice).
+    pub if_index: u16,
+    /// The peer's IPv4 address.
+    pub peer_ip: u32,
+    /// The collector's IPv4 address.
+    pub local_ip: u32,
+    /// Withdrawn prefixes, in wire order.
+    pub withdrawn: Vec<Prefix>,
+    /// Announced prefixes (NLRI), in wire order.
+    pub announced: Vec<Prefix>,
+    /// The `NEXT_HOP` attribute for the announced NLRI.
+    pub next_hop: Option<u32>,
+}
+
+/// A parsed BGP4MP update stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MrtUpdates {
+    /// The UPDATE messages, in stream order.
+    pub messages: Vec<BgpUpdate>,
+    /// Records the parser skipped (state changes, non-UPDATE messages,
+    /// IPv6 address families, unknown types). Not part of the encoding.
+    pub skipped: u64,
+}
+
+/// Interns next-hop IPv4 addresses as the dense [`NextHop`] indices the
+/// rest of the stack speaks. One dict must be shared between a RIB dump
+/// and its update stream so both halves agree on the numbering.
+#[derive(Debug, Clone, Default)]
+pub struct NextHopDict {
+    ips: Vec<u32>,
+    by_ip: BTreeMap<u32, u16>,
+}
+
+impl NextHopDict {
+    /// An empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        NextHopDict::default()
+    }
+
+    /// Returns the index for `ip`, assigning the next free one on first
+    /// sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX + 1` distinct next hops appear
+    /// (real tables carry a few dozen).
+    pub fn intern(&mut self, ip: u32) -> NextHop {
+        if let Some(&i) = self.by_ip.get(&ip) {
+            return NextHop(i);
+        }
+        let i = u16::try_from(self.ips.len()).expect("more than 65536 distinct next hops");
+        self.ips.push(ip);
+        self.by_ip.insert(ip, i);
+        NextHop(i)
+    }
+
+    /// The canonical IPv4 address the encoders emit for a next-hop
+    /// index: `10.255.hi.lo`. Injective, so generated fixtures survive
+    /// the round trip with a stable numbering.
+    #[must_use]
+    pub fn canonical_ip(nh: NextHop) -> u32 {
+        0x0AFF_0000 | u32::from(nh.0)
+    }
+
+    /// Distinct next hops interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Splits the next MRT record off `cur`: `(timestamp, type, subtype,
+/// body)`. The declared length is bounds-checked against the remaining
+/// input, so a truncated or inflated length field fails here.
+fn read_record<'a>(cur: &mut Cursor<'a>) -> io::Result<(u32, u16, u16, &'a [u8])> {
+    let timestamp = cur.u32()?;
+    let typ = cur.u16()?;
+    let subtype = cur.u16()?;
+    let len = cur.u32()? as usize;
+    let body = cur.take(len)?;
+    Ok((timestamp, typ, subtype, body))
+}
+
+/// Reads one `(len, bits)` prefix in BGP wire form: a bit count
+/// followed by `ceil(len/8)` address bytes.
+fn read_prefix(cur: &mut Cursor<'_>) -> io::Result<Prefix> {
+    let len = cur.u8()?;
+    if len > 32 {
+        return Err(bad_data(format!("prefix length {len} exceeds 32")));
+    }
+    let nbytes = usize::from(len).div_ceil(8);
+    let raw = cur.take(nbytes)?;
+    let mut bits = [0u8; 4];
+    bits[..nbytes].copy_from_slice(raw);
+    Ok(Prefix::new(u32::from_be_bytes(bits), len))
+}
+
+/// Scans a path-attribute block for `NEXT_HOP`, bounds-checking every
+/// attribute header and dropping the rest.
+fn scan_attrs(block: &[u8]) -> io::Result<Option<u32>> {
+    let mut cur = Cursor::new(block);
+    let mut next_hop = None;
+    while cur.consumed() < block.len() {
+        let flags = cur.u8()?;
+        let typ = cur.u8()?;
+        let len = if flags & ATTR_EXT_LEN != 0 {
+            usize::from(cur.u16()?)
+        } else {
+            usize::from(cur.u8()?)
+        };
+        let value = cur.take(len)?;
+        if typ == ATTR_NEXT_HOP {
+            if len != 4 {
+                return Err(bad_data(format!("NEXT_HOP attribute of {len} bytes")));
+            }
+            next_hop = Some(u32::from_be_bytes(value.try_into().unwrap()));
+        }
+    }
+    cur.finish()?;
+    Ok(next_hop)
+}
+
+fn parse_peer_index(timestamp: u32, body: &[u8]) -> io::Result<MrtRib> {
+    let mut cur = Cursor::new(body);
+    let collector = cur.u32()?;
+    let name_len = usize::from(cur.u16()?);
+    let name = cur.take(name_len)?;
+    let view_name =
+        String::from_utf8(name.to_vec()).map_err(|_| bad_data("view name is not UTF-8".into()))?;
+    let count = usize::from(cur.u16()?);
+    let mut peers = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let peer_type = cur.u8()?;
+        if peer_type & !0x03 != 0 {
+            return Err(bad_data(format!("unknown peer type bits {peer_type:#04x}")));
+        }
+        let bgp_id = cur.u32()?;
+        let ip = if peer_type & 0x01 != 0 {
+            PeerIp::V6(cur.take(16)?.try_into().unwrap())
+        } else {
+            PeerIp::V4(cur.u32()?)
+        };
+        let as4 = peer_type & 0x02 != 0;
+        let asn = if as4 {
+            cur.u32()?
+        } else {
+            u32::from(cur.u16()?)
+        };
+        peers.push(MrtPeer {
+            bgp_id,
+            ip,
+            asn,
+            as4,
+        });
+    }
+    cur.finish()?;
+    Ok(MrtRib {
+        timestamp,
+        collector,
+        view_name,
+        peers,
+        records: Vec::new(),
+        skipped: 0,
+    })
+}
+
+fn parse_rib_record(timestamp: u32, body: &[u8], peer_count: usize) -> io::Result<RibRecord> {
+    let mut cur = Cursor::new(body);
+    let seq = cur.u32()?;
+    let prefix = read_prefix(&mut cur)?;
+    let count = usize::from(cur.u16()?);
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let peer_index = cur.u16()?;
+        if usize::from(peer_index) >= peer_count {
+            return Err(bad_data(format!(
+                "RIB entry names peer {peer_index} of {peer_count}"
+            )));
+        }
+        let originated = cur.u32()?;
+        let attr_len = usize::from(cur.u16()?);
+        let attrs = cur.take(attr_len)?;
+        entries.push(RibEntry {
+            peer_index,
+            originated,
+            next_hop: scan_attrs(attrs)?,
+        });
+    }
+    cur.finish()?;
+    Ok(RibRecord {
+        timestamp,
+        seq,
+        prefix,
+        entries,
+    })
+}
+
+/// Parses a TABLE_DUMP_V2 RIB dump.
+///
+/// The first TABLE_DUMP_V2 record must be the `PEER_INDEX_TABLE`;
+/// `RIB_IPV4_UNICAST` records follow. Records of other types or
+/// subtypes are skipped (counted in [`MrtRib::skipped`]).
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on truncation, a length field pointing past
+/// the input, malformed peer/attribute encodings, a prefix longer than
+/// /32, or an entry naming a peer the index table does not hold.
+pub fn parse_rib(bytes: &[u8]) -> io::Result<MrtRib> {
+    let mut cur = Cursor::new(bytes);
+    let mut rib: Option<MrtRib> = None;
+    while cur.consumed() < bytes.len() {
+        let (timestamp, typ, subtype, body) = read_record(&mut cur)?;
+        if typ != MRT_TABLE_DUMP_V2 {
+            if let Some(r) = rib.as_mut() {
+                r.skipped += 1;
+            }
+            continue;
+        }
+        match (subtype, rib.as_mut()) {
+            (TDV2_PEER_INDEX_TABLE, None) => rib = Some(parse_peer_index(timestamp, body)?),
+            (TDV2_PEER_INDEX_TABLE, Some(_)) => {
+                return Err(bad_data("second PEER_INDEX_TABLE in one dump".into()))
+            }
+            (TDV2_RIB_IPV4_UNICAST, Some(r)) => {
+                let record = parse_rib_record(timestamp, body, r.peers.len())?;
+                r.records.push(record);
+            }
+            (_, Some(r)) => r.skipped += 1,
+            (_, None) => {
+                return Err(bad_data(format!(
+                    "TABLE_DUMP_V2 subtype {subtype} before the PEER_INDEX_TABLE"
+                )))
+            }
+        }
+    }
+    cur.finish()?;
+    rib.ok_or_else(|| bad_data("dump holds no PEER_INDEX_TABLE".into()))
+}
+
+fn parse_bgp4mp_body(
+    timestamp: u32,
+    micros: u32,
+    et: bool,
+    as4: bool,
+    body: &[u8],
+) -> io::Result<Option<BgpUpdate>> {
+    let mut cur = Cursor::new(body);
+    let (peer_as, local_as) = if as4 {
+        (cur.u32()?, cur.u32()?)
+    } else {
+        (u32::from(cur.u16()?), u32::from(cur.u16()?))
+    };
+    let if_index = cur.u16()?;
+    let afi = cur.u16()?;
+    if afi != AFI_IPV4 {
+        // IPv6 feed: consume nothing further, let the caller skip it.
+        return Ok(None);
+    }
+    let peer_ip = cur.u32()?;
+    let local_ip = cur.u32()?;
+
+    // The BGP message: 16-byte all-ones marker, length, type.
+    let marker = cur.take(16)?;
+    if marker.iter().any(|&b| b != 0xFF) {
+        return Err(bad_data("BGP marker is not all ones".into()));
+    }
+    let msg_len = usize::from(cur.u16()?);
+    if msg_len < BGP_HEADER {
+        return Err(bad_data(format!("BGP message length {msg_len} < 19")));
+    }
+    let msg_type = cur.u8()?;
+    let msg_body = cur.take(msg_len - BGP_HEADER)?;
+    cur.finish()?;
+    if msg_type != BGP_UPDATE {
+        return Ok(None); // OPEN / KEEPALIVE / NOTIFICATION: skip.
+    }
+
+    let mut mcur = Cursor::new(msg_body);
+    let wd_len = usize::from(mcur.u16()?);
+    let wd_block = mcur.take(wd_len)?;
+    let mut wd_cur = Cursor::new(wd_block);
+    let mut withdrawn = Vec::new();
+    while wd_cur.consumed() < wd_block.len() {
+        withdrawn.push(read_prefix(&mut wd_cur)?);
+    }
+    let attr_len = usize::from(mcur.u16()?);
+    let attrs = mcur.take(attr_len)?;
+    let next_hop = scan_attrs(attrs)?;
+    let mut announced = Vec::new();
+    while mcur.consumed() < msg_body.len() {
+        announced.push(read_prefix(&mut mcur)?);
+    }
+    Ok(Some(BgpUpdate {
+        timestamp,
+        micros,
+        et,
+        as4,
+        peer_as,
+        local_as,
+        if_index,
+        peer_ip,
+        local_ip,
+        withdrawn,
+        announced,
+        next_hop,
+    }))
+}
+
+/// Parses a BGP4MP / BGP4MP_ET update stream.
+///
+/// Records that are not IPv4 BGP UPDATE messages (state changes,
+/// OPEN/KEEPALIVE, IPv6 address families, unknown MRT types) are
+/// skipped and counted in [`MrtUpdates::skipped`].
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on truncation, bad markers, malformed
+/// attribute blocks, or prefixes longer than /32.
+pub fn parse_updates(bytes: &[u8]) -> io::Result<MrtUpdates> {
+    let mut cur = Cursor::new(bytes);
+    let mut out = MrtUpdates::default();
+    while cur.consumed() < bytes.len() {
+        let (timestamp, typ, subtype, body) = read_record(&mut cur)?;
+        let et = match typ {
+            MRT_BGP4MP => false,
+            MRT_BGP4MP_ET => true,
+            _ => {
+                out.skipped += 1;
+                continue;
+            }
+        };
+        let (micros, body) = if et {
+            let mut head = Cursor::new(body);
+            let micros = head.u32()?;
+            if micros >= 1_000_000 {
+                return Err(bad_data(format!("microsecond field {micros} out of range")));
+            }
+            (micros, &body[4..])
+        } else {
+            (0, body)
+        };
+        let as4 = match subtype {
+            BGP4MP_MESSAGE => false,
+            BGP4MP_MESSAGE_AS4 => true,
+            _ => {
+                out.skipped += 1; // state changes and local variants
+                continue;
+            }
+        };
+        match parse_bgp4mp_body(timestamp, micros, et, as4, body)? {
+            Some(msg) => out.messages.push(msg),
+            None => out.skipped += 1,
+        }
+    }
+    cur.finish()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn push_record(out: &mut Vec<u8>, timestamp: u32, typ: u16, subtype: u16, body: &[u8]) {
+    out.extend_from_slice(&timestamp.to_be_bytes());
+    out.extend_from_slice(&typ.to_be_bytes());
+    out.extend_from_slice(&subtype.to_be_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+}
+
+fn push_prefix(out: &mut Vec<u8>, prefix: Prefix) {
+    out.push(prefix.len());
+    let nbytes = usize::from(prefix.len()).div_ceil(8);
+    out.extend_from_slice(&prefix.bits().to_be_bytes()[..nbytes]);
+}
+
+fn push_next_hop_attr(out: &mut Vec<u8>, ip: u32) {
+    out.push(0x40); // well-known transitive
+    out.push(ATTR_NEXT_HOP);
+    out.push(4);
+    out.extend_from_slice(&ip.to_be_bytes());
+}
+
+impl MrtRib {
+    /// Encodes the dump as MRT bytes: the `PEER_INDEX_TABLE` record
+    /// followed by one `RIB_IPV4_UNICAST` record per [`RibRecord`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peer marked `as4: false` carries an AS number beyond
+    /// 16 bits, or if the view name exceeds `u16::MAX` bytes (canonical
+    /// constructors never do either).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.records.len() * 32);
+        let mut body = Vec::with_capacity(32 + self.peers.len() * 12);
+        body.extend_from_slice(&self.collector.to_be_bytes());
+        let name = self.view_name.as_bytes();
+        body.extend_from_slice(
+            &u16::try_from(name.len())
+                .expect("view name fits u16")
+                .to_be_bytes(),
+        );
+        body.extend_from_slice(name);
+        body.extend_from_slice(&(self.peers.len() as u16).to_be_bytes());
+        for p in &self.peers {
+            let mut peer_type = 0u8;
+            if matches!(p.ip, PeerIp::V6(_)) {
+                peer_type |= 0x01;
+            }
+            if p.as4 {
+                peer_type |= 0x02;
+            }
+            body.push(peer_type);
+            body.extend_from_slice(&p.bgp_id.to_be_bytes());
+            match p.ip {
+                PeerIp::V4(ip) => body.extend_from_slice(&ip.to_be_bytes()),
+                PeerIp::V6(ip) => body.extend_from_slice(&ip),
+            }
+            if p.as4 {
+                body.extend_from_slice(&p.asn.to_be_bytes());
+            } else {
+                let asn = u16::try_from(p.asn).expect("2-byte peer AS fits u16");
+                body.extend_from_slice(&asn.to_be_bytes());
+            }
+        }
+        push_record(
+            &mut out,
+            self.timestamp,
+            MRT_TABLE_DUMP_V2,
+            TDV2_PEER_INDEX_TABLE,
+            &body,
+        );
+        for r in &self.records {
+            body.clear();
+            body.extend_from_slice(&r.seq.to_be_bytes());
+            push_prefix(&mut body, r.prefix);
+            body.extend_from_slice(&(r.entries.len() as u16).to_be_bytes());
+            for e in &r.entries {
+                body.extend_from_slice(&e.peer_index.to_be_bytes());
+                body.extend_from_slice(&e.originated.to_be_bytes());
+                let mut attrs = Vec::with_capacity(8);
+                if let Some(ip) = e.next_hop {
+                    push_next_hop_attr(&mut attrs, ip);
+                }
+                body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+                body.extend_from_slice(&attrs);
+            }
+            push_record(
+                &mut out,
+                r.timestamp,
+                MRT_TABLE_DUMP_V2,
+                TDV2_RIB_IPV4_UNICAST,
+                &body,
+            );
+        }
+        out
+    }
+
+    /// Builds a canonical dump from a routing table: one synthetic
+    /// peer, one single-entry record per route (dump order), next hops
+    /// mapped through [`NextHopDict::canonical_ip`].
+    #[must_use]
+    pub fn from_table(table: &RouteTable, timestamp: u32) -> MrtRib {
+        MrtRib {
+            timestamp,
+            collector: 0x0A00_0001,
+            view_name: "clue".to_owned(),
+            peers: vec![MrtPeer {
+                bgp_id: 0x0A00_0001,
+                ip: PeerIp::V4(0x0A00_0001),
+                asn: 64_512,
+                as4: true,
+            }],
+            records: table
+                .iter()
+                .enumerate()
+                .map(|(i, route)| RibRecord {
+                    timestamp,
+                    seq: i as u32,
+                    prefix: route.prefix,
+                    entries: vec![RibEntry {
+                        peer_index: 0,
+                        originated: timestamp,
+                        next_hop: Some(NextHopDict::canonical_ip(route.next_hop)),
+                    }],
+                })
+                .collect(),
+            skipped: 0,
+        }
+    }
+
+    /// Extracts the initial FIB: per prefix, the first entry carrying a
+    /// `NEXT_HOP`, interned through `dict`. Records with no usable next
+    /// hop are dropped (real dumps occasionally hold them).
+    #[must_use]
+    pub fn to_table(&self, dict: &mut NextHopDict) -> RouteTable {
+        self.records
+            .iter()
+            .filter_map(|r| {
+                let ip = r.entries.iter().find_map(|e| e.next_hop)?;
+                Some(Route::new(r.prefix, dict.intern(ip)))
+            })
+            .collect()
+    }
+}
+
+impl MrtUpdates {
+    /// Encodes the stream as MRT bytes, one BGP4MP(_ET) record per
+    /// message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message marked `as4: false` carries an AS beyond 16
+    /// bits, sets `micros` without `et`, or is too large for a BGP
+    /// message (canonical constructors never do any of these).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.messages.len() * 64);
+        let mut body = Vec::with_capacity(96);
+        for m in &self.messages {
+            body.clear();
+            if m.et {
+                assert!(m.micros < 1_000_000, "microseconds out of range");
+                body.extend_from_slice(&m.micros.to_be_bytes());
+            } else {
+                assert_eq!(m.micros, 0, "micros need an _ET record");
+            }
+            if m.as4 {
+                body.extend_from_slice(&m.peer_as.to_be_bytes());
+                body.extend_from_slice(&m.local_as.to_be_bytes());
+            } else {
+                let pa = u16::try_from(m.peer_as).expect("2-byte peer AS fits u16");
+                let la = u16::try_from(m.local_as).expect("2-byte local AS fits u16");
+                body.extend_from_slice(&pa.to_be_bytes());
+                body.extend_from_slice(&la.to_be_bytes());
+            }
+            body.extend_from_slice(&m.if_index.to_be_bytes());
+            body.extend_from_slice(&AFI_IPV4.to_be_bytes());
+            body.extend_from_slice(&m.peer_ip.to_be_bytes());
+            body.extend_from_slice(&m.local_ip.to_be_bytes());
+
+            let mut wd = Vec::with_capacity(m.withdrawn.len() * 5);
+            for &p in &m.withdrawn {
+                push_prefix(&mut wd, p);
+            }
+            let mut attrs = Vec::with_capacity(8);
+            if let Some(ip) = m.next_hop {
+                push_next_hop_attr(&mut attrs, ip);
+            }
+            let mut nlri = Vec::with_capacity(m.announced.len() * 5);
+            for &p in &m.announced {
+                push_prefix(&mut nlri, p);
+            }
+            let msg_len = BGP_HEADER + 2 + wd.len() + 2 + attrs.len() + nlri.len();
+            body.extend_from_slice(&[0xFF; 16]);
+            body.extend_from_slice(
+                &u16::try_from(msg_len)
+                    .expect("BGP message fits u16")
+                    .to_be_bytes(),
+            );
+            body.push(BGP_UPDATE);
+            body.extend_from_slice(&(wd.len() as u16).to_be_bytes());
+            body.extend_from_slice(&wd);
+            body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+            body.extend_from_slice(&attrs);
+            body.extend_from_slice(&nlri);
+
+            let typ = if m.et { MRT_BGP4MP_ET } else { MRT_BGP4MP };
+            let subtype = if m.as4 {
+                BGP4MP_MESSAGE_AS4
+            } else {
+                BGP4MP_MESSAGE
+            };
+            push_record(&mut out, m.timestamp, typ, subtype, &body);
+        }
+        out
+    }
+
+    /// Builds a canonical stream from a timed trace: one BGP4MP_ET
+    /// UPDATE per event, timestamps offset from `base_ts` at
+    /// millisecond precision, next hops mapped through
+    /// [`NextHopDict::canonical_ip`].
+    #[must_use]
+    pub fn from_trace(trace: &UpdateTrace, base_ts: u32) -> MrtUpdates {
+        MrtUpdates {
+            messages: trace
+                .events
+                .iter()
+                .map(|e| {
+                    let (withdrawn, announced, next_hop) = match e.update {
+                        Update::Announce { prefix, next_hop } => (
+                            Vec::new(),
+                            vec![prefix],
+                            Some(NextHopDict::canonical_ip(next_hop)),
+                        ),
+                        Update::Withdraw { prefix } => (vec![prefix], Vec::new(), None),
+                    };
+                    BgpUpdate {
+                        timestamp: base_ts + u32::try_from(e.at_ms / 1000).unwrap_or(u32::MAX),
+                        micros: (e.at_ms % 1000) as u32 * 1000,
+                        et: true,
+                        as4: true,
+                        peer_as: 64_512,
+                        local_as: 64_513,
+                        if_index: 0,
+                        peer_ip: 0x0A00_0001,
+                        local_ip: 0x0A00_0002,
+                        withdrawn,
+                        announced,
+                        next_hop,
+                    }
+                })
+                .collect(),
+            skipped: 0,
+        }
+    }
+
+    /// Converts the stream into a timed [`UpdateTrace`], offsets
+    /// relative to the first message. Per message, withdrawals come
+    /// before announcements (matching BGP UPDATE semantics). Announced
+    /// prefixes in a message with no `NEXT_HOP` attribute are dropped.
+    #[must_use]
+    pub fn to_trace(&self, dict: &mut NextHopDict) -> UpdateTrace {
+        let Some(first) = self.messages.first() else {
+            return UpdateTrace::default();
+        };
+        let t0 = u64::from(first.timestamp) * 1000 + u64::from(first.micros) / 1000;
+        let mut events = Vec::with_capacity(self.messages.len());
+        for m in &self.messages {
+            let at = u64::from(m.timestamp) * 1000 + u64::from(m.micros) / 1000;
+            let at_ms = at.saturating_sub(t0);
+            for &prefix in &m.withdrawn {
+                events.push(TimedUpdate {
+                    at_ms,
+                    update: Update::Withdraw { prefix },
+                });
+            }
+            if let Some(ip) = m.next_hop {
+                let next_hop = dict.intern(ip);
+                for &prefix in &m.announced {
+                    events.push(TimedUpdate {
+                        at_ms,
+                        update: Update::Announce { prefix, next_hop },
+                    });
+                }
+            }
+        }
+        UpdateTrace { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_interns_stably() {
+        let mut d = NextHopDict::new();
+        let a = d.intern(10);
+        let b = d.intern(20);
+        assert_eq!(d.intern(10), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn canonical_ip_is_injective_over_u16() {
+        assert_ne!(
+            NextHopDict::canonical_ip(NextHop(0)),
+            NextHopDict::canonical_ip(NextHop(1))
+        );
+        assert_eq!(NextHopDict::canonical_ip(NextHop(0x0102)), 0x0AFF_0102);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected_or_empty() {
+        assert!(parse_rib(&[]).is_err()); // no PEER_INDEX_TABLE
+        let u = parse_updates(&[]).unwrap();
+        assert!(u.messages.is_empty());
+    }
+
+    #[test]
+    fn prefix_shorter_than_a_byte_round_trips() {
+        let mut buf = Vec::new();
+        push_prefix(&mut buf, Prefix::new(0x8000_0000, 3));
+        assert_eq!(buf, vec![3, 0x80]);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_prefix(&mut cur).unwrap(), Prefix::new(0x8000_0000, 3));
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn over_long_prefix_is_rejected() {
+        let buf = vec![33, 0, 0, 0, 0, 0];
+        let mut cur = Cursor::new(&buf);
+        assert!(read_prefix(&mut cur).is_err());
+    }
+}

@@ -1,0 +1,537 @@
+//! The adversarial scenario engine.
+//!
+//! A [`Scenario`] composes three things every full-stack experiment
+//! needs: a **base table**, a **timed update schedule**, and a
+//! **packet-key distribution**. Five named workloads cover the attack
+//! surfaces the paper's update/lookup race exposes:
+//!
+//! | name             | stress                                          |
+//! |------------------|-------------------------------------------------|
+//! | `update-storm`   | bursts of churn at a sustained rate             |
+//! | `withdraw-flood` | mass withdraw of a whole subtree, then recovery |
+//! | `flap-storm`     | announce/withdraw oscillation on hot prefixes   |
+//! | `ddos-skew`      | Zipf-concentrated lookups on a few targets      |
+//! | `mrt-replay`     | a real MRT trace at recorded or scaled speed    |
+//!
+//! Every synthetic scenario is a pure function of a
+//! [`ScenarioConfig`] (same seed → same scenario, byte for byte), and
+//! every schedule keeps the generator invariant the rest of the stack
+//! assumes: **withdrawals only ever name currently-present prefixes**
+//! when the schedule is applied in order from the base table.
+//! `withdraw-flood` and `flap-storm` additionally end exactly where
+//! they started (final table == base), which the oracle's scenario
+//! phase exploits as a free convergence check.
+
+use std::fmt;
+use std::str::FromStr;
+
+use clue_fib::gen::FibGen;
+use clue_fib::{Prefix, Route, RouteTable, Update};
+use clue_traffic::{PacketGen, UpdateGen, Zipf};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::mrt::{MrtRib, MrtUpdates, NextHopDict};
+use crate::timed::{TimedUpdate, UpdateTrace};
+
+/// Salt decorrelating the base-table stream from other seeded streams.
+const BASE_SALT: u64 = 0x7_C0DE_0001;
+/// Salt for the update-schedule stream.
+const SCHEDULE_SALT: u64 = 0x7_C0DE_0002;
+/// Salt for the packet-key stream.
+const PACKET_SALT: u64 = 0x7_C0DE_0003;
+
+/// The five named workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Bursts of mixed churn at a sustained rate.
+    UpdateStorm,
+    /// Mass withdraw of a whole subtree, then full re-announce.
+    WithdrawFlood,
+    /// Announce/withdraw oscillation concentrated on hot prefixes.
+    FlapStorm,
+    /// Zipf-concentrated lookup keys on a handful of targets.
+    DdosSkew,
+    /// Replay of an MRT trace (canonical fixture unless real bytes are
+    /// supplied) at recorded or scaled timestamps.
+    MrtReplay,
+}
+
+impl ScenarioKind {
+    /// All five kinds, in canonical order.
+    pub const ALL: [ScenarioKind; 5] = [
+        ScenarioKind::UpdateStorm,
+        ScenarioKind::WithdrawFlood,
+        ScenarioKind::FlapStorm,
+        ScenarioKind::DdosSkew,
+        ScenarioKind::MrtReplay,
+    ];
+
+    /// The kebab-case name used on the CLI and in bench output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::UpdateStorm => "update-storm",
+            ScenarioKind::WithdrawFlood => "withdraw-flood",
+            ScenarioKind::FlapStorm => "flap-storm",
+            ScenarioKind::DdosSkew => "ddos-skew",
+            ScenarioKind::MrtReplay => "mrt-replay",
+        }
+    }
+}
+
+impl fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ScenarioKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScenarioKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+                format!(
+                    "unknown scenario '{s}' (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+/// Tuning knobs shared by the scenario builders. `Default` gives the
+/// sizes the oracle's scenario phase and the benches use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Master seed; every derived stream is salted off it.
+    pub seed: u64,
+    /// Routes in the synthetic base table.
+    pub routes: usize,
+    /// Total scheduled updates (approximate for flap/withdraw shapes,
+    /// which must balance to restore the base table).
+    pub updates: usize,
+    /// Lookup keys to generate.
+    pub packets: usize,
+    /// Updates landing in the same millisecond during a storm burst.
+    pub burst: usize,
+    /// Milliseconds of quiet between storm bursts.
+    pub gap_ms: u64,
+    /// Hot prefixes oscillated by `flap-storm`.
+    pub flap_targets: usize,
+    /// Victim prefixes concentrated on by `ddos-skew`.
+    pub ddos_targets: usize,
+    /// Zipf exponent for the `ddos-skew` key distribution.
+    pub zipf: f64,
+    /// Replay speed for `mrt-replay` (2.0 = twice recorded speed;
+    /// <= 0 replays flat out).
+    pub speed: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 7,
+            routes: 2000,
+            updates: 5000,
+            packets: 20_000,
+            burst: 256,
+            gap_ms: 50,
+            flap_targets: 16,
+            ddos_targets: 8,
+            zipf: 3.0,
+            speed: 1.0,
+        }
+    }
+}
+
+/// A fully-materialised workload: base table, timed schedule, lookup
+/// keys.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which workload this is.
+    pub kind: ScenarioKind,
+    /// The table installed before the schedule starts.
+    pub base: RouteTable,
+    /// The timed update schedule.
+    pub schedule: UpdateTrace,
+    /// The lookup keys, in arrival order.
+    pub packets: Vec<u32>,
+}
+
+impl Scenario {
+    /// Builds the named synthetic scenario from `cfg`, deterministically.
+    ///
+    /// For [`ScenarioKind::MrtReplay`] this generates a canonical MRT
+    /// fixture in memory (encode → parse, exercising the codec) and
+    /// replays it; to replay *real* bytes use [`Scenario::from_mrt`].
+    #[must_use]
+    pub fn build(kind: ScenarioKind, cfg: &ScenarioConfig) -> Scenario {
+        match kind {
+            ScenarioKind::UpdateStorm => update_storm(cfg),
+            ScenarioKind::WithdrawFlood => withdraw_flood(cfg),
+            ScenarioKind::FlapStorm => flap_storm(cfg),
+            ScenarioKind::DdosSkew => ddos_skew(cfg),
+            ScenarioKind::MrtReplay => mrt_replay(cfg),
+        }
+    }
+
+    /// Builds an `mrt-replay` scenario from parsed MRT structures: the
+    /// RIB dump becomes the base table, the update stream the schedule
+    /// (scaled by `cfg.speed`), with one shared [`NextHopDict`] so both
+    /// halves agree on next-hop numbering. Lookup keys are drawn over
+    /// the base table with the default packet generator.
+    #[must_use]
+    pub fn from_mrt(rib: &MrtRib, updates: &MrtUpdates, cfg: &ScenarioConfig) -> Scenario {
+        let mut dict = NextHopDict::new();
+        let base = rib.to_table(&mut dict);
+        let schedule = updates.to_trace(&mut dict).scaled(cfg.speed);
+        let packets = PacketGen::new(cfg.seed ^ PACKET_SALT).generate(&base, cfg.packets);
+        Scenario {
+            kind: ScenarioKind::MrtReplay,
+            base,
+            schedule,
+            packets,
+        }
+    }
+
+    /// The schedule's bare updates, in order (what the oracle applies).
+    #[must_use]
+    pub fn updates(&self) -> Vec<Update> {
+        self.schedule.updates()
+    }
+
+    /// A short multi-line summary for `clue trace info`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let (mut announces, mut withdraws) = (0usize, 0usize);
+        for e in &self.schedule.events {
+            match e.update {
+                Update::Announce { .. } => announces += 1,
+                Update::Withdraw { .. } => withdraws += 1,
+            }
+        }
+        format!(
+            "scenario       {}\n\
+             base routes    {}\n\
+             events         {} ({announces} announce, {withdraws} withdraw)\n\
+             duration       {} ms (peak {} events/ms)\n\
+             packets        {}",
+            self.kind,
+            self.base.len(),
+            self.schedule.len(),
+            self.schedule.duration_ms(),
+            self.schedule.peak_per_ms(),
+            self.packets.len(),
+        )
+    }
+}
+
+/// The shared synthetic base table for a config.
+fn base_table(cfg: &ScenarioConfig) -> RouteTable {
+    FibGen::new(cfg.seed ^ BASE_SALT)
+        .routes(cfg.routes)
+        .generate()
+}
+
+/// The default lookup-key stream over `base`.
+fn base_packets(cfg: &ScenarioConfig, base: &RouteTable) -> Vec<u32> {
+    PacketGen::new(cfg.seed ^ PACKET_SALT).generate(base, cfg.packets)
+}
+
+/// `update-storm`: consistent mixed churn from the calibrated
+/// generator, packed into bursts of `cfg.burst` same-millisecond
+/// events separated by `cfg.gap_ms` of quiet.
+fn update_storm(cfg: &ScenarioConfig) -> Scenario {
+    let base = base_table(cfg);
+    let updates = UpdateGen::new(cfg.seed ^ SCHEDULE_SALT).generate(&base, cfg.updates);
+    let burst = cfg.burst.max(1);
+    let events = updates
+        .into_iter()
+        .enumerate()
+        .map(|(i, update)| TimedUpdate {
+            at_ms: (i / burst) as u64 * cfg.gap_ms,
+            update,
+        })
+        .collect();
+    Scenario {
+        kind: ScenarioKind::UpdateStorm,
+        packets: base_packets(cfg, &base),
+        base,
+        schedule: UpdateTrace { events },
+    }
+}
+
+/// `withdraw-flood`: every route under the most-populated /8 subtree
+/// is withdrawn in one burst, then — after a `gap_ms` pause — the whole
+/// subtree is re-announced with its original next hops. The final
+/// table equals the base table.
+fn withdraw_flood(cfg: &ScenarioConfig) -> Scenario {
+    let base = base_table(cfg);
+    // Pick the /8 that covers the most routes: the worst-case subtree.
+    let mut counts = [0usize; 256];
+    for route in base.iter() {
+        if route.prefix.len() >= 8 {
+            counts[(route.prefix.bits() >> 24) as usize] += 1;
+        }
+    }
+    let top = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map_or(0, |(i, _)| i) as u32;
+    let subtree = Prefix::new(top << 24, 8);
+    let victims: Vec<Route> = base.iter().filter(|r| subtree.contains(r.prefix)).collect();
+
+    let mut events = Vec::with_capacity(victims.len() * 2);
+    let burst = cfg.burst.max(1);
+    for (i, r) in victims.iter().enumerate() {
+        events.push(TimedUpdate {
+            at_ms: (i / burst) as u64,
+            update: Update::Withdraw { prefix: r.prefix },
+        });
+    }
+    let resume = events.last().map_or(0, |e| e.at_ms) + cfg.gap_ms.max(1);
+    for (i, r) in victims.iter().enumerate() {
+        events.push(TimedUpdate {
+            at_ms: resume + (i / burst) as u64,
+            update: Update::Announce {
+                prefix: r.prefix,
+                next_hop: r.next_hop,
+            },
+        });
+    }
+    Scenario {
+        kind: ScenarioKind::WithdrawFlood,
+        packets: base_packets(cfg, &base),
+        base,
+        schedule: UpdateTrace { events },
+    }
+}
+
+/// `flap-storm`: `cfg.flap_targets` routes oscillate withdraw →
+/// announce round-robin until the event budget is spent. Cycles are
+/// whole (withdraw and re-announce paired), so every target ends
+/// announced with its base next hop and the final table equals the
+/// base table.
+fn flap_storm(cfg: &ScenarioConfig) -> Scenario {
+    let base = base_table(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ SCHEDULE_SALT);
+    let all: Vec<Route> = base.iter().collect();
+    let want = cfg.flap_targets.clamp(1, all.len().max(1));
+    let mut targets: Vec<Route> = Vec::with_capacity(want);
+    let mut taken = vec![false; all.len()];
+    while targets.len() < want && !all.is_empty() {
+        let i = rng.random_range(0..all.len());
+        if !taken[i] {
+            taken[i] = true;
+            targets.push(all[i]);
+        }
+    }
+
+    let cycles = (cfg.updates / (2 * targets.len())).max(1);
+    let mut events = Vec::with_capacity(cycles * targets.len() * 2);
+    let mut at_ms = 0u64;
+    for _ in 0..cycles {
+        for r in &targets {
+            events.push(TimedUpdate {
+                at_ms,
+                update: Update::Withdraw { prefix: r.prefix },
+            });
+            events.push(TimedUpdate {
+                at_ms: at_ms + 1,
+                update: Update::Announce {
+                    prefix: r.prefix,
+                    next_hop: r.next_hop,
+                },
+            });
+        }
+        at_ms += cfg.gap_ms.max(2);
+    }
+    // Lookups hammer the flapped prefixes half the time so the race
+    // between oscillation and lookup is actually exercised.
+    let mut packets = base_packets(cfg, &base);
+    for (i, p) in packets.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            let r = targets[rng.random_range(0..targets.len())];
+            let span = r.prefix.size();
+            *p = r
+                .prefix
+                .low()
+                .wrapping_add((rng.random_range(0..span)) as u32);
+        }
+    }
+    Scenario {
+        kind: ScenarioKind::FlapStorm,
+        base,
+        schedule: UpdateTrace { events },
+        packets,
+    }
+}
+
+/// `ddos-skew`: the schedule is mild background churn; the stress is
+/// in the *lookup* stream, Zipf-concentrated (`cfg.zipf`) on
+/// `cfg.ddos_targets` victim prefixes.
+fn ddos_skew(cfg: &ScenarioConfig) -> Scenario {
+    let base = base_table(cfg);
+    let updates = UpdateGen::new(cfg.seed ^ SCHEDULE_SALT).generate(&base, cfg.updates.min(1000));
+    let schedule = UpdateTrace::evenly_spaced(&updates, cfg.gap_ms.max(1));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ PACKET_SALT);
+    let all: Vec<Route> = base.iter().collect();
+    let want = cfg.ddos_targets.clamp(1, all.len().max(1));
+    let victims: Vec<Route> = (0..want)
+        .map(|_| all[rng.random_range(0..all.len())])
+        .collect();
+    // One fixed address per victim — a DDoS hammers hosts, not ranges.
+    let victim_addrs: Vec<u32> = victims
+        .iter()
+        .map(|r| {
+            let span = r.prefix.size();
+            r.prefix
+                .low()
+                .wrapping_add((rng.random_range(0..span)) as u32)
+        })
+        .collect();
+    let zipf = Zipf::new(victim_addrs.len(), cfg.zipf);
+    let background = base_packets(cfg, &base);
+    let packets = background
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            // 9 in 10 keys hit a victim; the rest stay background noise.
+            if i % 10 != 0 {
+                victim_addrs[zipf.sample(&mut rng)]
+            } else {
+                p
+            }
+        })
+        .collect();
+    Scenario {
+        kind: ScenarioKind::DdosSkew,
+        base,
+        schedule,
+        packets,
+    }
+}
+
+/// `mrt-replay` over a self-generated canonical fixture: build a
+/// synthetic table and churn, encode both as MRT bytes, parse them
+/// back (exercising the whole codec path), and replay the result at
+/// `cfg.speed`.
+fn mrt_replay(cfg: &ScenarioConfig) -> Scenario {
+    let base = base_table(cfg);
+    let updates = UpdateGen::new(cfg.seed ^ SCHEDULE_SALT).generate(&base, cfg.updates);
+    let trace = UpdateTrace::evenly_spaced(&updates, 1);
+
+    let rib_bytes = MrtRib::from_table(&base, 1_000_000).encode();
+    let upd_bytes = MrtUpdates::from_trace(&trace, 1_000_000).encode();
+    let rib = crate::mrt::parse_rib(&rib_bytes).expect("canonical RIB fixture parses");
+    let upd = crate::mrt::parse_updates(&upd_bytes).expect("canonical update fixture parses");
+    Scenario::from_mrt(&rib, &upd, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            routes: 300,
+            updates: 400,
+            packets: 1000,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// Applying a schedule must never withdraw an absent prefix, and
+    /// must report where the table lands.
+    fn apply_all(base: &RouteTable, schedule: &UpdateTrace) -> RouteTable {
+        let mut t = base.clone();
+        for e in &schedule.events {
+            if let Update::Withdraw { prefix } = e.update {
+                assert!(
+                    t.contains(prefix),
+                    "schedule withdraws absent prefix {prefix}"
+                );
+            }
+            t.apply(e.update);
+        }
+        t
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in ScenarioKind::ALL {
+            assert_eq!(k.name().parse::<ScenarioKind>().unwrap(), k);
+        }
+        assert!("bogus".parse::<ScenarioKind>().is_err());
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = small();
+        for k in ScenarioKind::ALL {
+            let a = Scenario::build(k, &cfg);
+            let b = Scenario::build(k, &cfg);
+            assert_eq!(a.base, b.base, "{k}: base differs");
+            assert_eq!(a.schedule, b.schedule, "{k}: schedule differs");
+            assert_eq!(a.packets, b.packets, "{k}: packets differ");
+        }
+    }
+
+    #[test]
+    fn schedules_stay_consistent() {
+        let cfg = small();
+        for k in ScenarioKind::ALL {
+            let s = Scenario::build(k, &cfg);
+            assert!(!s.schedule.is_empty(), "{k}: empty schedule");
+            assert_eq!(s.packets.len(), cfg.packets, "{k}: packet count");
+            apply_all(&s.base, &s.schedule);
+        }
+    }
+
+    #[test]
+    fn flood_and_flap_restore_the_base_table() {
+        let cfg = small();
+        for k in [ScenarioKind::WithdrawFlood, ScenarioKind::FlapStorm] {
+            let s = Scenario::build(k, &cfg);
+            let end = apply_all(&s.base, &s.schedule);
+            assert_eq!(end, s.base, "{k}: final table drifted from base");
+        }
+    }
+
+    #[test]
+    fn storm_bursts_pack_to_config() {
+        let cfg = small();
+        let s = Scenario::build(ScenarioKind::UpdateStorm, &cfg);
+        assert_eq!(s.schedule.peak_per_ms(), cfg.burst.min(cfg.updates));
+    }
+
+    #[test]
+    fn ddos_concentrates_lookups() {
+        let cfg = small();
+        let s = Scenario::build(ScenarioKind::DdosSkew, &cfg);
+        // The most popular single key must dominate far beyond what the
+        // background generator would produce.
+        let mut counts = std::collections::HashMap::new();
+        for &p in &s.packets {
+            *counts.entry(p).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(max > s.packets.len() / 20, "no hot key: max={max}");
+    }
+
+    #[test]
+    fn mrt_replay_round_trips_through_the_codec() {
+        let cfg = small();
+        let s = Scenario::build(ScenarioKind::MrtReplay, &cfg);
+        // The base table must survive the MRT round trip intact (modulo
+        // next-hop renumbering, which the shared dict keeps consistent).
+        assert_eq!(s.base.len(), base_table(&cfg).len());
+        assert_eq!(s.schedule.len(), cfg.updates);
+        apply_all(&s.base, &s.schedule);
+    }
+}

@@ -1,0 +1,144 @@
+//! Timed update traces: the schedule half of a scenario.
+//!
+//! A plain `Vec<Update>` says *what* churned; replaying a real BGP feed
+//! (or an adversarial storm) also needs *when*. [`UpdateTrace`] attaches
+//! a millisecond offset to every update, relative to the trace's start,
+//! so a replay can run at recorded speed, scaled, or flat out.
+
+use clue_fib::Update;
+
+/// One update with its offset from the start of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedUpdate {
+    /// Milliseconds since the first event of the trace.
+    pub at_ms: u64,
+    /// The route update itself.
+    pub update: Update,
+}
+
+/// A timed sequence of route updates, ordered by `at_ms`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateTrace {
+    /// The events, non-decreasing in `at_ms`.
+    pub events: Vec<TimedUpdate>,
+}
+
+impl UpdateTrace {
+    /// Builds a trace from updates spaced `gap_ms` apart.
+    #[must_use]
+    pub fn evenly_spaced(updates: &[Update], gap_ms: u64) -> UpdateTrace {
+        UpdateTrace {
+            events: updates
+                .iter()
+                .enumerate()
+                .map(|(i, &update)| TimedUpdate {
+                    at_ms: i as u64 * gap_ms,
+                    update,
+                })
+                .collect(),
+        }
+    }
+
+    /// The bare updates, in schedule order (timestamps dropped).
+    #[must_use]
+    pub fn updates(&self) -> Vec<Update> {
+        self.events.iter().map(|e| e.update).collect()
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Offset of the last event (0 for an empty trace): the trace's
+    /// duration at recorded speed.
+    #[must_use]
+    pub fn duration_ms(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.at_ms)
+    }
+
+    /// The trace with every offset divided by `speed` (2.0 = twice as
+    /// fast). A non-positive `speed` collapses all offsets to zero
+    /// (replay flat out).
+    #[must_use]
+    pub fn scaled(&self, speed: f64) -> UpdateTrace {
+        UpdateTrace {
+            events: self
+                .events
+                .iter()
+                .map(|e| TimedUpdate {
+                    at_ms: if speed > 0.0 {
+                        (e.at_ms as f64 / speed).round() as u64
+                    } else {
+                        0
+                    },
+                    update: e.update,
+                })
+                .collect(),
+        }
+    }
+
+    /// Peak events in any single millisecond — the burst intensity a
+    /// replay must absorb.
+    #[must_use]
+    pub fn peak_per_ms(&self) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut at = None;
+        for e in &self.events {
+            if at == Some(e.at_ms) {
+                run += 1;
+            } else {
+                at = Some(e.at_ms);
+                run = 1;
+            }
+            best = best.max(run);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_fib::{NextHop, Prefix};
+
+    fn upd(i: u32) -> Update {
+        Update::Announce {
+            prefix: Prefix::new(i << 8, 24),
+            next_hop: NextHop(1),
+        }
+    }
+
+    #[test]
+    fn even_spacing_and_duration() {
+        let t = UpdateTrace::evenly_spaced(&[upd(1), upd(2), upd(3)], 10);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.duration_ms(), 20);
+        assert_eq!(t.updates().len(), 3);
+    }
+
+    #[test]
+    fn scaling_speeds_up_and_flattens() {
+        let t = UpdateTrace::evenly_spaced(&[upd(1), upd(2), upd(3)], 100);
+        assert_eq!(t.scaled(2.0).duration_ms(), 100);
+        assert_eq!(t.scaled(0.0).duration_ms(), 0);
+        assert_eq!(t.scaled(1.0), t);
+    }
+
+    #[test]
+    fn peak_counts_same_millisecond_runs() {
+        let mut t = UpdateTrace::evenly_spaced(&[upd(1), upd(2), upd(3)], 0);
+        assert_eq!(t.peak_per_ms(), 3);
+        t.events[2].at_ms = 5;
+        assert_eq!(t.peak_per_ms(), 2);
+        assert_eq!(UpdateTrace::default().peak_per_ms(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The MRT codec's offline guarantees, in corruption-corpus style
+//! (shared shape with `crates/store/tests/corruption.rs` and the
+//! `clue-net` frame tests):
+//!
+//! 1. **Round trip** — for canonical fixtures the codec generates,
+//!    `encode(parse(bytes)) == bytes` holds byte-for-byte, and
+//!    `parse(encode(x)) == x` holds structurally.
+//! 2. **Truncation** — any prefix of a valid stream either fails with
+//!    a clean error or parses to a shorter stream that re-encodes to
+//!    exactly the truncated input (cuts on record boundaries are valid
+//!    MRT). Never a panic.
+//! 3. **Bit flips** — every single-bit mutation either fails cleanly
+//!    or parses; never a panic.
+
+use clue_fib::gen::FibGen;
+use clue_fib::{NextHop, Prefix, RouteTable, Update};
+use clue_trace::{parse_rib, parse_updates, MrtRib, MrtUpdates, NextHopDict, UpdateTrace};
+use proptest::prelude::*;
+
+fn sample_table(seed: u64, routes: usize) -> RouteTable {
+    FibGen::new(seed).routes(routes).generate()
+}
+
+fn sample_trace(seed: u64) -> UpdateTrace {
+    let mut updates = Vec::new();
+    for i in 0..40u32 {
+        updates.push(Update::Announce {
+            prefix: Prefix::new((seed as u32).wrapping_add(i) << 12, 20),
+            next_hop: NextHop((i % 5) as u16),
+        });
+    }
+    for i in 0..10u32 {
+        updates.push(Update::Withdraw {
+            prefix: Prefix::new((seed as u32).wrapping_add(i) << 12, 20),
+        });
+    }
+    UpdateTrace::evenly_spaced(&updates, 3)
+}
+
+#[test]
+fn rib_round_trips_bytes_and_structure() {
+    for seed in [1u64, 7, 42] {
+        let table = sample_table(seed, 500);
+        let rib = MrtRib::from_table(&table, 1_700_000_000);
+        let bytes = rib.encode();
+        let parsed = parse_rib(&bytes).expect("canonical dump parses");
+        assert_eq!(parsed, rib, "seed {seed}: structure drifted");
+        assert_eq!(parsed.encode(), bytes, "seed {seed}: bytes drifted");
+
+        // And the table itself survives (next hops renumbered through
+        // the dict by first appearance in dump order).
+        let mut dict = NextHopDict::new();
+        let back = parsed.to_table(&mut dict);
+        assert_eq!(back.len(), table.len(), "seed {seed}: route count");
+        let prefixes: Vec<Prefix> = table.iter().map(|r| r.prefix).collect();
+        let back_prefixes: Vec<Prefix> = back.iter().map(|r| r.prefix).collect();
+        assert_eq!(prefixes, back_prefixes, "seed {seed}: prefixes");
+    }
+}
+
+#[test]
+fn updates_round_trip_bytes_structure_and_timing() {
+    for seed in [1u64, 9, 77] {
+        let trace = sample_trace(seed);
+        let mrt = MrtUpdates::from_trace(&trace, 1_700_000_000);
+        let bytes = mrt.encode();
+        let parsed = parse_updates(&bytes).expect("canonical stream parses");
+        assert_eq!(parsed, mrt, "seed {seed}: structure drifted");
+        assert_eq!(parsed.encode(), bytes, "seed {seed}: bytes drifted");
+
+        // Millisecond timing survives the second+microsecond split.
+        let mut dict = NextHopDict::new();
+        let back = parsed.to_trace(&mut dict);
+        assert_eq!(back.len(), trace.len(), "seed {seed}: event count");
+        let offsets: Vec<u64> = trace.events.iter().map(|e| e.at_ms).collect();
+        let back_offsets: Vec<u64> = back.events.iter().map(|e| e.at_ms).collect();
+        assert_eq!(offsets, back_offsets, "seed {seed}: timing drifted");
+    }
+}
+
+#[test]
+fn truncations_fail_cleanly_or_reencode_exactly() {
+    let rib_bytes = MrtRib::from_table(&sample_table(3, 60), 1_700_000_000).encode();
+    for cut in 0..rib_bytes.len() {
+        match parse_rib(&rib_bytes[..cut]) {
+            Err(_) => {}
+            Ok(parsed) => assert_eq!(
+                parsed.encode(),
+                &rib_bytes[..cut],
+                "truncate@{cut}: lossy accept"
+            ),
+        }
+    }
+
+    let upd_bytes = MrtUpdates::from_trace(&sample_trace(3), 1_700_000_000).encode();
+    for cut in 0..upd_bytes.len() {
+        match parse_updates(&upd_bytes[..cut]) {
+            Err(_) => {}
+            Ok(parsed) => assert_eq!(
+                parsed.encode(),
+                &upd_bytes[..cut],
+                "truncate@{cut}: lossy accept"
+            ),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    // Small fixtures keep the corpus (8 cases per byte) tractable.
+    let rib_bytes = MrtRib::from_table(&sample_table(5, 20), 1_700_000_000).encode();
+    for bit in 0..rib_bytes.len() * 8 {
+        let mut b = rib_bytes.clone();
+        b[bit / 8] ^= 1 << (bit % 8);
+        let _ = parse_rib(&b); // Err or Ok — just never a panic.
+    }
+
+    let upd_bytes = MrtUpdates::from_trace(&sample_trace(5), 1_700_000_000).encode();
+    for bit in 0..upd_bytes.len() * 8 {
+        let mut b = upd_bytes.clone();
+        b[bit / 8] ^= 1 << (bit % 8);
+        let _ = parse_updates(&b);
+    }
+}
+
+#[test]
+fn huge_length_fields_are_rejected_without_allocation() {
+    // Stamp u32::MAX over every aligned u32 slot; one of them is the
+    // record length field. A naive decoder would try to allocate or
+    // slice 4 GiB — ours must bounds-check against the remaining input.
+    let base = MrtUpdates::from_trace(&sample_trace(11), 1_700_000_000).encode();
+    for at in (0..base.len().saturating_sub(4)).step_by(4) {
+        let mut b = base.clone();
+        b[at..at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let _ = parse_updates(&b);
+        let mut b = base.clone();
+        b[at..at + 4].copy_from_slice(&0x7FFF_FFFFu32.to_be_bytes());
+        let _ = parse_updates(&b);
+    }
+}
+
+#[test]
+fn foreign_records_are_skipped_not_fatal() {
+    // Splice an unknown-type record between two valid ones: tolerant
+    // parse counts it in `skipped` and keeps everything else.
+    let mrt = MrtUpdates::from_trace(&sample_trace(13), 1_700_000_000);
+    let one = MrtUpdates {
+        messages: vec![mrt.messages[0].clone()],
+        skipped: 0,
+    };
+    let mut spliced = one.encode();
+    // MRT type 99, subtype 0, 4-byte opaque body.
+    spliced.extend_from_slice(&1_700_000_000u32.to_be_bytes());
+    spliced.extend_from_slice(&99u16.to_be_bytes());
+    spliced.extend_from_slice(&0u16.to_be_bytes());
+    spliced.extend_from_slice(&4u32.to_be_bytes());
+    spliced.extend_from_slice(&[0xAB; 4]);
+    let two = MrtUpdates {
+        messages: vec![mrt.messages[1].clone()],
+        skipped: 0,
+    };
+    spliced.extend_from_slice(&two.encode());
+
+    let parsed = parse_updates(&spliced).expect("tolerant parse");
+    assert_eq!(parsed.messages.len(), 2);
+    assert_eq!(parsed.skipped, 1);
+}
+
+proptest! {
+    /// Arbitrary update traces round-trip structurally through MRT
+    /// bytes — prefixes, next hops, and millisecond offsets intact.
+    #[test]
+    fn prop_trace_round_trip(
+        events in prop::collection::vec(
+            (any::<u32>(), 0u8..=32, 0u16..8, 0u64..5000, any::<bool>()),
+            1..50,
+        )
+    ) {
+        let mut at = 0u64;
+        let trace = UpdateTrace {
+            events: events
+                .iter()
+                .map(|&(bits, len, nh, gap, withdraw)| {
+                    at += gap;
+                    let prefix = Prefix::new(bits, len);
+                    clue_trace::TimedUpdate {
+                        at_ms: at,
+                        update: if withdraw {
+                            Update::Withdraw { prefix }
+                        } else {
+                            Update::Announce { prefix, next_hop: NextHop(nh) }
+                        },
+                    }
+                })
+                .collect(),
+        };
+        let mrt = MrtUpdates::from_trace(&trace, 1_700_000_000);
+        let bytes = mrt.encode();
+        let parsed = parse_updates(&bytes).unwrap();
+        prop_assert_eq!(parsed.encode(), bytes);
+        let mut dict = NextHopDict::new();
+        let back = parsed.to_trace(&mut dict);
+        // `to_trace` re-bases offsets on the first event.
+        let t0 = trace.events.first().map_or(0, |e| e.at_ms);
+        let original: Vec<(u64, Prefix)> = trace
+            .events
+            .iter()
+            .map(|e| (e.at_ms - t0, match e.update {
+                Update::Announce { prefix, .. } | Update::Withdraw { prefix } => prefix,
+            }))
+            .collect();
+        let returned: Vec<(u64, Prefix)> = back
+            .events
+            .iter()
+            .map(|e| (e.at_ms, match e.update {
+                Update::Announce { prefix, .. } | Update::Withdraw { prefix } => prefix,
+            }))
+            .collect();
+        prop_assert_eq!(original, returned);
+    }
+}

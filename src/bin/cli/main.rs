@@ -9,7 +9,14 @@
 //! clue simulate     --fib fib.txt --packets trace.txt [--chips N] [--dred N]
 //!                   [--fifo N] [--service N] [--scheme clue|clpl] [--adversarial true]
 //! clue replay       --fib fib.txt --updates updates.txt [--pipeline clue|clpl] [--window N]
-//! clue replay       --data-dir DIR            (journal inspection: snapshot + WAL records)
+//! clue replay       --data-dir DIR [--json true]   (journal inspection: snapshot + WAL records)
+//! clue trace gen    --out-rib rib.mrt --out-updates upd.mrt [--seed S] [--routes N]
+//!                   [--updates N]             (canonical MRT fixtures, round-trip verified)
+//! clue trace info   --scenario NAME | --rib rib.mrt [--updates-mrt upd.mrt]
+//!                   [--seed S] [--routes N] [--updates N] [--packets N]
+//!                   [--export-fib F] [--export-updates F] [--export-packets F]
+//! clue trace replay --scenario NAME | --rib rib.mrt --updates-mrt upd.mrt
+//!                   [--speed X] [--addr HOST:PORT] [--workers N] [--dred N] [--batch K]
 //! clue serve        --fib fib.txt --packets trace.txt --updates updates.txt [--workers N]
 //!                   [--dred N] [--fifo N] [--batch K] [--queue N] [--overflow block|drop]
 //!                   [--stats-ms N] [--backend tcam|trie|cfib]
@@ -29,13 +36,14 @@
 //! clue restore      --data-dir DIR [--fib out.txt] [--verify-fib fib.txt
 //!                   --verify-updates updates.txt]
 //! clue loadgen      --addr HOST:PORT [--packets trace.txt] [--updates updates.txt]
+//!                   [--scenario NAME] [--seed S] [--routes N]
 //!                   [--rate PPS] [--update-rate UPS] [--threads N]
 //!                   [--lookup-batch K] [--update-batch K]
 //!                   [--connections N]         (swarm mode: N concurrent reactor clients)
 //! clue stats        --addr HOST:PORT
 //! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
 //!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
-//!                   [--net on|off] [--recovery on|off] [--shards N]
+//!                   [--net on|off] [--recovery on|off] [--shards N] [--scenario NAME]
 //!                   [--backend tcam|trie|cfib] [--transport threads|evloop]
 //!                   [--out repro.txt] [--replay repro.txt]
 //! ```
@@ -67,12 +75,16 @@ use clue::net::{
     ServerConfig, SwarmConfig, Transport,
 };
 use clue::oracle::harness;
-use clue::oracle::{run_check, CheckConfig, Reproducer};
+use clue::oracle::{run_check, run_scenario_check, CheckConfig, Reproducer};
 use clue::partition::{
     EvenRangePartition, IdBitPartition, Indexer, PartitionStats, SubTreePartition,
 };
 use clue::router::{FaultPlan, OverflowPolicy, RouterConfig, RouterService};
 use clue::store::{Store, StoreConfig};
+use clue::trace::{
+    parse_rib, parse_updates, MrtRib, MrtUpdates, Scenario, ScenarioConfig, ScenarioKind,
+    UpdateTrace,
+};
 use clue::traffic::workload::{adversarial_mapping, profile};
 use clue::traffic::{PacketGen, UpdateGen};
 
@@ -88,7 +100,13 @@ commands:
   simulate      run the parallel lookup engine      (--fib --packets; --chips --dred
                                                      --fifo --service --scheme --adversarial)
   replay        replay updates through a pipeline   (--fib --updates; --pipeline --window)
-                or inspect a data dir's journal     (--data-dir)
+                or inspect a data dir's journal     (--data-dir; --json)
+  trace         MRT fixtures and named scenarios    (gen|info|replay; --scenario --rib
+                generate round-trip-verified MRT,    --updates-mrt --out-rib --out-updates
+                describe/export a workload, or       --seed --routes --updates --packets
+                replay it offline or over the wire   --speed --addr --workers --dred --batch
+                                                     --export-fib --export-updates
+                                                     --export-packets)
   serve         run the live concurrent router      (--fib --packets --updates; --workers
                 file-driven, or networked           --dred --fifo --batch --queue
                 with --listen HOST:PORT,             --overflow --stats-ms --listen
@@ -106,16 +124,17 @@ commands:
                 fresh snapshot and prune the WAL
   restore       recover a data dir offline and      (--data-dir; --fib --verify-fib
                 report/export/verify the state       --verify-updates)
-  loadgen       offer a workload to a server        (--addr; --packets --updates --rate
-                over TCP at a target rate, or        --update-rate --threads
-                swarm N concurrent connections       --lookup-batch --update-batch
+  loadgen       offer a workload to a server        (--addr; --packets --updates --scenario
+                over TCP at a target rate, or        --seed --routes --rate --update-rate
+                swarm N concurrent connections       --threads --lookup-batch --update-batch
                                                      --connections)
   stats         query a running server's counters   (--addr)
   check         differential conformance check      (--seed --updates --routes --batch
-                against the naive oracle             --chips --dred --packets --faults
-                                                     --fault-seed --net --recovery
-                                                     --shards --backend --transport
-                                                     --out --replay)
+                against the naive oracle, or a       --chips --dred --packets --faults
+                named adversarial scenario with      --fault-seed --net --recovery
+                --scenario (update-storm,            --shards --scenario --backend
+                withdraw-flood, flap-storm,          --transport --out --replay)
+                ddos-skew, mrt-replay)
 
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
@@ -146,6 +165,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), ArgError> {
         "partition" => partition(args),
         "simulate" => simulate(args),
         "replay" => replay(args),
+        "trace" => trace_cmd(args),
         "serve" => serve(args),
         "shardmap" => shardmap(args),
         "proxy" => proxy(args),
@@ -468,10 +488,15 @@ fn load_updates(path: &str) -> Result<Vec<Update>, ArgError> {
 
 fn replay(args: &Args) -> Result<(), ArgError> {
     args.check_known(&[
-        "fib", "updates", "pipeline", "window", "chips", "dred", "data-dir",
+        "fib", "updates", "pipeline", "window", "chips", "dred", "data-dir", "json",
     ])?;
     if let Some(dir) = args.optional("data-dir") {
-        return replay_journal(dir);
+        return replay_journal(dir, args.get_or("json", false)?);
+    }
+    if args.optional("json").is_some() {
+        return Err(ArgError(
+            "--json applies to --data-dir journal inspection".into(),
+        ));
     }
     let fib = load_fib(args.required("fib")?)?;
     let updates = load_updates(args.required("updates")?)?;
@@ -1252,8 +1277,11 @@ fn restore(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `clue replay --data-dir`: journal inspection — print the base
-/// snapshot and every decodable WAL record after it.
-fn replay_journal(dir: &str) -> Result<(), ArgError> {
+/// snapshot and every decodable WAL record after it. With `--json
+/// true` the same information is emitted as JSON Lines: one
+/// `"snapshot"` object, one `"record"` object per WAL record, one
+/// `"summary"` object — machine-diffable without scraping the table.
+fn replay_journal(dir: &str, json: bool) -> Result<(), ArgError> {
     let path = std::path::Path::new(dir);
     let snaps = clue::store::list_snapshots(path).map_err(|e| io_err(dir, &e))?;
     let mut base = None;
@@ -1269,24 +1297,52 @@ fn replay_journal(dir: &str) -> Result<(), ArgError> {
     }
     let (snap_path, snap) =
         base.ok_or_else(|| ArgError(format!("{dir} holds no valid snapshot")))?;
-    println!(
-        "{}: {} routes ({} compressed), epoch {}, seq high-water {}, raw updates {}, {} chips",
-        snap_path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("?"),
-        snap.table.len(),
-        snap.compressed.len(),
-        snap.epoch,
-        snap.seq_hw,
-        snap.raw_total,
-        snap.chips,
-    );
-    if skipped > 0 {
-        println!("({skipped} newer corrupt snapshot(s) skipped)");
+    let snap_name = snap_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("?");
+    if json {
+        println!(
+            "{{\"kind\":\"snapshot\",\"file\":\"{snap_name}\",\"routes\":{},\
+             \"compressed\":{},\"epoch\":{},\"seq_hw\":{},\"raw_total\":{},\
+             \"chips\":{},\"jseq\":{},\"corrupt_skipped\":{skipped}}}",
+            snap.table.len(),
+            snap.compressed.len(),
+            snap.epoch,
+            snap.seq_hw,
+            snap.raw_total,
+            snap.chips,
+            snap.jseq,
+        );
+    } else {
+        println!(
+            "{snap_name}: {} routes ({} compressed), epoch {}, seq high-water {}, \
+             raw updates {}, {} chips",
+            snap.table.len(),
+            snap.compressed.len(),
+            snap.epoch,
+            snap.seq_hw,
+            snap.raw_total,
+            snap.chips,
+        );
+        if skipped > 0 {
+            println!("({skipped} newer corrupt snapshot(s) skipped)");
+        }
     }
     let scan = clue::store::scan_dir(path, snap.jseq).map_err(|e| io_err(dir, &e))?;
-    if !scan.records.is_empty() {
+    if json {
+        for rec in &scan.records {
+            println!(
+                "{{\"kind\":\"record\",\"jseq\":{},\"epoch\":{},\"seq_hw\":{},\
+                 \"raw\":{},\"ops\":{}}}",
+                rec.jseq,
+                rec.epoch,
+                rec.seq_hw,
+                rec.raw,
+                rec.ops.len()
+            );
+        }
+    } else if !scan.records.is_empty() {
         println!(
             "{:>8} {:>8} {:>10} {:>6} {:>6}",
             "jseq", "epoch", "seq_hw", "raw", "ops"
@@ -1303,16 +1359,25 @@ fn replay_journal(dir: &str) -> Result<(), ArgError> {
         }
     }
     let raw: u64 = scan.records.iter().map(|r| u64::from(r.raw)).sum();
-    println!(
-        "{} journal records after the snapshot ({} raw updates){}",
-        scan.records.len(),
-        raw,
-        if scan.truncated {
-            "; tail truncated at the last valid record"
-        } else {
-            ""
-        },
-    );
+    if json {
+        println!(
+            "{{\"kind\":\"summary\",\"records\":{},\"raw_updates\":{raw},\
+             \"truncated\":{}}}",
+            scan.records.len(),
+            scan.truncated,
+        );
+    } else {
+        println!(
+            "{} journal records after the snapshot ({} raw updates){}",
+            scan.records.len(),
+            raw,
+            if scan.truncated {
+                "; tail truncated at the last valid record"
+            } else {
+                ""
+            },
+        );
+    }
     Ok(())
 }
 
@@ -1321,6 +1386,9 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
         "addr",
         "packets",
         "updates",
+        "scenario",
+        "seed",
+        "routes",
         "rate",
         "update-rate",
         "threads",
@@ -1329,17 +1397,50 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
         "connections",
     ])?;
     let addr = args.required("addr")?;
-    let packets = match args.optional("packets") {
-        Some(path) => load_packets(path)?,
-        None => Vec::new(),
-    };
-    let updates = match args.optional("updates") {
-        Some(path) => load_updates(path)?,
-        None => Vec::new(),
+    let (packets, updates) = if let Some(name) = args.optional("scenario") {
+        for bad in ["packets", "updates"] {
+            if args.optional(bad).is_some() {
+                return Err(ArgError(format!(
+                    "--{bad} loads a trace file; it conflicts with --scenario"
+                )));
+            }
+        }
+        let kind: ScenarioKind = name.parse().map_err(ArgError)?;
+        let d = ScenarioConfig::default();
+        let cfg = ScenarioConfig {
+            seed: args.get_or("seed", d.seed)?,
+            routes: args.get_or("routes", d.routes)?,
+            ..d
+        };
+        let s = Scenario::build(kind, &cfg);
+        eprintln!(
+            "scenario {kind}: {} updates + {} lookups over a {}-route base \
+             (install it with `clue trace info --scenario {kind} --export-fib ...`)",
+            s.schedule.len(),
+            s.packets.len(),
+            s.base.len(),
+        );
+        let ups = s.updates();
+        (s.packets, ups)
+    } else {
+        for bad in ["seed", "routes"] {
+            if args.optional(bad).is_some() {
+                return Err(ArgError(format!("--{bad} applies to --scenario workloads")));
+            }
+        }
+        let packets = match args.optional("packets") {
+            Some(path) => load_packets(path)?,
+            None => Vec::new(),
+        };
+        let updates = match args.optional("updates") {
+            Some(path) => load_updates(path)?,
+            None => Vec::new(),
+        };
+        (packets, updates)
     };
     if packets.is_empty() && updates.is_empty() {
         return Err(ArgError(
-            "nothing to offer: give --packets and/or --updates".into(),
+            "nothing to offer: give --packets, --updates, or --scenario".into(),
         ));
     }
     let connections: usize = args.get_or("connections", 0)?;
@@ -1394,6 +1495,12 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
         updates.len(),
     );
     let report = run_load(&packets, &updates, &cfg).map_err(|e| io_err(addr, &e))?;
+    if report.dial_errors > 0 {
+        eprintln!(
+            "warning: {} worker dial(s) failed; their share of the workload went unoffered",
+            report.dial_errors
+        );
+    }
     println!("{}", report.to_json());
     Ok(())
 }
@@ -1475,6 +1582,7 @@ fn check(args: &Args) -> Result<(), ArgError> {
         "net",
         "recovery",
         "shards",
+        "scenario",
         "out",
         "replay",
         "backend",
@@ -1536,6 +1644,10 @@ fn check(args: &Args) -> Result<(), ArgError> {
             }
             Err(d) => Err(ArgError(format!("reproducer still diverges: {d}"))),
         };
+    }
+
+    if let Some(name) = args.optional("scenario") {
+        return check_scenario(args, &cfg, name);
     }
 
     println!(
@@ -1601,4 +1713,379 @@ fn check(args: &Args) -> Result<(), ArgError> {
             )))
         }
     }
+}
+
+/// `clue check --scenario NAME`: the adversarial-scenario phase on its
+/// own — sequential differential check on every backend, then a live
+/// replay per backend over loopback TCP (and a sharded pass with
+/// `--shards N`). Failures minimize into the same reproducer format as
+/// the generic check.
+fn check_scenario(args: &Args, cfg: &CheckConfig, name: &str) -> Result<(), ArgError> {
+    let kind: ScenarioKind = name.parse().map_err(ArgError)?;
+    println!(
+        "scenario check: {kind}, seed {}, {} routes, ~{} updates (batch {}), \
+         {} packets, faults {}, shards {}",
+        cfg.seed,
+        cfg.routes,
+        cfg.updates,
+        cfg.batch,
+        cfg.packets,
+        if cfg.faults.is_some() { "on" } else { "off" },
+        cfg.shards,
+    );
+    match run_scenario_check(cfg, kind) {
+        Ok(o) => {
+            println!(
+                "PASS: {} batches checked, {} oracle probes agreed, {} updates applied",
+                o.batches, o.probes, o.applied,
+            );
+            println!(
+                "live replay: {} backend runs, {} wire lookups, {} settled probes, \
+                 zero lost acks",
+                o.live_runs, o.live_lookups, o.live_probes,
+            );
+            if o.shards > 0 {
+                println!(
+                    "sharded replay: {} shards, {} proxied lookups agreed",
+                    o.shards, o.shard_lookups,
+                );
+            }
+            Ok(())
+        }
+        Err(failure) => {
+            eprintln!("FAIL: {}", failure.divergence);
+            eprintln!(
+                "minimizing a {}-update trace (this re-runs the failing phase)...",
+                failure.trace.len()
+            );
+            let repro = harness::minimize_failure(&failure, cfg);
+            let out = args.optional("out").unwrap_or("clue-reproducer.txt");
+            write_file(out, &repro.to_text())?;
+            eprintln!(
+                "wrote minimized reproducer ({} routes, {} updates) to {out}; \
+                 replay it with `clue check --replay {out}`",
+                repro.table.len(),
+                repro.trace.len()
+            );
+            Err(ArgError(format!(
+                "scenario divergence: {}",
+                failure.divergence
+            )))
+        }
+    }
+}
+
+/// `clue trace <gen|info|replay>`: MRT fixtures and named scenarios.
+fn trace_cmd(args: &Args) -> Result<(), ArgError> {
+    match args.positionals() {
+        [action] => match action.as_str() {
+            "gen" => trace_gen(args),
+            "info" => trace_info(args),
+            "replay" => trace_replay(args),
+            other => Err(ArgError(format!(
+                "unknown trace action {other:?} (gen|info|replay)"
+            ))),
+        },
+        [] => Err(ArgError("trace needs an action: gen|info|replay".into())),
+        more => Err(ArgError(format!(
+            "trace takes exactly one action, got {more:?}"
+        ))),
+    }
+}
+
+/// Builds the scenario a `trace` action operates on: either a named
+/// synthetic workload (`--scenario`) or real MRT bytes (`--rib`, with
+/// an optional `--updates-mrt` stream). Shared by `info` and `replay`.
+fn scenario_from_args(args: &Args) -> Result<Scenario, ArgError> {
+    let d = ScenarioConfig::default();
+    let cfg = ScenarioConfig {
+        seed: args.get_or("seed", d.seed)?,
+        routes: args.get_or("routes", d.routes)?,
+        updates: args.get_or("updates", d.updates)?,
+        packets: args.get_or("packets", d.packets)?,
+        ..d
+    };
+    match (args.optional("scenario"), args.optional("rib")) {
+        (Some(_), Some(_)) => Err(ArgError(
+            "--scenario and --rib are mutually exclusive".into(),
+        )),
+        (Some(name), None) => {
+            if args.optional("updates-mrt").is_some() {
+                return Err(ArgError(
+                    "--updates-mrt pairs with --rib, not --scenario".into(),
+                ));
+            }
+            let kind: ScenarioKind = name.parse().map_err(ArgError)?;
+            Ok(Scenario::build(kind, &cfg))
+        }
+        (None, Some(rib_path)) => {
+            let bytes = std::fs::read(rib_path).map_err(|e| io_err(rib_path, &e))?;
+            let rib = parse_rib(&bytes).map_err(|e| ArgError(format!("{rib_path}: {e}")))?;
+            let upd = match args.optional("updates-mrt") {
+                Some(p) => {
+                    let b = std::fs::read(p).map_err(|e| io_err(p, &e))?;
+                    parse_updates(&b).map_err(|e| ArgError(format!("{p}: {e}")))?
+                }
+                None => MrtUpdates {
+                    messages: Vec::new(),
+                    skipped: 0,
+                },
+            };
+            if rib.skipped > 0 || upd.skipped > 0 {
+                eprintln!(
+                    "(skipped {} foreign RIB record(s), {} foreign update record(s))",
+                    rib.skipped, upd.skipped,
+                );
+            }
+            Ok(Scenario::from_mrt(&rib, &upd, &cfg))
+        }
+        (None, None) => Err(ArgError("give --scenario NAME or --rib FILE".into())),
+    }
+}
+
+/// `clue trace gen`: write a canonical MRT RIB dump + update stream
+/// for a synthetic table, verifying `encode → parse → encode` is
+/// byte-identical before anything touches disk.
+fn trace_gen(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["out-rib", "out-updates", "seed", "routes", "updates"])?;
+    let out_rib = args.required("out-rib")?;
+    let out_updates = args.required("out-updates")?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let routes: usize = args.get_or("routes", 2_000)?;
+    let count: usize = args.get_or("updates", 5_000)?;
+
+    let table = FibGen::new(seed).routes(routes).generate();
+    let updates = UpdateGen::new(seed ^ 0x3A7E).generate(&table, count);
+    let trace = UpdateTrace::evenly_spaced(&updates, 1);
+    const BASE_TS: u32 = 1_700_000_000;
+    let rib_bytes = MrtRib::from_table(&table, BASE_TS).encode();
+    let upd_bytes = MrtUpdates::from_trace(&trace, BASE_TS).encode();
+
+    let reparsed = parse_rib(&rib_bytes).map_err(|e| ArgError(format!("rib round-trip: {e}")))?;
+    if reparsed.encode() != rib_bytes {
+        return Err(ArgError("rib round-trip: re-encode differs".into()));
+    }
+    let reparsed =
+        parse_updates(&upd_bytes).map_err(|e| ArgError(format!("updates round-trip: {e}")))?;
+    if reparsed.encode() != upd_bytes {
+        return Err(ArgError("updates round-trip: re-encode differs".into()));
+    }
+
+    std::fs::write(out_rib, &rib_bytes).map_err(|e| io_err(out_rib, &e))?;
+    std::fs::write(out_updates, &upd_bytes).map_err(|e| io_err(out_updates, &e))?;
+    println!(
+        "wrote {} routes to {out_rib} ({} bytes) and {} updates to {out_updates} \
+         ({} bytes); both round-trip verified",
+        table.len(),
+        rib_bytes.len(),
+        trace.len(),
+        upd_bytes.len(),
+    );
+    Ok(())
+}
+
+/// `clue trace info`: describe a workload and optionally export its
+/// pieces in the plain-text formats the rest of the CLI consumes.
+fn trace_info(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "scenario",
+        "rib",
+        "updates-mrt",
+        "seed",
+        "routes",
+        "updates",
+        "packets",
+        "export-fib",
+        "export-updates",
+        "export-packets",
+    ])?;
+    let scenario = scenario_from_args(args)?;
+    println!("{}", scenario.describe());
+    if let Some(path) = args.optional("export-fib") {
+        write_file(path, &scenario.base.to_text())?;
+        println!("wrote {} routes to {path}", scenario.base.len());
+    }
+    if let Some(path) = args.optional("export-updates") {
+        let mut text = String::new();
+        for u in scenario.updates() {
+            text.push_str(&u.to_string());
+            text.push('\n');
+        }
+        write_file(path, &text)?;
+        println!("wrote {} updates to {path}", scenario.schedule.len());
+    }
+    if let Some(path) = args.optional("export-packets") {
+        let mut text = String::with_capacity(scenario.packets.len() * 16);
+        for &addr in &scenario.packets {
+            let o = addr.to_be_bytes();
+            text.push_str(&format!("{}.{}.{}.{}\n", o[0], o[1], o[2], o[3]));
+        }
+        write_file(path, &text)?;
+        println!("wrote {} packets to {path}", scenario.packets.len());
+    }
+    Ok(())
+}
+
+/// `clue trace replay`: drive a workload's timed schedule at recorded
+/// (or `--speed`-scaled) pace — against an in-process router by
+/// default, or over the wire with `--addr` (the server must already
+/// hold the scenario's base table; see `trace info --export-fib`).
+fn trace_replay(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "scenario",
+        "rib",
+        "updates-mrt",
+        "seed",
+        "routes",
+        "updates",
+        "packets",
+        "speed",
+        "addr",
+        "workers",
+        "dred",
+        "batch",
+    ])?;
+    let scenario = scenario_from_args(args)?;
+    let speed: f64 = args.get_or("speed", 1.0)?;
+    let schedule = scenario.schedule.scaled(speed);
+    let batch: usize = args.get_or("batch", 64)?;
+    if batch == 0 {
+        return Err(ArgError("--batch must be positive".into()));
+    }
+    println!("{}", scenario.describe());
+    println!(
+        "replaying {} events over {} ms (speed {speed}x)",
+        schedule.len(),
+        schedule.duration_ms(),
+    );
+    match args.optional("addr") {
+        None => trace_replay_local(args, &scenario, &schedule, batch),
+        Some(addr) => trace_replay_wire(addr, &scenario, &schedule, batch),
+    }
+}
+
+/// Sleeps until `at_ms` past `t0` (no-op once the deadline has passed).
+fn pace(t0: std::time::Instant, at_ms: u64) {
+    let due = std::time::Duration::from_millis(at_ms);
+    if let Some(wait) = due.checked_sub(t0.elapsed()) {
+        std::thread::sleep(wait);
+    }
+}
+
+/// Offline replay: an in-process [`RouterService`] seeded with the
+/// scenario's base table, the schedule submitted at pace, then the
+/// packet trace looked up in batches.
+fn trace_replay_local(
+    args: &Args,
+    scenario: &Scenario,
+    schedule: &UpdateTrace,
+    batch: usize,
+) -> Result<(), ArgError> {
+    let cfg = RouterConfig {
+        workers: args.get_or("workers", 4)?,
+        dred_capacity: args.get_or("dred", 1024)?,
+        batch_size: batch,
+        ..RouterConfig::default()
+    };
+    if cfg.workers == 0 || cfg.dred_capacity == 0 {
+        return Err(ArgError("all sizes must be positive".into()));
+    }
+    let svc = RouterService::start(&scenario.base, &cfg);
+    let t0 = std::time::Instant::now();
+    let mut dropped = 0usize;
+    for ev in &schedule.events {
+        pace(t0, ev.at_ms);
+        if svc.submit_update(ev.update) == clue::router::SubmitOutcome::Dropped {
+            dropped += 1;
+        }
+    }
+    let fed = t0.elapsed();
+    let mut answered = 0usize;
+    let mut hits = 0usize;
+    for chunk in scenario.packets.chunks(batch) {
+        let answers = svc.lookup_batch(chunk.to_vec());
+        hits += answers.iter().filter(|a| a.is_some()).count();
+        answered += answers.len();
+    }
+    let total = t0.elapsed();
+    let s = svc.stats();
+    println!(
+        "schedule fed in {:.1} ms ({dropped} dropped); {answered} lookups \
+         ({hits} hits) done at {:.1} ms",
+        fed.as_secs_f64() * 1e3,
+        total.as_secs_f64() * 1e3,
+    );
+    println!(
+        "router: {} received -> {} applied (coalesce ratio {:.3}), {} batches, \
+         {} epochs, {} arrivals / {} completions",
+        s.updates_received,
+        s.updates_applied,
+        s.coalesce_ratio,
+        s.batches,
+        s.epochs,
+        s.arrivals,
+        s.completions,
+    );
+    let lookup_rate = if total.as_secs_f64() > 0.0 {
+        answered as f64 / total.as_secs_f64()
+    } else {
+        0.0
+    };
+    println!("throughput: {lookup_rate:.0} lookups/sec end to end");
+    let _ = svc.drain();
+    Ok(())
+}
+
+/// Wire replay: the schedule pushed over one TCP connection at pace
+/// (batches flushed at timing gaps), then the packet trace swept.
+fn trace_replay_wire(
+    addr: &str,
+    scenario: &Scenario,
+    schedule: &UpdateTrace,
+    batch: usize,
+) -> Result<(), ArgError> {
+    let mut conn =
+        Connection::connect(ClientConfig::to_addr(addr)).map_err(|e| io_err(addr, &e))?;
+    let t0 = std::time::Instant::now();
+    let mut pending: Vec<Update> = Vec::new();
+    let mut due_ms = 0u64;
+    for ev in &schedule.events {
+        if ev.at_ms != due_ms && !pending.is_empty() {
+            pace(t0, due_ms);
+            conn.send_updates(&pending).map_err(|e| io_err(addr, &e))?;
+            pending.clear();
+        }
+        due_ms = ev.at_ms;
+        pending.push(ev.update);
+        if pending.len() >= batch {
+            pace(t0, due_ms);
+            conn.send_updates(&pending).map_err(|e| io_err(addr, &e))?;
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        pace(t0, due_ms);
+        conn.send_updates(&pending).map_err(|e| io_err(addr, &e))?;
+    }
+    conn.flush_acks().map_err(|e| io_err(addr, &e))?;
+    let fed = t0.elapsed();
+    let mut answered = 0usize;
+    let mut hits = 0usize;
+    for chunk in scenario.packets.chunks(batch) {
+        let answers = conn.lookup(chunk).map_err(|e| io_err(addr, &e))?;
+        hits += answers.iter().filter(|a| a.is_some()).count();
+        answered += answers.len();
+    }
+    let total = t0.elapsed();
+    let report = conn.close().map_err(|e| io_err(addr, &e))?;
+    println!(
+        "schedule fed in {:.1} ms; {answered} lookups ({hits} hits) done at {:.1} ms",
+        fed.as_secs_f64() * 1e3,
+        total.as_secs_f64() * 1e3,
+    );
+    println!(
+        "client: {} accepted, {} dropped, {} reconnects, last acked seq {}",
+        report.accepted, report.dropped, report.reconnects, report.last_acked,
+    );
+    Ok(())
 }

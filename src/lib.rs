@@ -19,6 +19,7 @@
 //! | [`net`] | `clue-net` | wire protocol, TCP server/client, load generator |
 //! | [`store`] | `clue-store` | write-ahead journal, snapshots, crash recovery |
 //! | [`cluster`] | `clue-cluster` | shard map, proxy tier, WAL-shipping replication, failover |
+//! | [`trace`] | `clue-trace` | MRT (RFC 6396) ingestion + adversarial scenario engine |
 //! | [`oracle`] | `clue-oracle` | differential conformance oracle + fault-injection harness |
 //!
 //! # Quickstart
@@ -60,4 +61,5 @@ pub use clue_partition as partition;
 pub use clue_router as router;
 pub use clue_store as store;
 pub use clue_tcam as tcam;
+pub use clue_trace as trace;
 pub use clue_traffic as traffic;
