@@ -1,8 +1,11 @@
 //! Machine-readable connection-scaling numbers: transport ×
 //! connection count → lookups/sec, lookup latency percentiles, update
-//! ack latency, and loss counters (which must be zero). Emitted as
-//! `BENCH_connections.json` for CI artifacts and regression diffing
-//! (schema `clue-bench-connections/1`, documented in DESIGN.md §3).
+//! ack latency, and loss counters (which must be zero) — plus an
+//! offered-load × connections sweep where the swarm paces itself to a
+//! target aggregate rate and the achieved rate is reported against it.
+//! Emitted as `BENCH_connections.json` for CI artifacts and regression
+//! diffing (schema `clue-bench-connections/2`, documented in DESIGN.md
+//! §3).
 //!
 //! The swarm client multiplexes every connection on one reactor and
 //! holds all handshakes until the last dial resolves, so a point at N
@@ -42,6 +45,9 @@ fn server_cfg(transport: Transport) -> ServerConfig {
 struct Point {
     transport: Transport,
     connections: usize,
+    /// Target offered load in lookups/sec; 0.0 means closed-loop (the
+    /// swarm sends as fast as answers come back).
+    offered_per_sec: f64,
     report: SwarmReport,
 }
 
@@ -49,7 +55,8 @@ impl Point {
     fn to_json(&self) -> String {
         let r = &self.report;
         format!(
-            "{{\"transport\":\"{}\",\"connections\":{},\"connected\":{},\"peak_open\":{},\
+            "{{\"transport\":\"{}\",\"connections\":{},\"offered_per_sec\":{:.1},\
+             \"connected\":{},\"peak_open\":{},\
              \"lookups_sent\":{},\"lookups_per_sec\":{:.1},\
              \"lookup_p50_us\":{:.1},\"lookup_p99_us\":{:.1},\
              \"ack_p50_us\":{:.1},\"ack_p99_us\":{:.1},\
@@ -57,6 +64,7 @@ impl Point {
              \"errors\":{},\"elapsed_ms\":{}}}",
             self.transport.name(),
             self.connections,
+            self.offered_per_sec,
             r.connected,
             r.peak_open,
             r.lookups_sent,
@@ -74,23 +82,34 @@ impl Point {
     }
 }
 
-/// One transport × connection-count point: fresh server, full swarm,
-/// clean drain. Panics on any lost answer/ack — loss is a correctness
-/// failure, not a slow result.
+/// One transport × connection-count × offered-load point: fresh
+/// server, full swarm, clean drain. `offered` 0.0 runs closed-loop; a
+/// positive target is converted into the per-connection inter-frame
+/// gap that offers roughly that many lookups/sec in aggregate. Panics
+/// on any lost answer/ack — loss is a correctness failure, not a slow
+/// result.
 fn point(
     rib: &RouteTable,
     addrs: &[u32],
     updates: &[clue_fib::Update],
     t: Transport,
     n: usize,
+    offered: f64,
 ) -> Point {
+    let batch = 16usize;
+    let gap = if offered > 0.0 {
+        Duration::from_secs_f64((n * batch) as f64 / offered)
+    } else {
+        Duration::ZERO
+    };
     let server = Server::start(rib, &server_cfg(t)).expect("server boots");
     let cfg = SwarmConfig {
         addr: server.local_addr().to_string(),
         connections: n,
-        lookup_batch: 16,
+        lookup_batch: batch,
         rounds: 4,
         updates_per_conn: 2,
+        gap,
         ..SwarmConfig::default()
     };
     let report = run_swarm(&cfg, addrs, updates).expect("swarm runs");
@@ -100,9 +119,14 @@ fn point(
     assert_eq!(report.lost_answers(), 0, "{t} at {n}: lost answers");
     assert_eq!(report.lost_acks(), 0, "{t} at {n}: lost acks");
     server.drain().expect("server drains");
+    let load = if offered > 0.0 {
+        format!("{offered:>9.0}/s offered")
+    } else {
+        "closed-loop".to_owned()
+    };
     println!(
-        "{:>7} x {:>5} conns: {:>9.0} lookups/s | p50 {:>6.0} us | p99 {:>7.0} us | \
-         ack p99 {:>7.0} us | 0 lost",
+        "{:>7} x {:>5} conns ({load:>17}): {:>9.0} lookups/s | p50 {:>6.0} us | \
+         p99 {:>7.0} us | ack p99 {:>7.0} us | 0 lost",
         t.name(),
         n,
         report.lookups_per_sec(),
@@ -113,6 +137,7 @@ fn point(
     Point {
         transport: t,
         connections: n,
+        offered_per_sec: offered,
         report,
     }
 }
@@ -140,10 +165,22 @@ fn main() {
 
     let mut points: Vec<Point> = Vec::new();
     for &n in &threads_ladder {
-        points.push(point(&rib, &addrs, &updates, Transport::Threads, n));
+        points.push(point(&rib, &addrs, &updates, Transport::Threads, n, 0.0));
     }
     for &n in &evloop_ladder {
-        points.push(point(&rib, &addrs, &updates, Transport::Evloop, n));
+        points.push(point(&rib, &addrs, &updates, Transport::Evloop, n, 0.0));
+    }
+
+    // Offered-load x connections sweep: the same evloop swarm paced to
+    // fixed aggregate rates, showing achieved tracking offered while
+    // under capacity (and the zero-loss invariant holding throughout).
+    let mut sweep_conns = vec![conns(64), conns(256)];
+    sweep_conns.dedup();
+    let sweep_loads = [(25_000.0 * s).max(500.0), (100_000.0 * s).max(2_000.0)];
+    for &n in &sweep_conns {
+        for &offered in &sweep_loads {
+            points.push(point(&rib, &addrs, &updates, Transport::Evloop, n, offered));
+        }
     }
 
     let threads_max = *threads_ladder.iter().max().expect("nonempty ladder");
@@ -151,10 +188,22 @@ fn main() {
     let rate_at = |t: Transport, n: usize| {
         points
             .iter()
-            .find(|p| p.transport == t && p.connections == n)
+            .find(|p| p.transport == t && p.connections == n && p.offered_per_sec == 0.0)
             .map(|p| p.report.lookups_per_sec())
             .unwrap_or(0.0)
     };
+    // Achieved/offered at the heaviest paced point: pacing adds the
+    // round trip on top of the gap, so this sits below (but near) 1.0
+    // whenever the server is under capacity.
+    let paced_ratio = points
+        .iter()
+        .filter(|p| p.offered_per_sec > 0.0)
+        .max_by(|a, b| {
+            (a.offered_per_sec * a.connections as f64)
+                .total_cmp(&(b.offered_per_sec * b.connections as f64))
+        })
+        .map(|p| p.report.lookups_per_sec() / p.offered_per_sec)
+        .unwrap_or(0.0);
     let shared = conns(256);
     println!(
         "headline: evloop holds {evloop_max} concurrent clients ({:.1}x the threaded \
@@ -166,18 +215,23 @@ fn main() {
 
     let body: Vec<String> = points.iter().map(Point::to_json).collect();
     let json = format!(
-        "{{\"schema\":\"clue-bench-connections/1\",\"scale\":{s},\"routes\":{},\
+        "{{\"schema\":\"clue-bench-connections/2\",\"scale\":{s},\"routes\":{},\
          \"points\":[{}],\
          \"headline\":{{\"threads_max_connections\":{threads_max},\
          \"evloop_max_connections\":{evloop_max},\
          \"connection_ratio\":{:.2},\
          \"shared_count\":{shared},\
          \"throughput_ratio_at_shared\":{:.3},\
+         \"paced_achieved_over_offered\":{paced_ratio:.3},\
          \"evloop_zero_loss_at_max\":true}}}}",
         rib.len(),
         body.join(","),
         evloop_max as f64 / threads_max as f64,
         rate_at(Transport::Evloop, shared) / rate_at(Transport::Threads, shared).max(1e-9),
+    );
+    println!(
+        "load sweep: heaviest paced point achieved {:.0}% of its offered rate with zero loss",
+        paced_ratio * 100.0
     );
     let path = std::env::var("CLUE_BENCH_CONNECTIONS_JSON")
         .unwrap_or_else(|_| "BENCH_connections.json".to_owned());

@@ -112,6 +112,63 @@ pub fn locate(
     (Some(cur), inherited)
 }
 
+/// Flattens the LPM function of `trie` over the inclusive address range
+/// `[lo, hi]` into intervals: `(start, label)` pairs, in ascending
+/// order, where the label (the matched route, or `None` for a miss)
+/// holds from `start` until the next interval's start (or `hi`). The
+/// first interval starts exactly at `lo`, and adjacent intervals with
+/// equal labels are merged, so this is the per-subtree recompression
+/// primitive: a tile maintainer can rebuild just its own range after an
+/// update without touching the rest of the table.
+///
+/// Cost is proportional to the trie nodes overlapping the range (plus
+/// the walk down to it), not to the whole table.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+#[must_use]
+pub fn range_cover(trie: &Trie<NextHop>, lo: u32, hi: u32) -> Vec<(u32, Option<Route>)> {
+    assert!(lo <= hi, "range_cover: lo {lo:#x} > hi {hi:#x}");
+    let mut out = Vec::new();
+    emit_range(Some(trie.root()), Prefix::root(), None, lo, hi, &mut out);
+    out
+}
+
+fn emit_range(
+    node: Option<NodeRef<'_, NextHop>>,
+    region: Prefix,
+    inherited: Option<Route>,
+    lo: u32,
+    hi: u32,
+    out: &mut Vec<(u32, Option<Route>)>,
+) {
+    if region.low() > hi || region.high() < lo {
+        return;
+    }
+    let Some(n) = node else {
+        push_interval(out, region.low().max(lo), inherited);
+        return;
+    };
+    debug_assert_eq!(n.prefix(), region);
+    let effective = n.value().map(|&nh| Route::new(region, nh)).or(inherited);
+    if n.is_leaf() {
+        push_interval(out, region.low().max(lo), effective);
+        return;
+    }
+    let lp = region.child(Bit::Zero).expect("non-leaf node is not a /32");
+    let rp = region.child(Bit::One).expect("non-leaf node is not a /32");
+    emit_range(n.child(Bit::Zero), lp, effective, lo, hi, out);
+    emit_range(n.child(Bit::One), rp, effective, lo, hi, out);
+}
+
+fn push_interval(out: &mut Vec<(u32, Option<Route>)>, start: u32, label: Option<Route>) {
+    if out.last().map(|(_, l)| l) == Some(&label) {
+        return;
+    }
+    out.push((start, label));
+}
+
 /// Compresses `table` into the optimal non-overlapping equivalent.
 ///
 /// This is the first stage of CLUE: the output has identical LPM
@@ -265,6 +322,55 @@ mod tests {
         let full = onrtc(&t);
         let expected: Vec<Route> = full.iter().filter(|r| region.contains(r.prefix)).collect();
         assert_eq!(local, expected);
+    }
+
+    #[test]
+    fn range_cover_matches_pointwise_lookup() {
+        let t = table(&[
+            ("0.0.0.0/0", 9),
+            ("10.0.0.0/8", 1),
+            ("10.1.0.0/16", 2),
+            ("10.1.2.3/32", 3),
+            ("11.0.0.0/8", 1),
+        ]);
+        let trie = t.to_trie();
+        for (lo, hi) in [
+            (0u32, u32::MAX),
+            (0x0A00_0000, 0x0BFF_FFFF),
+            (0x0A01_0203, 0x0A01_0203),
+            (0x0A01_0000, 0x0A01_0400),
+            (0x0900_0000, 0x0A00_00FF),
+        ] {
+            let intervals = range_cover(&trie, lo, hi);
+            assert_eq!(intervals[0].0, lo, "first interval starts at lo");
+            // Labels change exactly at interval starts (no equal-adjacent).
+            for w in intervals.windows(2) {
+                assert!(w[0].0 < w[1].0);
+                assert_ne!(w[0].1, w[1].1);
+            }
+            let label_at = |addr: u32| {
+                let i = intervals.partition_point(|&(s, _)| s <= addr) - 1;
+                intervals[i].1
+            };
+            let mut probes = vec![lo, hi];
+            for &(s, _) in &intervals {
+                probes.extend([s, s.saturating_sub(1).max(lo), s.saturating_add(1).min(hi)]);
+            }
+            for addr in probes {
+                let want = trie.lookup(addr).map(|(p, &nh)| Route::new(p, nh));
+                assert_eq!(
+                    label_at(addr),
+                    want,
+                    "addr {addr:#010x} in [{lo:#x},{hi:#x}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_cover_on_empty_trie_is_one_miss_interval() {
+        let trie = RouteTable::new().to_trie();
+        assert_eq!(range_cover(&trie, 5, 100), vec![(5u32, None)]);
     }
 
     #[test]

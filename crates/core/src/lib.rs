@@ -54,7 +54,10 @@ pub mod update_pipeline;
 
 pub use dred::{DredConfig, RedundancyScheme, SchemeStats};
 pub use engine::{balanced_mapping, Engine, EngineConfig, EngineReport, Outcome};
-pub use lookup::{build_plane, plane_from_table, BackendKind, LookupPlane};
+pub use lookup::{
+    backend_available, build_plane, plane_from_table, register_tiled_builder, try_build_plane,
+    BackendKind, LookupPlane, PlaneBuilder,
+};
 pub use reorder::ReorderBuffer;
 pub use theory::{implied_hit_rate, required_hit_rate, worst_case_speedup};
 pub use threads::{run_threaded, ThreadedConfig, ThreadedReport};

@@ -31,6 +31,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::OnceLock;
 
 use clue_fib::{mask, NextHop, Prefix, Route, RouteTable, Trie};
 use clue_tcam::SlotArray;
@@ -45,19 +46,28 @@ pub enum BackendKind {
     Trie,
     /// The entropy-style interval-compressed FIB.
     Cfib,
+    /// The tiled TCAM scale-out plane (provided by `clue-tile`; its
+    /// builder arrives through [`register_tiled_builder`]).
+    Tiled,
 }
 
 impl BackendKind {
     /// Every backend, in conformance-matrix order.
-    pub const ALL: [BackendKind; 3] = [BackendKind::Tcam, BackendKind::Trie, BackendKind::Cfib];
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Tcam,
+        BackendKind::Trie,
+        BackendKind::Cfib,
+        BackendKind::Tiled,
+    ];
 
-    /// The CLI / JSON name (`tcam`, `trie`, `cfib`).
+    /// The CLI / JSON name (`tcam`, `trie`, `cfib`, `tiled`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Tcam => "tcam",
             BackendKind::Trie => "trie",
             BackendKind::Cfib => "cfib",
+            BackendKind::Tiled => "tiled",
         }
     }
 }
@@ -78,7 +88,7 @@ impl fmt::Display for ParseBackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown backend {:?} (expected tcam, trie, or cfib)",
+            "unknown backend {:?} (expected tcam, trie, cfib, or tiled)",
             self.got
         )
     }
@@ -94,6 +104,7 @@ impl FromStr for BackendKind {
             "tcam" => Ok(BackendKind::Tcam),
             "trie" => Ok(BackendKind::Trie),
             "cfib" => Ok(BackendKind::Cfib),
+            "tiled" => Ok(BackendKind::Tiled),
             other => Err(ParseBackendError {
                 got: other.to_owned(),
             }),
@@ -141,19 +152,58 @@ pub trait LookupPlane: fmt::Debug + Send + Sync {
     }
 }
 
+/// A registered out-of-crate plane constructor (see
+/// [`register_tiled_builder`]).
+pub type PlaneBuilder = fn(&[Route]) -> Box<dyn LookupPlane>;
+
+/// The `tiled` backend's builder, installed by `clue_tile::install()`.
+///
+/// `clue-core` defines the [`BackendKind::Tiled`] name so every layer
+/// (CLI parsing, the oracle's conformance matrix, epoch publication)
+/// can route on it, but the implementation lives upstream in
+/// `crates/tile` — which depends on this crate and therefore cannot be
+/// linked from here. The builder is injected instead.
+static TILED_BUILDER: OnceLock<PlaneBuilder> = OnceLock::new();
+
+/// Registers the `tiled` plane constructor. Idempotent; the first
+/// registration wins (all callers register the same function).
+pub fn register_tiled_builder(builder: PlaneBuilder) {
+    let _ = TILED_BUILDER.set(builder);
+}
+
+/// Whether `kind` can be built in this process (always true for the
+/// in-crate backends; true for `tiled` once `clue_tile::install()` has
+/// run).
+#[must_use]
+pub fn backend_available(kind: BackendKind) -> bool {
+    kind != BackendKind::Tiled || TILED_BUILDER.get().is_some()
+}
+
 /// Builds the backend of `kind` over a route snapshot.
 ///
 /// # Panics
 ///
 /// Panics if `routes` contains duplicate prefixes (a route *set* is
-/// required; next-hop collisions on distinct prefixes are fine).
+/// required; next-hop collisions on distinct prefixes are fine), or if
+/// `kind` is [`BackendKind::Tiled`] and no builder was registered —
+/// call `clue_tile::install()` first (the router, oracle, and CLI
+/// entry points all do).
 #[must_use]
 pub fn build_plane(kind: BackendKind, routes: &[Route]) -> Box<dyn LookupPlane> {
-    match kind {
+    try_build_plane(kind, routes)
+        .unwrap_or_else(|| panic!("backend {kind} not registered (call clue_tile::install())"))
+}
+
+/// Builds the backend of `kind`, or `None` if `kind` is a registered
+/// backend whose builder has not been installed in this process.
+#[must_use]
+pub fn try_build_plane(kind: BackendKind, routes: &[Route]) -> Option<Box<dyn LookupPlane>> {
+    Some(match kind {
         BackendKind::Tcam => Box::new(TcamPlane::build(routes)),
         BackendKind::Trie => Box::new(TriePlane::build(routes)),
         BackendKind::Cfib => Box::new(CfibPlane::build(routes)),
-    }
+        BackendKind::Tiled => TILED_BUILDER.get()?(routes),
+    })
 }
 
 /// Builds the backend of `kind` over a whole table.
@@ -507,9 +557,11 @@ mod tests {
     }
 
     fn assert_all_agree(routes: &[Route]) {
+        // `tiled` is registered by clue-tile's install(); in clue-core's
+        // own test binary it is absent and skipped.
         let planes: Vec<Box<dyn LookupPlane>> = BackendKind::ALL
             .iter()
-            .map(|&k| build_plane(k, routes))
+            .filter_map(|&k| try_build_plane(k, routes))
             .collect();
         for addr in probe_addrs(routes) {
             let want = flat_lpm(routes, addr);
@@ -536,11 +588,23 @@ mod tests {
     #[test]
     fn empty_plane_answers_none() {
         for kind in BackendKind::ALL {
-            let plane = build_plane(kind, &[]);
+            let Some(plane) = try_build_plane(kind, &[]) else {
+                continue;
+            };
             assert!(plane.is_empty());
             for addr in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
                 assert_eq!(plane.lookup(addr), None, "{kind}");
             }
+        }
+    }
+
+    #[test]
+    fn unregistered_tiled_reports_unavailable() {
+        // No clue-tile in this binary, so the registry slot is empty.
+        assert!(backend_available(BackendKind::Tcam));
+        if TILED_BUILDER.get().is_none() {
+            assert!(!backend_available(BackendKind::Tiled));
+            assert!(try_build_plane(BackendKind::Tiled, &[]).is_none());
         }
     }
 
@@ -581,7 +645,7 @@ mod tests {
         let reference = table.to_trie();
         let planes: Vec<Box<dyn LookupPlane>> = BackendKind::ALL
             .iter()
-            .map(|&k| build_plane(k, &routes))
+            .filter_map(|&k| try_build_plane(k, &routes))
             .collect();
         let mut addr = 0x0137_9B51u32;
         for _ in 0..20_000 {

@@ -119,8 +119,12 @@ impl FibGen {
         // Dense registry regions: real address-space usage is lumpy —
         // most announcements cluster in a few heavily-assigned /6-scale
         // areas. This lumpiness is what makes bit-selection (SLPL) split
-        // unevenly on real tables.
-        let regions: Vec<Prefix> = (0..8)
+        // unevenly on real tables. The pool grows with the target: eight
+        // /6-scale regions hold only ~2 M distinct /24s between them, so
+        // a fixed pool saturates near the 2011 table sizes and
+        // multi-million targets degenerate into duplicate churn.
+        let region_count = (self.routes / 45_000).max(8);
+        let regions: Vec<Prefix> = (0..region_count)
             .map(|_| {
                 let addr = rng.random_range(0x0100_0000u32..0xDF00_0000u32);
                 Prefix::new(addr, rng.random_range(5..=7u8))
@@ -129,7 +133,10 @@ impl FibGen {
 
         // Legacy covering blocks: always announced, owners' interiors
         // correlate with them (real class-A space behaves this way).
-        let legacy_count = self.legacy_blocks.unwrap_or(self.routes / 3_000);
+        // Capped: the /8–/10 unicast space only holds a couple hundred
+        // disjoint blocks, and the rejection sampling below must keep
+        // finding free ones at any table scale.
+        let legacy_count = self.legacy_blocks.unwrap_or(self.routes / 3_000).min(120);
         let mut legacy: Vec<(Prefix, NextHop)> = Vec::with_capacity(legacy_count);
         while legacy.len() < legacy_count {
             let len = rng.random_range(8..=10u8);
@@ -356,6 +363,36 @@ mod tests {
         let max_len = (0..33).max_by_key(|&l| hist[l]).unwrap();
         assert_eq!(max_len, 24, "mode of the length histogram must be /24");
         assert!(hist[24] as f64 > fib.len() as f64 * 0.3);
+    }
+
+    #[test]
+    fn multi_million_target_stays_calibrated() {
+        // Regression: a fixed region pool saturates near 2 M routes —
+        // generation slowed to a crawl and the length histogram
+        // degenerated. The scaled pool must hit the target with the
+        // same /24-mode shape the small tables have.
+        let fib = FibGen::new(41).routes(2_000_000).generate();
+        assert!(fib.len() >= 2_000_000);
+        assert!(fib.len() < 2_001_000, "overshoot should stay bounded");
+        let mut hist = [0usize; 33];
+        for r in fib.iter() {
+            hist[r.prefix.len() as usize] += 1;
+        }
+        let max_len = (0..33).max_by_key(|&l| hist[l]).unwrap();
+        assert_eq!(max_len, 24, "mode of the length histogram must be /24");
+        assert!(
+            hist[24] as f64 > fib.len() as f64 * 0.3,
+            "/24 share degenerated: {} of {}",
+            hist[24],
+            fib.len()
+        );
+        // No length bucket may dwarf the mode's natural share — the
+        // saturation failure showed up as everything piling into the
+        // few lengths that still had free space.
+        assert!(
+            hist[24] as f64 <= fib.len() as f64 * 0.75,
+            "length distribution collapsed into /24"
+        );
     }
 
     #[test]

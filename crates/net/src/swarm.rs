@@ -43,6 +43,13 @@ pub struct SwarmConfig {
     /// Updates each connection sends as one batch after its lookups
     /// (0 = none).
     pub updates_per_conn: usize,
+    /// Pause between a connection's lookup answer and its next frame.
+    /// `Duration::ZERO` (the default) is the closed-loop blast every
+    /// scaling point uses; a nonzero gap turns the swarm into an
+    /// open(ish)-loop source offering roughly
+    /// `connections × lookup_batch / gap` lookups per second, which the
+    /// connections bench sweeps against the achieved rate.
+    pub gap: Duration,
     /// Per-connect timeout (the dialer retries refused connects while
     /// the listener's backlog drains).
     pub connect_timeout: Duration,
@@ -59,6 +66,7 @@ impl Default for SwarmConfig {
             lookup_batch: 16,
             rounds: 4,
             updates_per_conn: 0,
+            gap: Duration::ZERO,
             connect_timeout: Duration::from_secs(2),
             deadline: Duration::from_secs(120),
         }
@@ -195,6 +203,10 @@ struct SwarmDriver {
     conns: HashMap<ConnId, ConnState>,
     dialed: usize,
     next_index: usize,
+    /// Pacing timers in flight: tag → the connection and round to
+    /// advance when it fires. Tags start past `DEADLINE`.
+    paced: HashMap<u64, (ConnId, usize)>,
+    next_tag: u64,
     report: SwarmReport,
 }
 
@@ -310,7 +322,16 @@ impl SwarmDriver {
                 self.report
                     .lookup_us
                     .push(sent_at.elapsed().as_micros() as u64);
-                self.advance(ctl, conn, round + 1);
+                if self.cfg.gap.is_zero() {
+                    self.advance(ctl, conn, round + 1);
+                } else {
+                    // Open-loop pacing: park the connection on a timer
+                    // instead of firing the next frame off the ack.
+                    let tag = self.next_tag;
+                    self.next_tag += 1;
+                    self.paced.insert(tag, (conn, round + 1));
+                    ctl.set_timer(self.cfg.gap, tag);
+                }
             }
             FrameType::UpdateAck => {
                 let Phase::Update { sent_at } = state.phase else {
@@ -411,6 +432,11 @@ impl Driver for SwarmDriver {
         if tag == DEADLINE {
             self.report.unfinished = self.conns.len();
             ctl.stop();
+        } else if let Some((conn, round)) = self.paced.remove(&tag) {
+            // `advance` tolerates a connection that closed while its
+            // pacing timer was pending (generation-tagged ids never
+            // alias a reused slot).
+            self.advance(ctl, conn, round);
         }
     }
 }
@@ -467,6 +493,8 @@ pub fn run_swarm(cfg: &SwarmConfig, addrs: &[u32], updates: &[Update]) -> io::Re
         conns: HashMap::new(),
         dialed: 0,
         next_index: 0,
+        paced: HashMap::new(),
+        next_tag: DEADLINE + 1,
         report: SwarmReport::default(),
     };
     let mut el = EventLoop::new(driver, LoopConfig::default())?;

@@ -64,6 +64,50 @@ fn swarm_holds_every_connection_open_before_traffic_starts() {
 }
 
 #[test]
+fn paced_swarm_throttles_offered_load_without_losing_frames() {
+    let table = FibGen::new(47).routes(300).generate();
+    let addrs: Vec<u32> = table.iter().map(|r| r.prefix.low()).collect();
+
+    let server = Server::start(&table, &server_cfg(Transport::Evloop)).unwrap();
+    let base = SwarmConfig {
+        addr: server.local_addr().to_string(),
+        connections: 32,
+        lookup_batch: 8,
+        rounds: 6,
+        updates_per_conn: 0,
+        ..SwarmConfig::default()
+    };
+    let blast = run_swarm(&base, &addrs, &[]).unwrap();
+    let paced_cfg = SwarmConfig {
+        gap: Duration::from_millis(20),
+        ..base
+    };
+    let paced = run_swarm(&paced_cfg, &addrs, &[]).unwrap();
+    server.drain().unwrap();
+
+    for r in [&blast, &paced] {
+        assert_eq!(r.connected, 32);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.unfinished, 0);
+        assert_eq!(r.lost_answers(), 0);
+        assert_eq!(r.lookups_sent, 32 * 6 * 8);
+    }
+    // Five 20ms gaps per connection put a floor under the paced run's
+    // wall clock that the closed-loop blast comes nowhere near.
+    assert!(
+        paced.elapsed >= Duration::from_millis(100),
+        "pacing did not slow the run: {:?}",
+        paced.elapsed
+    );
+    assert!(
+        paced.lookups_per_sec() < blast.lookups_per_sec(),
+        "paced rate {:.0}/s not below closed-loop {:.0}/s",
+        paced.lookups_per_sec(),
+        blast.lookups_per_sec()
+    );
+}
+
+#[test]
 fn swarm_against_threaded_server_is_transport_agnostic() {
     let table = FibGen::new(43).routes(200).generate();
     let addrs: Vec<u32> = table.iter().map(|r| r.prefix.low()).collect();

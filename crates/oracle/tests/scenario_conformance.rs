@@ -33,7 +33,11 @@ fn every_scenario_passes_clean() {
         assert_eq!(report.kind, kind);
         assert!(report.applied > 0, "{kind}: empty schedule");
         assert!(report.probes > 0, "{kind}: vacuous sequential probes");
-        assert_eq!(report.live_runs, 3, "{kind}: one live run per backend");
+        assert_eq!(
+            report.live_runs,
+            clue_core::BackendKind::ALL.len(),
+            "{kind}: one live run per backend"
+        );
         assert!(report.live_lookups > 0, "{kind}: no live lookups");
         assert!(report.live_probes > 0, "{kind}: vacuous live probes");
         assert_eq!(report.shards, 0);

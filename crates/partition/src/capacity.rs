@@ -1,0 +1,70 @@
+//! Capacity-driven cuts for tiled planes.
+//!
+//! Where [`EvenRangePartition`](crate::EvenRangePartition) divides a
+//! table into a *fixed number* of buckets (one per chip), a tiled plane
+//! needs the dual: divide an interval list into however many spans it
+//! takes so that *no span exceeds a fixed capacity*. "On Ranges and
+//! Partitions in Optimal TCAMs" (arXiv 2212.13283) shows range cuts
+//! over the flattened LPM function are the right primitive for both.
+
+/// Chooses interior cut addresses over a strictly ascending
+/// interval-start list so that each resulting span holds at most
+/// `per_span` interval starts. The returned cuts are strictly
+/// ascending and compatible with
+/// [`RangeIndex::from_cuts`](crate::RangeIndex::from_cuts): a cut is
+/// the first address of the span it opens.
+///
+/// # Panics
+///
+/// Panics if `per_span == 0`.
+#[must_use]
+pub fn capacity_cuts(starts: &[u32], per_span: usize) -> Vec<u32> {
+    assert!(per_span > 0, "capacity_cuts: per_span must be positive");
+    debug_assert!(
+        starts.windows(2).all(|w| w[0] < w[1]),
+        "starts not ascending"
+    );
+    starts
+        .iter()
+        .skip(per_span)
+        .step_by(per_span)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_list_needs_no_cuts() {
+        assert!(capacity_cuts(&[0, 10, 20], 3).is_empty());
+        assert!(capacity_cuts(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn cuts_bound_every_span() {
+        let starts: Vec<u32> = (0..100).map(|i| i * 7).collect();
+        for per_span in [1usize, 3, 7, 99, 100, 1000] {
+            let cuts = capacity_cuts(&starts, per_span);
+            assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+            // Count interval starts per span and check the bound.
+            let mut span = 0usize;
+            let mut count = 0usize;
+            for &s in &starts {
+                while span < cuts.len() && s >= cuts[span] {
+                    span += 1;
+                    count = 0;
+                }
+                count += 1;
+                assert!(count <= per_span, "span {span} exceeds {per_span}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per_span must be positive")]
+    fn zero_capacity_panics() {
+        let _ = capacity_cuts(&[1, 2], 0);
+    }
+}

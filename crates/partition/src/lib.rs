@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod capacity;
 mod even_range;
 mod id_bit;
 mod stats;
 mod subtree;
 
+pub use capacity::capacity_cuts;
 pub use even_range::{EvenRangePartition, RangeIndex};
 pub use id_bit::{BitIndex, IdBitPartition};
 pub use stats::PartitionStats;

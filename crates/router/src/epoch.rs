@@ -32,6 +32,7 @@ use std::sync::Arc;
 use clue_core::lookup::{build_plane, BackendKind, LookupPlane};
 use clue_fib::{Route, RouteTable};
 use clue_partition::{Indexer, RangeIndex};
+use clue_tile::TileSet;
 use parking_lot::Mutex;
 
 /// One immutable generation of the lookup plane's view.
@@ -68,6 +69,9 @@ impl EpochState {
         workers: usize,
         backend: BackendKind,
     ) -> Self {
+        // The tiled backend's builder lives upstream of clue-core; make
+        // sure it is registered before any build_plane(Tiled) below.
+        clue_tile::install();
         assert_eq!(
             index.bucket_count(),
             workers,
@@ -92,6 +96,48 @@ impl EpochState {
             planes,
             backend,
             entries: compressed.len(),
+            replicated,
+        }
+    }
+
+    /// Builds a tiled epoch from a live [`TileSet`] maintainer without
+    /// recompiling anything: each worker's plane is an `Arc` snapshot
+    /// of the tiles overlapping its bucket range. A tile that straddles
+    /// a partition cut is *shared* between the adjacent planes (one
+    /// `Arc`, two planes); `replicated` counts those extra memberships
+    /// — the tiled analogue of cut-spanning route copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` disagrees with `index.bucket_count()`.
+    #[must_use]
+    pub fn from_tileset(epoch: u64, set: &TileSet, index: &RangeIndex, workers: usize) -> Self {
+        clue_tile::install();
+        assert_eq!(
+            index.bucket_count(),
+            workers,
+            "index must have one bucket per worker"
+        );
+        let cuts = index.cuts();
+        let mut planes: Vec<Box<dyn LookupPlane>> = Vec::with_capacity(workers);
+        for b in 0..workers {
+            let lo = if b == 0 { 0 } else { cuts[b - 1] };
+            let hi = if b + 1 == workers {
+                u32::MAX
+            } else {
+                cuts[b] - 1
+            };
+            planes.push(Box::new(set.plane_for_range(lo, hi)));
+        }
+        let replicated = cuts
+            .iter()
+            .filter(|&&c| set.tiles()[set.tile_of(c)].start() < c)
+            .count() as u64;
+        EpochState {
+            epoch,
+            planes,
+            backend: BackendKind::Tiled,
+            entries: set.route_count(),
             replicated,
         }
     }
@@ -225,6 +271,26 @@ mod tests {
         assert!(cell.refresh(&mut local));
         assert_eq!(local.epoch, 1);
         assert!(!cell.refresh(&mut local), "already current");
+    }
+
+    #[test]
+    fn tileset_epoch_matches_full_rebuild() {
+        let t = disjoint_table(64);
+        let index = EvenRangePartition::split(&t, 4).index().clone();
+        let routes: Vec<Route> = t.iter().collect();
+        let set = clue_tile::TileSet::build(clue_tile::TileConfig::with_capacity(16), &routes);
+        let inc = EpochState::from_tileset(1, &set, &index, 4);
+        let full = EpochState::build(1, &t, &index, 4, BackendKind::Tiled);
+        assert_eq!(inc.backend, BackendKind::Tiled);
+        assert_eq!(inc.entries, t.len());
+        for addr in (0u32..64 << 16).step_by(1 << 11) {
+            let b = index.bucket_of(addr);
+            assert_eq!(
+                inc.planes[b].next_hop(addr),
+                full.planes[b].next_hop(addr),
+                "addr {addr:#x} in bucket {b}"
+            );
+        }
     }
 
     #[test]

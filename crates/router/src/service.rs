@@ -28,8 +28,10 @@ use parking_lot::Mutex;
 
 use clue_cache::LruPrefixCache;
 use clue_core::update_pipeline::CluePipeline;
+use clue_core::BackendKind;
 use clue_fib::{NextHop, Route, RouteTable, Update};
 use clue_partition::{EvenRangePartition, Indexer, RangeIndex};
+use clue_tile::{TileConfig, TileSet};
 
 use crate::coalesce::coalesce;
 use crate::epoch::{EpochCell, EpochState};
@@ -213,7 +215,19 @@ impl RouterService {
         let index: RangeIndex = EvenRangePartition::split(&compressed0, cfg.workers)
             .index()
             .clone();
-        let first_epoch = EpochState::build(epoch0, &compressed0, &index, cfg.workers, cfg.backend);
+        // Tiled backend: one persistent maintainer tracks the compressed
+        // table across batches, so each publish rewrites only the touched
+        // tiles and snapshots the rest by `Arc` instead of recompiling
+        // every bucket from scratch. It is born here and lives in the
+        // update thread.
+        let tileset0 = (cfg.backend == BackendKind::Tiled).then(|| {
+            let routes: Vec<Route> = compressed0.iter().collect();
+            TileSet::build(TileConfig::default(), &routes)
+        });
+        let first_epoch = match &tileset0 {
+            Some(ts) => EpochState::from_tileset(epoch0, ts, &index, cfg.workers),
+            None => EpochState::build(epoch0, &compressed0, &index, cfg.workers, cfg.backend),
+        };
 
         let shared = Arc::new(Shared {
             dreds: (0..cfg.workers)
@@ -297,6 +311,7 @@ impl RouterService {
                     &shared,
                     &index,
                     &cfg,
+                    tileset0,
                     Durability {
                         journal,
                         epoch: epoch0,
@@ -605,7 +620,7 @@ fn collect_dreds(shared: &Shared) -> Vec<Vec<Route>> {
 
 /// The update plane: drain → coalesce → journal → apply → flush DReds
 /// → publish → (maybe) checkpoint.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn update_loop(
     pipeline: &mut CluePipeline,
     mirror: &mut RouteTable,
@@ -613,6 +628,7 @@ fn update_loop(
     shared: &Shared,
     index: &RangeIndex,
     cfg: &RouterConfig,
+    mut tileset: Option<TileSet>,
     durability: Durability,
 ) {
     let batch_size = cfg.batch_size;
@@ -677,6 +693,9 @@ fn update_loop(
                 .ttf_update_ns
                 .record(sample.total_ns() as u64);
             touched = touched || !diff.is_empty();
+            if let Some(ts) = tileset.as_mut() {
+                ts.apply(&diff);
+            }
             // DRed sync, the paper's delete-if-present rule: flush every
             // prefix the diff removed or rewrote from every chip's DRed.
             for p in diff
@@ -704,13 +723,16 @@ fn update_loop(
         // Publish the batch as one atomic epoch (skip if nothing moved).
         if touched {
             epoch += 1;
-            let state = EpochState::build(
-                epoch,
-                &pipeline.fib().compressed_table(),
-                index,
-                workers,
-                cfg.backend,
-            );
+            let state = match &tileset {
+                Some(ts) => EpochState::from_tileset(epoch, ts, index, workers),
+                None => EpochState::build(
+                    epoch,
+                    &pipeline.fib().compressed_table(),
+                    index,
+                    workers,
+                    cfg.backend,
+                ),
+            };
             shared.epochs.publish(state);
             shared.stats.update().epochs += 1;
         }

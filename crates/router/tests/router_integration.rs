@@ -112,6 +112,36 @@ fn every_result_is_a_plausible_next_hop() {
 }
 
 #[test]
+fn tiled_backend_serves_and_converges_like_the_default() {
+    // The tiled plane takes the incremental path (persistent TileSet +
+    // Arc-snapshot epochs) instead of per-bucket recompiles; the
+    // externally observable contract must not change.
+    let (fib, packets, updates) = workload();
+    let cfg = RouterConfig {
+        workers: 4,
+        batch_size: 32,
+        overflow: OverflowPolicy::Block,
+        backend: clue_core::BackendKind::Tiled,
+        ..RouterConfig::default()
+    };
+    let report = run(&fib, &packets[..20_000], &updates[..1_500], &cfg);
+    assert!(report.packets_conserved());
+    let mut expect = fib.clone();
+    for &u in &updates[..1_500] {
+        expect.apply(u);
+    }
+    assert_eq!(routes(&report.final_table), routes(&expect));
+    assert_eq!(routes(&report.final_compressed), routes(&onrtc(&expect)));
+    assert!(report.snapshot.epochs > 0, "updates must publish epochs");
+    let misses = report.results.iter().filter(|r| r.is_none()).count();
+    assert!(
+        misses < report.results.len() / 10,
+        "{misses} misses out of {} tiled lookups",
+        report.results.len()
+    );
+}
+
+#[test]
 fn dynamic_redundancy_stays_bounded() {
     // The paper's headline: updates may force cut-spanning replicas,
     // but the count stays a sliver of the table. 2.5k updates over a

@@ -35,7 +35,7 @@ mod timed;
 
 pub use mrt::{
     parse_rib, parse_updates, BgpUpdate, MrtPeer, MrtRib, MrtUpdates, NextHopDict, PeerIp,
-    RibEntry, RibRecord,
+    RibEntry, RibEntryV6, RibRecord, RibV6Record,
 };
 pub use scenario::{Scenario, ScenarioConfig, ScenarioKind};
 pub use timed::{TimedUpdate, UpdateTrace};

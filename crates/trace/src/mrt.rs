@@ -7,7 +7,10 @@
 //!   prefix and its per-peer BGP attribute sets. [`parse_rib`] turns a
 //!   dump into an [`MrtRib`]; [`MrtRib::to_table`] extracts the initial
 //!   FIB (prefix → first peer's `NEXT_HOP`, interned through a
-//!   [`NextHopDict`]).
+//!   [`NextHopDict`]). `RIB_IPV6_UNICAST` records are decoded too —
+//!   prefix, per-peer entries, and `MP_REACH_NLRI` next hops — into
+//!   [`MrtRib::v6_records`] so dual-stack dumps are counted faithfully;
+//!   feeding them to the (v4) lookup pipeline is out of scope.
 //! * **BGP4MP / BGP4MP_ET** update streams (types 16/17) — one BGP
 //!   UPDATE message per record with announce NLRI, withdrawn routes,
 //!   and second (plus microsecond, for `_ET`) timestamps.
@@ -19,8 +22,8 @@
 //! exist so fixtures are generated and verified **fully offline**: for
 //! any structure the encoders emit, `encode(parse(bytes)) == bytes`
 //! holds bit-for-bit. Real collector dumps parse too — unknown record
-//! types, IPv6 subtypes, non-UPDATE BGP messages, and unmodeled path
-//! attributes are skipped (counted in `skipped`), so only the
+//! types, multicast subtypes, non-UPDATE BGP messages, and unmodeled
+//! path attributes are skipped (counted in `skipped`), so only the
 //! round-trip of *canonical* fixtures is guaranteed.
 //!
 //! Every read is bounds-checked through [`clue_core::codec::Cursor`];
@@ -49,14 +52,20 @@ pub const MRT_BGP4MP_ET: u16 = 17;
 pub const TDV2_PEER_INDEX_TABLE: u16 = 1;
 /// TABLE_DUMP_V2 subtype: one IPv4-unicast RIB prefix.
 pub const TDV2_RIB_IPV4_UNICAST: u16 = 2;
+/// TABLE_DUMP_V2 subtype: one IPv6-unicast RIB prefix.
+pub const TDV2_RIB_IPV6_UNICAST: u16 = 4;
 
 /// BGP4MP subtype: BGP message, 2-byte AS numbers.
 pub const BGP4MP_MESSAGE: u16 = 1;
 /// BGP4MP subtype: BGP message, 4-byte AS numbers.
 pub const BGP4MP_MESSAGE_AS4: u16 = 4;
 
-/// BGP path attribute: NEXT_HOP (the only attribute the FIB needs).
+/// BGP path attribute: NEXT_HOP (the only attribute the v4 FIB needs).
 const ATTR_NEXT_HOP: u8 = 3;
+/// BGP path attribute: MP_REACH_NLRI — in TABLE_DUMP_V2 RIB entries it
+/// is abbreviated to just the next-hop length and address (RFC 6396
+/// §4.3.4), which is how IPv6 next hops are recorded.
+const ATTR_MP_REACH_NLRI: u8 = 14;
 /// BGP attribute flag: two-byte (extended) length field.
 const ATTR_EXT_LEN: u8 = 0x10;
 /// BGP message type: UPDATE.
@@ -115,6 +124,37 @@ pub struct RibRecord {
     pub entries: Vec<RibEntry>,
 }
 
+/// One peer's view of an IPv6 RIB prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RibEntryV6 {
+    /// Index into [`MrtRib::peers`].
+    pub peer_index: u16,
+    /// When the route was originated (seconds since the epoch).
+    pub originated: u32,
+    /// The `MP_REACH_NLRI` next-hop address (global address when the
+    /// entry also carried a link-local one), when present.
+    pub next_hop: Option<[u8; 16]>,
+}
+
+/// One `RIB_IPV6_UNICAST` record.
+///
+/// Decoded for fidelity and counting (`clue trace info` reports them);
+/// conversion into the v4 lookup pipeline is out of scope, so
+/// [`MrtRib::to_table`] ignores these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibV6Record {
+    /// The MRT record timestamp (seconds since the epoch).
+    pub timestamp: u32,
+    /// The dump's sequence number for this prefix.
+    pub seq: u32,
+    /// The prefix bits, network byte order, zero-padded to 16 bytes.
+    pub prefix: [u8; 16],
+    /// The prefix length in bits (0–128).
+    pub prefix_len: u8,
+    /// Per-peer entries, as recorded.
+    pub entries: Vec<RibEntryV6>,
+}
+
 /// A parsed TABLE_DUMP_V2 RIB dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MrtRib {
@@ -126,9 +166,12 @@ pub struct MrtRib {
     pub view_name: String,
     /// The peer index table.
     pub peers: Vec<MrtPeer>,
-    /// The per-prefix records, in dump order.
+    /// The per-prefix IPv4 records, in dump order.
     pub records: Vec<RibRecord>,
-    /// Records the parser skipped (IPv6 subtypes, unknown types).
+    /// The per-prefix IPv6 records, in dump order. The canonical
+    /// encoder emits them after every IPv4 record.
+    pub v6_records: Vec<RibV6Record>,
+    /// Records the parser skipped (multicast subtypes, unknown types).
     /// Always 0 for canonical fixtures; not part of the encoding.
     pub skipped: u64,
 }
@@ -256,6 +299,51 @@ fn read_prefix(cur: &mut Cursor<'_>) -> io::Result<Prefix> {
     Ok(Prefix::new(u32::from_be_bytes(bits), len))
 }
 
+/// Reads one `(len, bits)` IPv6 prefix in BGP wire form.
+fn read_prefix_v6(cur: &mut Cursor<'_>) -> io::Result<([u8; 16], u8)> {
+    let len = cur.u8()?;
+    if len > 128 {
+        return Err(bad_data(format!("IPv6 prefix length {len} exceeds 128")));
+    }
+    let nbytes = usize::from(len).div_ceil(8);
+    let raw = cur.take(nbytes)?;
+    let mut bits = [0u8; 16];
+    bits[..nbytes].copy_from_slice(raw);
+    Ok((bits, len))
+}
+
+/// Scans a path-attribute block for the IPv6 next hop: the abbreviated
+/// `MP_REACH_NLRI` of RFC 6396 §4.3.4 (next-hop length byte, then one
+/// 16-byte address, or two when a link-local follows the global one).
+fn scan_attrs_v6(block: &[u8]) -> io::Result<Option<[u8; 16]>> {
+    let mut cur = Cursor::new(block);
+    let mut next_hop = None;
+    while cur.consumed() < block.len() {
+        let flags = cur.u8()?;
+        let typ = cur.u8()?;
+        let len = if flags & ATTR_EXT_LEN != 0 {
+            usize::from(cur.u16()?)
+        } else {
+            usize::from(cur.u8()?)
+        };
+        let value = cur.take(len)?;
+        if typ == ATTR_MP_REACH_NLRI {
+            let (&nh_len, rest) = value
+                .split_first()
+                .ok_or_else(|| bad_data("empty MP_REACH_NLRI".into()))?;
+            if !(nh_len == 16 || nh_len == 32) || rest.len() < usize::from(nh_len) {
+                return Err(bad_data(format!(
+                    "MP_REACH_NLRI next-hop length {nh_len} over {} bytes",
+                    rest.len()
+                )));
+            }
+            next_hop = Some(rest[..16].try_into().unwrap());
+        }
+    }
+    cur.finish()?;
+    Ok(next_hop)
+}
+
 /// Scans a path-attribute block for `NEXT_HOP`, bounds-checking every
 /// attribute header and dropping the rest.
 fn scan_attrs(block: &[u8]) -> io::Result<Option<u32>> {
@@ -321,7 +409,40 @@ fn parse_peer_index(timestamp: u32, body: &[u8]) -> io::Result<MrtRib> {
         view_name,
         peers,
         records: Vec::new(),
+        v6_records: Vec::new(),
         skipped: 0,
+    })
+}
+
+fn parse_rib_v6_record(timestamp: u32, body: &[u8], peer_count: usize) -> io::Result<RibV6Record> {
+    let mut cur = Cursor::new(body);
+    let seq = cur.u32()?;
+    let (prefix, prefix_len) = read_prefix_v6(&mut cur)?;
+    let count = usize::from(cur.u16()?);
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let peer_index = cur.u16()?;
+        if usize::from(peer_index) >= peer_count {
+            return Err(bad_data(format!(
+                "RIB entry names peer {peer_index} of {peer_count}"
+            )));
+        }
+        let originated = cur.u32()?;
+        let attr_len = usize::from(cur.u16()?);
+        let attrs = cur.take(attr_len)?;
+        entries.push(RibEntryV6 {
+            peer_index,
+            originated,
+            next_hop: scan_attrs_v6(attrs)?,
+        });
+    }
+    cur.finish()?;
+    Ok(RibV6Record {
+        timestamp,
+        seq,
+        prefix,
+        prefix_len,
+        entries,
     })
 }
 
@@ -359,8 +480,10 @@ fn parse_rib_record(timestamp: u32, body: &[u8], peer_count: usize) -> io::Resul
 /// Parses a TABLE_DUMP_V2 RIB dump.
 ///
 /// The first TABLE_DUMP_V2 record must be the `PEER_INDEX_TABLE`;
-/// `RIB_IPV4_UNICAST` records follow. Records of other types or
-/// subtypes are skipped (counted in [`MrtRib::skipped`]).
+/// `RIB_IPV4_UNICAST` and `RIB_IPV6_UNICAST` records follow (v6
+/// prefixes and next hops are decoded into [`MrtRib::v6_records`]).
+/// Records of other types or subtypes are skipped (counted in
+/// [`MrtRib::skipped`]).
 ///
 /// # Errors
 ///
@@ -386,6 +509,10 @@ pub fn parse_rib(bytes: &[u8]) -> io::Result<MrtRib> {
             (TDV2_RIB_IPV4_UNICAST, Some(r)) => {
                 let record = parse_rib_record(timestamp, body, r.peers.len())?;
                 r.records.push(record);
+            }
+            (TDV2_RIB_IPV6_UNICAST, Some(r)) => {
+                let record = parse_rib_v6_record(timestamp, body, r.peers.len())?;
+                r.v6_records.push(record);
             }
             (_, Some(r)) => r.skipped += 1,
             (_, None) => {
@@ -544,8 +671,9 @@ fn push_next_hop_attr(out: &mut Vec<u8>, ip: u32) {
 }
 
 impl MrtRib {
-    /// Encodes the dump as MRT bytes: the `PEER_INDEX_TABLE` record
-    /// followed by one `RIB_IPV4_UNICAST` record per [`RibRecord`].
+    /// Encodes the dump as MRT bytes: the `PEER_INDEX_TABLE` record,
+    /// one `RIB_IPV4_UNICAST` record per [`RibRecord`], then one
+    /// `RIB_IPV6_UNICAST` record per [`RibV6Record`].
     ///
     /// # Panics
     ///
@@ -616,6 +744,37 @@ impl MrtRib {
                 &body,
             );
         }
+        for r in &self.v6_records {
+            body.clear();
+            body.extend_from_slice(&r.seq.to_be_bytes());
+            body.push(r.prefix_len);
+            let nbytes = usize::from(r.prefix_len).div_ceil(8);
+            body.extend_from_slice(&r.prefix[..nbytes]);
+            body.extend_from_slice(&(r.entries.len() as u16).to_be_bytes());
+            for e in &r.entries {
+                body.extend_from_slice(&e.peer_index.to_be_bytes());
+                body.extend_from_slice(&e.originated.to_be_bytes());
+                let mut attrs = Vec::with_capacity(20);
+                if let Some(nh) = e.next_hop {
+                    // Abbreviated MP_REACH_NLRI: optional flag, one
+                    // global next hop.
+                    attrs.push(0x80);
+                    attrs.push(ATTR_MP_REACH_NLRI);
+                    attrs.push(17);
+                    attrs.push(16);
+                    attrs.extend_from_slice(&nh);
+                }
+                body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+                body.extend_from_slice(&attrs);
+            }
+            push_record(
+                &mut out,
+                r.timestamp,
+                MRT_TABLE_DUMP_V2,
+                TDV2_RIB_IPV6_UNICAST,
+                &body,
+            );
+        }
         out
     }
 
@@ -648,13 +807,16 @@ impl MrtRib {
                     }],
                 })
                 .collect(),
+            v6_records: Vec::new(),
             skipped: 0,
         }
     }
 
     /// Extracts the initial FIB: per prefix, the first entry carrying a
     /// `NEXT_HOP`, interned through `dict`. Records with no usable next
-    /// hop are dropped (real dumps occasionally hold them).
+    /// hop are dropped (real dumps occasionally hold them), and
+    /// [`v6_records`](Self::v6_records) are not converted (the lookup
+    /// pipeline is IPv4).
     #[must_use]
     pub fn to_table(&self, dict: &mut NextHopDict) -> RouteTable {
         self.records
@@ -857,5 +1019,86 @@ mod tests {
         let buf = vec![33, 0, 0, 0, 0, 0];
         let mut cur = Cursor::new(&buf);
         assert!(read_prefix(&mut cur).is_err());
+    }
+
+    fn v6_record(seq: u32, top: u8, nh: Option<[u8; 16]>) -> RibV6Record {
+        let mut prefix = [0u8; 16];
+        prefix[0] = 0x20;
+        prefix[1] = top;
+        RibV6Record {
+            timestamp: 1_700_000_000,
+            seq,
+            prefix,
+            prefix_len: 32,
+            entries: vec![RibEntryV6 {
+                peer_index: 0,
+                originated: 1_700_000_000,
+                next_hop: nh,
+            }],
+        }
+    }
+
+    #[test]
+    fn dual_stack_dump_round_trips_with_v6_decoded() {
+        let table: RouteTable = [(Prefix::new(0x0A00_0000, 8), NextHop(1))]
+            .into_iter()
+            .collect();
+        let mut rib = MrtRib::from_table(&table, 1_700_000_000);
+        let mut nh = [0u8; 16];
+        nh[0] = 0xFD;
+        nh[15] = 0x01;
+        rib.v6_records.push(v6_record(100, 0x01, Some(nh)));
+        rib.v6_records.push(v6_record(101, 0x02, None));
+
+        let bytes = rib.encode();
+        let parsed = parse_rib(&bytes).expect("dual-stack dump parses");
+        assert_eq!(parsed, rib, "v6 records survive the round trip");
+        assert_eq!(parsed.encode(), bytes, "re-encode is bit-identical");
+        assert_eq!(parsed.skipped, 0, "v6 records are decoded, not skipped");
+        assert_eq!(parsed.v6_records[0].entries[0].next_hop, Some(nh));
+
+        // The v4 pipeline extraction ignores the v6 side.
+        let mut dict = NextHopDict::new();
+        assert_eq!(parsed.to_table(&mut dict).len(), 1);
+    }
+
+    #[test]
+    fn v6_prefix_pads_partial_bytes() {
+        // A /20 occupies 3 wire bytes; the rest must come back zero.
+        let mut body = Vec::new();
+        body.extend_from_slice(&7u32.to_be_bytes()); // seq
+        body.extend_from_slice(&[20, 0x20, 0x01, 0xD0]); // 2001:d::/20
+        body.extend_from_slice(&0u16.to_be_bytes()); // no entries
+        let mut out = MrtRib::from_table(&RouteTable::new(), 1).encode();
+        push_record(&mut out, 1, MRT_TABLE_DUMP_V2, TDV2_RIB_IPV6_UNICAST, &body);
+        let parsed = parse_rib(&out).expect("v6 record parses");
+        let r = &parsed.v6_records[0];
+        assert_eq!(r.prefix_len, 20);
+        assert_eq!(&r.prefix[..3], &[0x20, 0x01, 0xD0]);
+        assert!(r.prefix[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn v6_link_local_pair_takes_the_global_hop() {
+        // nh_len 32: global followed by link-local; the global wins.
+        let mut value = vec![32u8];
+        let mut global = [0u8; 16];
+        global[0] = 0x20;
+        value.extend_from_slice(&global);
+        value.extend_from_slice(&[0xFE; 16]);
+        let mut block = vec![0x80, ATTR_MP_REACH_NLRI, value.len() as u8];
+        block.extend_from_slice(&value);
+        assert_eq!(scan_attrs_v6(&block).unwrap(), Some(global));
+    }
+
+    #[test]
+    fn v6_over_long_prefix_is_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&0u32.to_be_bytes());
+        body.push(129); // prefix length out of range
+        body.extend_from_slice(&0u16.to_be_bytes());
+        let mut out = MrtRib::from_table(&RouteTable::new(), 1).encode();
+        push_record(&mut out, 1, MRT_TABLE_DUMP_V2, TDV2_RIB_IPV6_UNICAST, &body);
+        assert!(parse_rib(&out).is_err());
     }
 }

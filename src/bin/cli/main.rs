@@ -19,7 +19,7 @@
 //!                   [--speed X] [--addr HOST:PORT] [--workers N] [--dred N] [--batch K]
 //! clue serve        --fib fib.txt --packets trace.txt --updates updates.txt [--workers N]
 //!                   [--dred N] [--fifo N] [--batch K] [--queue N] [--overflow block|drop]
-//!                   [--stats-ms N] [--backend tcam|trie|cfib]
+//!                   [--stats-ms N] [--backend tcam|trie|cfib|tiled]
 //! clue serve        --fib fib.txt --listen ADDR [--data-dir DIR] [--workers N] [--dred N]
 //!                   [--fifo N] [--batch K] [--queue N] [--overflow block|drop] [--stats-ms N]
 //!                   [--transport threads|evloop]
@@ -44,7 +44,7 @@
 //! clue check        [--seed S] [--updates N] [--routes N] [--batch K] [--chips N]
 //!                   [--dred N] [--packets N] [--faults on|off] [--fault-seed S]
 //!                   [--net on|off] [--recovery on|off] [--shards N] [--scenario NAME]
-//!                   [--backend tcam|trie|cfib] [--transport threads|evloop]
+//!                   [--backend tcam|trie|cfib|tiled] [--transport threads|evloop]
 //!                   [--out repro.txt] [--replay repro.txt]
 //! ```
 //!
@@ -139,6 +139,9 @@ commands:
 run `clue <command> --help` semantics: every flag is `--key value`.";
 
 fn main() -> ExitCode {
+    // Register the tiled lookup backend so every `--backend tiled` path
+    // (serve, check, loadgen, replay) can compile planes for it.
+    clue_tile::install();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("--help") || raw.is_empty() {
         println!("{USAGE}");
@@ -554,7 +557,7 @@ fn replay(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// Parses `--backend tcam|trie|cfib` (default: the TCAM sim).
+/// Parses `--backend tcam|trie|cfib|tiled` (default: the TCAM sim).
 fn parse_backend(args: &Args) -> Result<BackendKind, ArgError> {
     match args.optional("backend") {
         None => Ok(BackendKind::default()),
@@ -1831,6 +1834,19 @@ fn scenario_from_args(args: &Args) -> Result<Scenario, ArgError> {
                     skipped: 0,
                 },
             };
+            if !rib.v6_records.is_empty() {
+                let with_hop = rib
+                    .v6_records
+                    .iter()
+                    .filter(|r| r.entries.iter().any(|e| e.next_hop.is_some()))
+                    .count();
+                println!(
+                    "ipv6 rib records: {} ({} with a next hop) — decoded, \
+                     not fed to the v4 pipeline",
+                    rib.v6_records.len(),
+                    with_hop,
+                );
+            }
             if rib.skipped > 0 || upd.skipped > 0 {
                 eprintln!(
                     "(skipped {} foreign RIB record(s), {} foreign update record(s))",
